@@ -1,0 +1,38 @@
+//! Criterion harness over the ablation sweeps (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pc_experiments::{ablations, Params};
+
+fn params() -> Params {
+    Params {
+        scale: 0.05,
+        seed: 42,
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let p = params();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("opg_epsilon_sweep", |b| {
+        b.iter(|| black_box(ablations::epsilon_sweep(&p)))
+    });
+    g.bench_function("pa_lru_sensitivity", |b| {
+        b.iter(|| black_box(ablations::pa_sensitivity(&p)))
+    });
+    g.bench_function("mode_count", |b| {
+        b.iter(|| black_box(ablations::mode_count(&p)))
+    });
+    g.bench_function("policy_zoo", |b| {
+        b.iter(|| black_box(ablations::policy_zoo(&p)))
+    });
+    g.bench_function("wbeu_dirty_limit", |b| {
+        b.iter(|| black_box(ablations::wbeu_dirty_limit(&p)))
+    });
+    g.finish();
+}
+
+criterion_group!(ablation_benches, bench_ablations);
+criterion_main!(ablation_benches);

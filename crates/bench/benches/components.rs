@@ -1,0 +1,107 @@
+//! Micro-benchmarks of the substrate components: power-model queries,
+//! the disk state machine, the Bloom filter, the interval histogram, and
+//! trace generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use pc_cache::{BloomFilter, IntervalHistogram};
+use pc_diskmodel::{DiskPowerSpec, PowerModel, ServiceModel, ServiceRequest};
+use pc_disksim::{DiskSim, DpmPolicy};
+use pc_trace::{CelloConfig, OltpConfig, SyntheticConfig};
+use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
+
+fn bench_power_model(c: &mut Criterion) {
+    let model = PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15());
+    let mut g = c.benchmark_group("power-model");
+    g.bench_function("lower_envelope", |b| {
+        let mut s = 1u64;
+        b.iter(|| {
+            s = s % 500 + 1;
+            black_box(model.lower_envelope(SimDuration::from_secs(s)))
+        })
+    });
+    g.bench_function("practical_idle_energy", |b| {
+        let mut s = 1u64;
+        b.iter(|| {
+            s = s % 500 + 1;
+            black_box(model.practical_idle_energy(SimDuration::from_secs(s)))
+        })
+    });
+    g.bench_function("build_multi_speed", |b| {
+        b.iter(|| black_box(PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15())))
+    });
+    g.finish();
+}
+
+fn bench_disk_state_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disk-sim");
+    g.throughput(Throughput::Elements(1_000));
+    for policy in [DpmPolicy::Practical, DpmPolicy::Oracle] {
+        g.bench_function(format!("{policy:?}-1000-requests"), |b| {
+            b.iter(|| {
+                let mut disk = DiskSim::new(
+                    DiskId::new(0),
+                    PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15()),
+                    ServiceModel::ultrastar_36z15(),
+                    policy,
+                );
+                let mut t = SimTime::from_secs(1);
+                for i in 0..1_000u64 {
+                    let s = disk.service(t, ServiceRequest::single(BlockNo::new(i * 37)));
+                    t = s.completion + SimDuration::from_secs((i % 40) + 1);
+                }
+                black_box(disk.report().total_energy())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bloom_and_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classifier-parts");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("bloom_insert_check", |b| {
+        let mut bloom = BloomFilter::new(1 << 22, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(bloom.insert_check(BlockId::new(DiskId::new(0), BlockNo::new(i % 100_000))))
+        })
+    });
+    g.bench_function("histogram_record_quantile", |b| {
+        let mut h = IntervalHistogram::standard();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            h.record(SimDuration::from_millis(i % 60_000 + 1));
+            black_box(h.quantile(0.8))
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace-generation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("oltp_like", |b| {
+        b.iter(|| black_box(OltpConfig::default().with_requests(10_000).generate(1)))
+    });
+    g.bench_function("cello_like", |b| {
+        b.iter(|| black_box(CelloConfig::default().with_requests(10_000).generate(1)))
+    });
+    g.bench_function("synthetic_table3", |b| {
+        b.iter(|| black_box(SyntheticConfig::default().with_requests(10_000).generate(1)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    components,
+    bench_power_model,
+    bench_disk_state_machine,
+    bench_bloom_and_histogram,
+    bench_trace_generation
+);
+criterion_main!(components);

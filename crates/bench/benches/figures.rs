@@ -1,0 +1,91 @@
+//! Criterion harness over every table/figure reproduction driver.
+//!
+//! Each benchmark runs the corresponding experiment kernel at a reduced
+//! scale (the `repro` binary regenerates the full-scale numbers); the
+//! measured times document the cost of each reproduction and guard
+//! against performance regressions in the simulation stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pc_experiments::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
+use pc_experiments::{table1, table2, table3, Params, TraceKind};
+
+fn params() -> Params {
+    Params {
+        scale: 0.05,
+        seed: 42,
+    }
+}
+
+fn bench_static_artifacts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static");
+    g.bench_function("table1", |b| b.iter(|| black_box(table1::run())));
+    g.bench_function("table3", |b| b.iter(|| black_box(table3::run())));
+    g.bench_function("fig2_envelope", |b| b.iter(|| black_box(fig2::run())));
+    g.bench_function("fig4_savings", |b| b.iter(|| black_box(fig4::run())));
+    g.finish();
+}
+
+fn bench_fig3_optimal_search(c: &mut Criterion) {
+    c.bench_function("fig3_belady_vs_optimal", |b| {
+        b.iter(|| black_box(fig3::run()))
+    });
+}
+
+fn bench_trace_characterization(c: &mut Criterion) {
+    let p = params();
+    let mut g = c.benchmark_group("traces");
+    g.sample_size(10);
+    g.bench_function("table2_characteristics", |b| {
+        b.iter(|| black_box(table2::run(&p)))
+    });
+    g.bench_function("fig5_interval_cdf", |b| b.iter(|| black_box(fig5::run(&p))));
+    g.finish();
+}
+
+fn bench_replacement_experiments(c: &mut Criterion) {
+    let p = params();
+    let mut g = c.benchmark_group("replacement");
+    g.sample_size(10);
+    g.bench_function("fig6a_energy_oltp", |b| {
+        b.iter(|| black_box(fig6::energy(&p, TraceKind::Oltp)))
+    });
+    g.bench_function("fig6b_energy_cello", |b| {
+        b.iter(|| black_box(fig6::energy(&p, TraceKind::Cello)))
+    });
+    g.bench_function("fig6c_response", |b| {
+        b.iter(|| black_box(fig6::response(&p)))
+    });
+    g.bench_function("fig7_disk_breakdown", |b| {
+        b.iter(|| black_box(fig7::run(&p)))
+    });
+    g.bench_function("fig8_spinup_sweep", |b| b.iter(|| black_box(fig8::run(&p))));
+    g.finish();
+}
+
+fn bench_write_policy_experiments(c: &mut Criterion) {
+    let p = Params {
+        scale: 0.01,
+        seed: 42,
+    };
+    let mut g = c.benchmark_group("write-policies");
+    g.sample_size(10);
+    g.bench_function("fig9_by_write_ratio", |b| {
+        b.iter(|| black_box(fig9::by_write_ratio(&p)))
+    });
+    g.bench_function("fig9_by_interarrival", |b| {
+        b.iter(|| black_box(fig9::by_interarrival(&p)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_static_artifacts,
+    bench_fig3_optimal_search,
+    bench_trace_characterization,
+    bench_replacement_experiments,
+    bench_write_policy_experiments
+);
+criterion_main!(figures);

@@ -1,0 +1,105 @@
+//! Replacement-policy throughput: cache accesses per second for each
+//! policy on a fixed OLTP-like trace. OPG's indexed eviction engine is
+//! benchmarked against its naive reference to document the speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use pc_cache::policy::{
+    ArcPolicy, Belady, Fifo, Lirs, Lru, Mq, Opg, OpgDpm, PaLru, PaLruConfig, TwoQ,
+};
+use pc_cache::{BlockCache, ReplacementPolicy, WritePolicy};
+use pc_diskmodel::{DiskPowerSpec, PowerModel};
+use pc_trace::{OltpConfig, Trace};
+use pc_units::Joules;
+
+const REQUESTS: usize = 20_000;
+const CAPACITY: usize = 1_024;
+
+fn trace() -> Trace {
+    OltpConfig::default().with_requests(REQUESTS).generate(1)
+}
+
+fn power() -> PowerModel {
+    PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15())
+}
+
+fn drive(trace: &Trace, policy: Box<dyn ReplacementPolicy>) -> u64 {
+    let mut cache = BlockCache::new(CAPACITY, policy, WritePolicy::WriteBack);
+    let mut misses = 0;
+    for r in trace {
+        if !cache.access(r, |_| false).hit {
+            misses += 1;
+        }
+    }
+    misses
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let t = trace();
+    let mut g = c.benchmark_group("policy-throughput");
+    g.throughput(Throughput::Elements(REQUESTS as u64));
+    g.sample_size(10);
+    g.bench_function("lru", |b| {
+        b.iter(|| black_box(drive(&t, Box::new(Lru::new()))))
+    });
+    g.bench_function("fifo", |b| {
+        b.iter(|| black_box(drive(&t, Box::new(Fifo::new()))))
+    });
+    g.bench_function("pa-lru", |b| {
+        b.iter(|| black_box(drive(&t, Box::new(PaLru::new(PaLruConfig::default())))))
+    });
+    g.bench_function("arc", |b| {
+        b.iter(|| black_box(drive(&t, Box::new(ArcPolicy::new(CAPACITY)))))
+    });
+    g.bench_function("mq", |b| {
+        b.iter(|| black_box(drive(&t, Box::new(Mq::new(CAPACITY)))))
+    });
+    g.bench_function("lirs", |b| {
+        b.iter(|| black_box(drive(&t, Box::new(Lirs::new(CAPACITY)))))
+    });
+    g.bench_function("2q", |b| {
+        b.iter(|| black_box(drive(&t, Box::new(TwoQ::new(CAPACITY)))))
+    });
+    g.bench_function("belady", |b| {
+        b.iter(|| black_box(drive(&t, Box::new(Belady::new(&t)))))
+    });
+    g.bench_function("opg-indexed", |b| {
+        b.iter(|| {
+            black_box(drive(
+                &t,
+                Box::new(Opg::new(&t, power(), OpgDpm::Oracle, Joules::ZERO)),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_opg_engines(c: &mut Criterion) {
+    // Smaller trace: the naive engine is O(cache) per eviction.
+    let t = OltpConfig::default().with_requests(4_000).generate(1);
+    let mut g = c.benchmark_group("opg-engine");
+    g.sample_size(10);
+    g.bench_function("indexed", |b| {
+        b.iter(|| {
+            black_box(drive(
+                &t,
+                Box::new(Opg::new(&t, power(), OpgDpm::Oracle, Joules::ZERO)),
+            ))
+        })
+    });
+    g.bench_function("naive-rescan", |b| {
+        b.iter(|| {
+            black_box(drive(
+                &t,
+                Box::new(
+                    Opg::new(&t, power(), OpgDpm::Oracle, Joules::ZERO).with_naive_eviction(),
+                ),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(policies, bench_policies, bench_opg_engines);
+criterion_main!(policies);

@@ -1,0 +1,174 @@
+//! Bloom filter for cold-miss detection (paper §4).
+//!
+//! PA-LRU must know, for every access, whether the block has ever been
+//! seen before — without storing the full set of accessed blocks. The
+//! paper uses a Bloom filter: for an estimated 10⁷ blocks, 4 hash
+//! functions and a vector of a few megabits keep the false-positive
+//! probability negligible.
+
+use pc_units::BlockId;
+
+/// A fixed-size Bloom filter over [`BlockId`]s.
+///
+/// `insert_check` returns whether the block was *possibly present*; a
+/// `false` answer is definitive ("definitely never seen" → cold miss).
+///
+/// # Examples
+///
+/// ```
+/// use pc_cache::BloomFilter;
+/// use pc_units::{BlockId, BlockNo, DiskId};
+///
+/// let mut bloom = BloomFilter::new(1 << 16, 4);
+/// let b = BlockId::new(DiskId::new(1), BlockNo::new(77));
+/// assert!(!bloom.insert_check(b)); // first sighting: cold
+/// assert!(bloom.insert_check(b)); // now known
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: u64,
+    hashes: u32,
+    insertions: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `bits` bits (rounded up to a power of two,
+    /// minimum 64) and `hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashes` is zero.
+    #[must_use]
+    pub fn new(bits: usize, hashes: u32) -> Self {
+        assert!(hashes > 0, "need at least one hash function");
+        let bits = bits.next_power_of_two().max(64);
+        BloomFilter {
+            bits: vec![0; bits / 64],
+            mask: bits as u64 - 1,
+            hashes,
+            insertions: 0,
+        }
+    }
+
+    /// Sizing matched to the paper's example: for `expected` distinct
+    /// blocks, allocate ≈ 3.2 bits per block and 4 hashes (the paper's
+    /// "M = 4 MB for 10⁷ blocks" works out to ~3.2 bits/block at their
+    /// false-positive target).
+    #[must_use]
+    pub fn for_expected_blocks(expected: usize) -> Self {
+        BloomFilter::new(expected.saturating_mul(4).max(1 << 10), 4)
+    }
+
+    /// Returns `true` if `block` was possibly inserted before, then
+    /// inserts it. A `false` return is a guaranteed first sighting.
+    pub fn insert_check(&mut self, block: BlockId) -> bool {
+        let (h1, h2) = self.base_hashes(block);
+        let mut present = true;
+        for k in 0..u64::from(self.hashes) {
+            let bit = h1.wrapping_add(k.wrapping_mul(h2)) & self.mask;
+            let (word, shift) = ((bit / 64) as usize, bit % 64);
+            if self.bits[word] & (1 << shift) == 0 {
+                present = false;
+                self.bits[word] |= 1 << shift;
+            }
+        }
+        if !present {
+            self.insertions += 1;
+        }
+        present
+    }
+
+    /// Queries without inserting.
+    #[must_use]
+    pub fn contains(&self, block: BlockId) -> bool {
+        let (h1, h2) = self.base_hashes(block);
+        (0..u64::from(self.hashes)).all(|k| {
+            let bit = h1.wrapping_add(k.wrapping_mul(h2)) & self.mask;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Number of definite first sightings recorded so far.
+    #[must_use]
+    pub fn distinct_insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Double hashing: two independent 64-bit hashes of the block address.
+    fn base_hashes(&self, block: BlockId) -> (u64, u64) {
+        let key = (u64::from(block.disk().index()) << 48) ^ block.block().number();
+        let h1 = splitmix(key);
+        let h2 = splitmix(h1 ^ 0xA076_1D64_78BD_642F) | 1; // odd stride
+        (h1, h2)
+    }
+}
+
+/// SplitMix64 finalizer.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_units::{BlockNo, DiskId};
+
+    fn blk(disk: u32, no: u64) -> BlockId {
+        BlockId::new(DiskId::new(disk), BlockNo::new(no))
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1 << 14, 4);
+        for i in 0..1_000 {
+            f.insert_check(blk(i % 7, u64::from(i)));
+        }
+        for i in 0..1_000 {
+            assert!(f.contains(blk(i % 7, u64::from(i))));
+            assert!(f.insert_check(blk(i % 7, u64::from(i))));
+        }
+    }
+
+    #[test]
+    fn low_false_positive_rate_when_sized_well() {
+        let mut f = BloomFilter::for_expected_blocks(10_000);
+        for i in 0..10_000u64 {
+            f.insert_check(blk(0, i));
+        }
+        let mut fp = 0;
+        let probes = 10_000u64;
+        for i in 0..probes {
+            if f.contains(blk(1, i)) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn distinct_insertions_counts_first_sightings() {
+        let mut f = BloomFilter::new(1 << 12, 4);
+        f.insert_check(blk(0, 1));
+        f.insert_check(blk(0, 1));
+        f.insert_check(blk(0, 2));
+        assert_eq!(f.distinct_insertions(), 2);
+    }
+
+    #[test]
+    fn disks_do_not_collide_trivially() {
+        let mut f = BloomFilter::new(1 << 14, 4);
+        f.insert_check(blk(0, 42));
+        assert!(!f.contains(blk(1, 42)));
+    }
+
+    #[test]
+    #[should_panic(expected = "hash")]
+    fn rejects_zero_hashes() {
+        let _ = BloomFilter::new(64, 0);
+    }
+}

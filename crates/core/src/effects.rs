@@ -1,0 +1,99 @@
+//! Cache write policies and the disk-side effects the cache emits.
+
+use serde::{Deserialize, Serialize};
+
+use pc_units::BlockId;
+
+/// A storage-cache write policy (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Write dirty data to disk immediately; the cache never holds dirty
+    /// blocks.
+    WriteThrough,
+    /// Hold dirty blocks and write them back only on eviction.
+    WriteBack,
+    /// Write-back with eager update: additionally flush a disk's dirty
+    /// blocks whenever that disk becomes active for a read miss, and
+    /// force-flush once a disk accumulates more than `dirty_limit` dirty
+    /// blocks.
+    Wbeu {
+        /// Maximum dirty blocks a single disk may accumulate before a
+        /// forced flush (which wakes the disk).
+        dirty_limit: usize,
+    },
+    /// Write-through with deferred update: writes to a sleeping disk go to
+    /// a per-disk log region on an always-active persistent device and are
+    /// replayed to their true destination when the disk next becomes
+    /// active. Provides write-through-grade persistence (see
+    /// [`wtdu`](crate::wtdu) for the recovery protocol).
+    Wtdu,
+}
+
+impl WritePolicy {
+    /// Short lowercase name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            WritePolicy::WriteThrough => "write-through",
+            WritePolicy::WriteBack => "write-back",
+            WritePolicy::Wbeu { .. } => "wbeu",
+            WritePolicy::Wtdu => "wtdu",
+        }
+    }
+}
+
+/// A disk-side action the cache asks its host (simulator or controller)
+/// to perform, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effect {
+    /// Fetch a block from its disk (read miss).
+    ReadDisk(BlockId),
+    /// Write a block to its home disk (write-through, write-back eviction,
+    /// or a flush).
+    WriteDisk(BlockId),
+    /// Append a block's new contents to the persistent log device (WTDU).
+    WriteLog(BlockId),
+}
+
+impl Effect {
+    /// The block the effect concerns.
+    #[must_use]
+    pub fn block(&self) -> BlockId {
+        match *self {
+            Effect::ReadDisk(b) | Effect::WriteDisk(b) | Effect::WriteLog(b) => b,
+        }
+    }
+}
+
+/// The outcome of one cache access.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccessResult {
+    /// Whether the access hit in the cache.
+    pub hit: bool,
+    /// The block evicted to make room, if any.
+    pub evicted: Option<BlockId>,
+    /// Disk-side actions to perform, in order.
+    pub effects: Vec<Effect>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_units::{BlockNo, DiskId};
+
+    #[test]
+    fn effect_block_extraction() {
+        let b = BlockId::new(DiskId::new(1), BlockNo::new(2));
+        assert_eq!(Effect::ReadDisk(b).block(), b);
+        assert_eq!(Effect::WriteDisk(b).block(), b);
+        assert_eq!(Effect::WriteLog(b).block(), b);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(WritePolicy::WriteThrough.name(), "write-through");
+        assert_eq!(WritePolicy::Wbeu { dirty_limit: 8 }.name(), "wbeu");
+        assert_eq!(WritePolicy::Wtdu.name(), "wtdu");
+        assert_eq!(WritePolicy::WriteBack.name(), "write-back");
+    }
+}

@@ -1,0 +1,65 @@
+//! Power-aware storage cache management — the primary contribution of
+//! *Reducing Energy Consumption of Disk Storage Using Power-Aware Cache
+//! Management* (Zhu et al., HPCA 2004), reimplemented as a library.
+//!
+//! # What's here
+//!
+//! * [`BlockCache`] — a storage (second-level) block cache with pluggable
+//!   replacement and write policies. Misses, write-backs and flushes are
+//!   returned as [`Effect`]s for the surrounding simulator (or a real
+//!   storage controller) to execute.
+//! * Replacement policies ([`ReplacementPolicy`]):
+//!   [`Lru`](policy::Lru), [`Fifo`](policy::Fifo),
+//!   [`Belady`](policy::Belady) (offline MIN),
+//!   [`Opg`](policy::Opg) (the paper's off-line power-aware greedy
+//!   algorithm, §3.2) and [`PaLru`](policy::PaLru) (the paper's on-line
+//!   power-aware LRU, §4).
+//! * Write policies ([`WritePolicy`]): write-through, write-back, WBEU
+//!   (write-back with eager update) and WTDU (write-through with deferred
+//!   update via a persistent per-disk log, §6), including WTDU's
+//!   timestamped crash-recovery protocol ([`wtdu`]).
+//! * Supporting structures: a [`BloomFilter`] for cold-miss detection and
+//!   an [`IntervalHistogram`] approximating the inter-arrival CDF
+//!   (Figure 5), both used by PA-LRU's per-disk workload classifier.
+//! * [`optimal`] — an exact minimum-energy replacement schedule for tiny
+//!   instances (the paper's energy-optimal algorithm stands in a tech
+//!   report; this exhaustive version serves as a test oracle and
+//!   regenerates the Figure-3 counterexample).
+//!
+//! # Examples
+//!
+//! ```
+//! use pc_cache::policy::Lru;
+//! use pc_cache::{BlockCache, WritePolicy};
+//! use pc_trace::{IoOp, Record};
+//! use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+//!
+//! let mut cache = BlockCache::new(2, Box::new(Lru::new()), WritePolicy::WriteBack);
+//! let block = BlockId::new(DiskId::new(0), BlockNo::new(9));
+//! let miss = cache.access(
+//!     &Record::new(SimTime::ZERO, block, IoOp::Read),
+//!     |_| false, // no disk is asleep
+//! );
+//! assert!(!miss.hit);
+//! let hit = cache.access(&Record::new(SimTime::from_millis(1), block, IoOp::Read), |_| false);
+//! assert!(hit.hit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bloom;
+mod cache;
+mod effects;
+mod histogram;
+mod offline;
+pub mod optimal;
+pub mod policy;
+pub mod wtdu;
+
+pub use bloom::BloomFilter;
+pub use cache::{BlockCache, CacheStats};
+pub use effects::{AccessResult, Effect, WritePolicy};
+pub use histogram::IntervalHistogram;
+pub use offline::OfflineIndex;
+pub use policy::ReplacementPolicy;

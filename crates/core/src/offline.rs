@@ -1,0 +1,168 @@
+//! Pre-computed future knowledge for off-line policies (Belady, OPG).
+
+use std::collections::HashMap;
+
+use pc_trace::Trace;
+use pc_units::{BlockId, SimTime};
+
+/// Index position of an access within a trace; `NO_NEXT` marks "never
+/// accessed again".
+pub(crate) const NO_NEXT: u32 = u32::MAX;
+
+/// Future-knowledge tables for one trace: per-access next-occurrence links
+/// and arrival times.
+///
+/// Off-line policies are constructed from the same [`Trace`] they will be
+/// driven with and track their position by counting
+/// [`on_access`](crate::ReplacementPolicy::on_access) calls. Multi-block
+/// records expand into one access per block, in block order — exactly the
+/// order [`BlockCache`](crate::BlockCache) drives its policy in.
+///
+/// # Examples
+///
+/// ```
+/// use pc_cache::OfflineIndex;
+/// use pc_trace::{IoOp, Record, Trace};
+/// use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+///
+/// let blk = |n| BlockId::new(DiskId::new(0), BlockNo::new(n));
+/// let mut t = Trace::new(1);
+/// t.push(Record::new(SimTime::from_secs(0), blk(1), IoOp::Read));
+/// t.push(Record::new(SimTime::from_secs(1), blk(2), IoOp::Read));
+/// t.push(Record::new(SimTime::from_secs(2), blk(1), IoOp::Read));
+/// let idx = OfflineIndex::build(&t);
+/// assert_eq!(idx.next_occurrence(0), Some(2)); // block 1 recurs at index 2
+/// assert_eq!(idx.next_occurrence(1), None); // block 2 never recurs
+/// ```
+#[derive(Debug, Clone)]
+pub struct OfflineIndex {
+    /// `next[i]` = index of the next access to the same block, or
+    /// `NO_NEXT`.
+    next: Vec<u32>,
+    /// Arrival time of each access.
+    times: Vec<SimTime>,
+    /// Whether access `i` is the block's first appearance (cold).
+    first: Vec<bool>,
+}
+
+impl OfflineIndex {
+    /// Builds the index in O(total blocks) over the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace expands to more than `u32::MAX − 1` accesses.
+    #[must_use]
+    pub fn build(trace: &Trace) -> Self {
+        let n: u64 = trace.iter().map(|r| r.blocks).sum();
+        assert!(n < u64::from(NO_NEXT), "trace too long for offline index");
+        let n = n as usize;
+        let mut next = vec![NO_NEXT; n];
+        let mut times = Vec::with_capacity(n);
+        let mut first = vec![false; n];
+        let mut last_seen: HashMap<BlockId, u32> = HashMap::new();
+        let mut i = 0u32;
+        for r in trace {
+            for offset in 0..r.blocks {
+                let block = pc_units::BlockId::new(
+                    r.block.disk(),
+                    pc_units::BlockNo::new(r.block.block().number() + offset),
+                );
+                times.push(r.time);
+                match last_seen.insert(block, i) {
+                    Some(prev) => next[prev as usize] = i,
+                    None => first[i as usize] = true,
+                }
+                i += 1;
+            }
+        }
+        OfflineIndex { next, times, first }
+    }
+
+    /// Number of accesses indexed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Returns `true` for an empty trace.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+
+    /// The index of the next access to the same block as access `i`, if
+    /// any.
+    #[must_use]
+    pub fn next_occurrence(&self, i: usize) -> Option<usize> {
+        match self.next[i] {
+            NO_NEXT => None,
+            j => Some(j as usize),
+        }
+    }
+
+    /// Raw next link (`NO_NEXT` sentinel form), for hot paths.
+    #[must_use]
+    pub(crate) fn next_raw(&self, i: usize) -> u32 {
+        self.next[i]
+    }
+
+    /// Arrival time of access `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn time_of(&self, i: usize) -> SimTime {
+        self.times[i]
+    }
+
+    /// Whether access `i` is the block's first (cold) appearance.
+    #[must_use]
+    pub fn is_first(&self, i: usize) -> bool {
+        self.first[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_trace::{IoOp, Record};
+    use pc_units::{BlockNo, DiskId};
+
+    fn trace_of(blocks: &[u64]) -> Trace {
+        let mut t = Trace::new(1);
+        for (i, &b) in blocks.iter().enumerate() {
+            t.push(Record::new(
+                SimTime::from_secs(i as u64),
+                BlockId::new(DiskId::new(0), BlockNo::new(b)),
+                IoOp::Read,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn links_repeated_blocks() {
+        let idx = OfflineIndex::build(&trace_of(&[5, 6, 5, 6, 5]));
+        assert_eq!(idx.next_occurrence(0), Some(2));
+        assert_eq!(idx.next_occurrence(2), Some(4));
+        assert_eq!(idx.next_occurrence(4), None);
+        assert_eq!(idx.next_occurrence(1), Some(3));
+    }
+
+    #[test]
+    fn flags_first_appearances() {
+        let idx = OfflineIndex::build(&trace_of(&[1, 2, 1, 3]));
+        assert!(idx.is_first(0));
+        assert!(idx.is_first(1));
+        assert!(!idx.is_first(2));
+        assert!(idx.is_first(3));
+    }
+
+    #[test]
+    fn records_times() {
+        let idx = OfflineIndex::build(&trace_of(&[1, 2]));
+        assert_eq!(idx.time_of(1), SimTime::from_secs(1));
+        assert_eq!(idx.len(), 2);
+    }
+}

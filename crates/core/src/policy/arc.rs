@@ -1,0 +1,287 @@
+//! ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+//!
+//! One of the storage-cache policies the paper names as a candidate for
+//! the PA treatment (§4). ARC balances a recency list (T1) against a
+//! frequency list (T2), steering the split with ghost lists (B1, B2) of
+//! recently-evicted block ids: a hit in B1 says "recency deserved more
+//! space", a hit in B2 the opposite.
+
+use std::collections::HashMap;
+
+use pc_units::{BlockId, SimTime};
+
+use crate::policy::pa_lru::Stack;
+use crate::policy::ReplacementPolicy;
+
+/// Where the pending (missed) block came from, deciding its insertion
+/// list and the REPLACE tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    Fresh,
+    GhostRecency,
+    GhostFrequency,
+}
+
+/// The ARC replacement policy, sized for a specific cache capacity.
+///
+/// The configured capacity **must** equal the hosting
+/// [`BlockCache`](crate::BlockCache)'s capacity: ARC sizes its ghost
+/// lists and its adaptation against it.
+///
+/// # Examples
+///
+/// ```
+/// use pc_cache::policy::ArcPolicy;
+/// use pc_cache::{BlockCache, WritePolicy};
+///
+/// let cache = BlockCache::new(256, Box::new(ArcPolicy::new(256)), WritePolicy::WriteBack);
+/// assert_eq!(cache.policy_name(), "arc");
+/// ```
+#[derive(Debug)]
+pub struct ArcPolicy {
+    capacity: usize,
+    /// Adaptive target size of T1.
+    p: f64,
+    t1: Stack,
+    t2: Stack,
+    b1: Stack,
+    b2: Stack,
+    /// Resident membership: `true` = T2.
+    in_t2: HashMap<BlockId, bool>,
+    next_seq: u64,
+    pending: Pending,
+    /// Set when the DBL invariant requires the next T1 eviction to be
+    /// dropped instead of ghosted (|T1| = c with B1 empty).
+    suppress_ghost: bool,
+}
+
+impl ArcPolicy {
+    /// Creates ARC for a cache of `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ARC needs a positive capacity");
+        ArcPolicy {
+            capacity,
+            p: 0.0,
+            t1: Stack::default(),
+            t2: Stack::default(),
+            b1: Stack::default(),
+            b2: Stack::default(),
+            in_t2: HashMap::new(),
+            next_seq: 0,
+            pending: Pending::Fresh,
+            suppress_ghost: false,
+        }
+    }
+
+    /// Current adaptation target for T1 (diagnostic).
+    #[must_use]
+    pub fn recency_target(&self) -> f64 {
+        self.p
+    }
+
+    /// Sizes of (T1, T2, B1, B2) (diagnostic).
+    #[must_use]
+    pub fn list_sizes(&self) -> (usize, usize, usize, usize) {
+        (self.t1.len(), self.t2.len(), self.b1.len(), self.b2.len())
+    }
+
+    fn seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+}
+
+impl ReplacementPolicy for ArcPolicy {
+    fn name(&self) -> String {
+        "arc".to_owned()
+    }
+
+    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
+        if hit {
+            // Case I: promote to T2's MRU position.
+            if let Some(was_t2) = self.in_t2.insert(block, true) {
+                if was_t2 {
+                    self.t2.remove(block);
+                } else {
+                    self.t1.remove(block);
+                }
+            }
+            let seq = self.seq();
+            self.t2.touch(block, seq);
+            return;
+        }
+        let c = self.capacity as f64;
+        if self.b1.contains(block) {
+            // Case II: ghost hit in B1 — recency deserved more room.
+            let delta = (self.b2.len() as f64 / self.b1.len() as f64).max(1.0);
+            self.p = (self.p + delta).min(c);
+            self.b1.remove(block);
+            self.pending = Pending::GhostRecency;
+        } else if self.b2.contains(block) {
+            // Case III: ghost hit in B2 — frequency deserved more room.
+            let delta = (self.b1.len() as f64 / self.b2.len() as f64).max(1.0);
+            self.p = (self.p - delta).max(0.0);
+            self.b2.remove(block);
+            self.pending = Pending::GhostFrequency;
+        } else {
+            // Case IV: brand-new block. Maintain the DBL(2c) invariants.
+            self.pending = Pending::Fresh;
+            self.suppress_ghost = false;
+            let l1 = self.t1.len() + self.b1.len();
+            if l1 >= self.capacity {
+                if self.b1.len() > 0 {
+                    let _ = self.b1.pop_bottom();
+                } else {
+                    // |T1| = c: the coming eviction must drop, not ghost.
+                    self.suppress_ghost = true;
+                }
+            } else if self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len()
+                >= 2 * self.capacity
+            {
+                let _ = self.b2.pop_bottom();
+            }
+        }
+    }
+
+    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
+        let seq = self.seq();
+        match self.pending {
+            Pending::Fresh => {
+                self.t1.touch(block, seq);
+                self.in_t2.insert(block, false);
+            }
+            Pending::GhostRecency | Pending::GhostFrequency => {
+                self.t2.touch(block, seq);
+                self.in_t2.insert(block, true);
+            }
+        }
+        self.pending = Pending::Fresh;
+    }
+
+    fn evict(&mut self) -> BlockId {
+        // REPLACE(x, p): prefer T1 when it exceeds its target (or exactly
+        // meets it on a B2 ghost hit).
+        let ghost_frequency_hit = self.pending == Pending::GhostFrequency;
+        let t1_len = self.t1.len() as f64;
+        let from_t1 = self.t1.len() > 0
+            && (t1_len > self.p || (ghost_frequency_hit && (t1_len - self.p).abs() < 0.5));
+        let victim = if from_t1 || self.t2.len() == 0 {
+            let v = self.t1.pop_bottom().expect("no block to evict");
+            if self.suppress_ghost {
+                self.suppress_ghost = false;
+            } else {
+                let seq = self.seq();
+                self.b1.touch(v, seq);
+            }
+            v
+        } else {
+            let v = self.t2.pop_bottom().expect("no block to evict");
+            let seq = self.seq();
+            self.b2.touch(v, seq);
+            v
+        };
+        self.in_t2.remove(&victim);
+        victim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{blk, count_misses, seq_trace};
+    use crate::policy::Lru;
+
+    #[test]
+    fn behaves_like_a_cache() {
+        let t = seq_trace(&[1, 2, 3, 1, 2, 3, 4, 5, 1, 2]);
+        let misses = count_misses(&t, 3, Box::new(ArcPolicy::new(3)));
+        assert!((5..=10).contains(&misses), "misses {misses}");
+    }
+
+    #[test]
+    fn frequency_hits_promote_to_t2() {
+        let mut arc = ArcPolicy::new(4);
+        arc.on_access(blk(0, 1), SimTime::ZERO, false);
+        arc.on_insert(blk(0, 1), SimTime::ZERO);
+        assert_eq!(arc.list_sizes().0, 1, "first touch lands in T1");
+        arc.on_access(blk(0, 1), SimTime::ZERO, true);
+        let (t1, t2, _, _) = arc.list_sizes();
+        assert_eq!((t1, t2), (0, 1), "second touch promotes to T2");
+    }
+
+    #[test]
+    fn ghost_hits_adapt_the_recency_target() {
+        let mut arc = ArcPolicy::new(2);
+        let mut resident = std::collections::HashSet::new();
+        let feed = |arc: &mut ArcPolicy, resident: &mut std::collections::HashSet<_>, b| {
+            let hit = resident.contains(&b);
+            arc.on_access(b, SimTime::ZERO, hit);
+            if !hit {
+                if resident.len() >= 2 {
+                    let v = arc.evict();
+                    resident.remove(&v);
+                }
+                arc.on_insert(b, SimTime::ZERO);
+                resident.insert(b);
+            }
+        };
+        // Promote block 1 into T2 so T1 stays below capacity and later
+        // T1 evictions are ghosted into B1 (with T1 full and B1 empty,
+        // real ARC drops victims un-ghosted).
+        feed(&mut arc, &mut resident, blk(0, 1));
+        feed(&mut arc, &mut resident, blk(0, 1)); // hit → T2
+        feed(&mut arc, &mut resident, blk(0, 2)); // T1:[2]
+        feed(&mut arc, &mut resident, blk(0, 3)); // evicts 2 → B1
+        assert_eq!(arc.list_sizes().2, 1, "B1 holds the ghost of block 2");
+        let p_before = arc.recency_target();
+        feed(&mut arc, &mut resident, blk(0, 2)); // B1 ghost hit
+        assert!(arc.recency_target() > p_before, "B1 hit must grow p");
+    }
+
+    #[test]
+    fn scan_resistance_beats_lru() {
+        // A loop of frequent blocks polluted by a one-shot scan: ARC keeps
+        // the loop in T2; LRU flushes it.
+        let mut pattern = Vec::new();
+        for round in 0..30u64 {
+            for hot in 0..3u64 {
+                pattern.push(hot);
+            }
+            pattern.push(1_000 + round); // the scan
+        }
+        let t = seq_trace(&pattern);
+        let arc = count_misses(&t, 4, Box::new(ArcPolicy::new(4)));
+        let lru = count_misses(&t, 4, Box::new(Lru::new()));
+        assert!(arc <= lru, "arc {arc} vs lru {lru}");
+    }
+
+    #[test]
+    fn ghost_lists_stay_bounded() {
+        let mut cache = crate::BlockCache::new(
+            8,
+            Box::new(ArcPolicy::new(8)),
+            crate::WritePolicy::WriteBack,
+        );
+        for i in 0..2_000u64 {
+            let b = blk(0, i % 100);
+            cache.access(
+                &pc_trace::Record::new(SimTime::from_millis(i), b, pc_trace::IoOp::Read),
+                |_| false,
+            );
+        }
+        // The DBL(2c) invariant: total tracked ids ≤ 2c.
+        // (Probed indirectly: the cache still works and capacity holds.)
+        assert!(cache.len() <= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn rejects_zero_capacity() {
+        let _ = ArcPolicy::new(0);
+    }
+}

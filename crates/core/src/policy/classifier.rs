@@ -1,0 +1,205 @@
+//! The PA per-disk workload classifier (paper §4), shared by
+//! [`PaLru`](crate::policy::PaLru) and the generic [`Pa`](crate::policy::Pa)
+//! wrapper.
+//!
+//! Tracks, per disk and per epoch, the cold-access fraction (Bloom
+//! filter) and the distribution of disk-request interval lengths
+//! (histogram), and classifies each disk as *priority* (few cold
+//! accesses **and** long intervals with high probability) or *regular*.
+
+use std::collections::HashMap;
+
+use pc_units::{DiskId, SimDuration, SimTime};
+
+use crate::policy::PaLruConfig;
+use crate::{BloomFilter, IntervalHistogram};
+
+/// Per-disk, per-epoch statistics.
+#[derive(Debug, Clone, Default)]
+struct DiskTracker {
+    accesses: u64,
+    cold: u64,
+    intervals: Option<IntervalHistogram>,
+    last_miss: Option<SimTime>,
+}
+
+/// Epoch-based priority/regular classification of disks.
+///
+/// # Examples
+///
+/// ```
+/// use pc_cache::policy::{DiskClassifier, PaLruConfig};
+/// use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
+///
+/// let mut c = DiskClassifier::new(PaLruConfig {
+///     epoch: SimDuration::from_secs(50),
+///     ..PaLruConfig::default()
+/// });
+/// // One cold, widely-spaced miss per epoch on disk 0: priority once the
+/// // Bloom filter has seen its working set.
+/// for e in 0..4u64 {
+///     let b = BlockId::new(DiskId::new(0), BlockNo::new(e % 2));
+///     c.observe(b, SimTime::from_secs(e * 60), true);
+/// }
+/// assert!(c.is_priority(DiskId::new(0)));
+/// ```
+#[derive(Debug)]
+pub struct DiskClassifier {
+    config: PaLruConfig,
+    bloom: BloomFilter,
+    trackers: HashMap<DiskId, DiskTracker>,
+    priority: HashMap<DiskId, bool>,
+    epoch_end: Option<SimTime>,
+    epochs_completed: u64,
+}
+
+impl DiskClassifier {
+    /// Creates a classifier with the given PA parameters.
+    #[must_use]
+    pub fn new(config: PaLruConfig) -> Self {
+        let bloom = BloomFilter::new(config.bloom_bits, config.bloom_hashes);
+        DiskClassifier {
+            config,
+            bloom,
+            trackers: HashMap::new(),
+            priority: HashMap::new(),
+            epoch_end: None,
+            epochs_completed: 0,
+        }
+    }
+
+    /// Observes one cache access (`miss = true` when the access reaches
+    /// the disk). Must be called for every access, in time order.
+    pub fn observe(&mut self, block: pc_units::BlockId, time: SimTime, miss: bool) {
+        self.maybe_roll_epoch(time);
+        let disk = block.disk();
+        let seen_before = self.bloom.insert_check(block);
+        let tracker = self.trackers.entry(disk).or_default();
+        tracker.accesses += 1;
+        if !seen_before {
+            tracker.cold += 1;
+        }
+        if miss {
+            if let Some(last) = tracker.last_miss {
+                let gap = time.saturating_since(last);
+                tracker
+                    .intervals
+                    .get_or_insert_with(IntervalHistogram::standard)
+                    .record(gap);
+            }
+            tracker.last_miss = Some(time);
+        }
+    }
+
+    /// Whether `disk` is currently classified as priority.
+    #[must_use]
+    pub fn is_priority(&self, disk: DiskId) -> bool {
+        self.priority.get(&disk).copied().unwrap_or(false)
+    }
+
+    /// Number of completed classification epochs.
+    #[must_use]
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed
+    }
+
+    /// Test-only hook: force a disk into the priority class.
+    #[cfg(test)]
+    pub(crate) fn force_priority(&mut self, disk: DiskId) {
+        self.priority.insert(disk, true);
+    }
+
+    fn maybe_roll_epoch(&mut self, time: SimTime) {
+        let end = *self.epoch_end.get_or_insert(time + self.config.epoch);
+        if time < end {
+            return;
+        }
+        for (&disk, tracker) in &mut self.trackers {
+            if tracker.accesses == 0 {
+                continue; // silent disk: keep its previous class
+            }
+            let cold_fraction = tracker.cold as f64 / tracker.accesses as f64;
+            let quantile = match &tracker.intervals {
+                Some(h) if h.total() > 0 => h.quantile(self.config.quantile),
+                // No recorded miss interval this epoch: the disk's request
+                // gaps exceed the epoch itself.
+                _ => SimDuration::MAX,
+            };
+            let is_priority = cold_fraction <= self.config.cold_threshold
+                && quantile >= self.config.interval_threshold;
+            self.priority.insert(disk, is_priority);
+            tracker.accesses = 0;
+            tracker.cold = 0;
+            if let Some(h) = tracker.intervals.as_mut() {
+                h.reset();
+            }
+        }
+        self.epochs_completed += 1;
+        // Skip forward over silent stretches.
+        let mut next = end;
+        while next <= time {
+            next += self.config.epoch;
+        }
+        self.epoch_end = Some(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_units::{BlockId, BlockNo};
+
+    fn blk(d: u32, b: u64) -> BlockId {
+        BlockId::new(DiskId::new(d), BlockNo::new(b))
+    }
+
+    fn config(epoch_secs: u64) -> PaLruConfig {
+        PaLruConfig {
+            epoch: SimDuration::from_secs(epoch_secs),
+            interval_threshold: SimDuration::from_secs(10),
+            ..PaLruConfig::default()
+        }
+    }
+
+    #[test]
+    fn cold_heavy_disks_stay_regular() {
+        let mut c = DiskClassifier::new(config(100));
+        for i in 0..300u64 {
+            c.observe(blk(0, i), SimTime::from_secs(i), true);
+        }
+        assert!(!c.is_priority(DiskId::new(0)));
+        assert!(c.epochs_completed() >= 2);
+    }
+
+    #[test]
+    fn short_gap_disks_stay_regular_despite_low_cold_fraction() {
+        let mut c = DiskClassifier::new(config(100));
+        // Two blocks ping-ponging with 1 s gaps: warm but dense.
+        for i in 0..300u64 {
+            c.observe(blk(0, i % 2), SimTime::from_secs(i), true);
+        }
+        assert!(!c.is_priority(DiskId::new(0)));
+    }
+
+    #[test]
+    fn warm_long_gap_disks_become_priority() {
+        let mut c = DiskClassifier::new(config(100));
+        for i in 0..30u64 {
+            c.observe(blk(0, i % 3), SimTime::from_secs(i * 20), true);
+        }
+        assert!(c.is_priority(DiskId::new(0)));
+    }
+
+    #[test]
+    fn classification_is_per_disk() {
+        let mut c = DiskClassifier::new(config(100));
+        for i in 0..300u64 {
+            c.observe(blk(0, i), SimTime::from_secs(i), true); // cold stream
+            if i % 20 == 0 {
+                c.observe(blk(1, (i / 20) % 3, ), SimTime::from_secs(i), true);
+            }
+        }
+        assert!(!c.is_priority(DiskId::new(0)));
+        assert!(c.is_priority(DiskId::new(1)));
+    }
+}

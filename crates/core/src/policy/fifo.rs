@@ -1,0 +1,82 @@
+//! First-in-first-out replacement (a simple non-recency baseline).
+
+use std::collections::VecDeque;
+
+use pc_units::{BlockId, SimTime};
+
+use crate::policy::ReplacementPolicy;
+
+/// FIFO: evicts the block resident the longest, regardless of use.
+///
+/// # Examples
+///
+/// ```
+/// use pc_cache::policy::{Fifo, ReplacementPolicy};
+/// use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+///
+/// let blk = |n| BlockId::new(DiskId::new(0), BlockNo::new(n));
+/// let mut fifo = Fifo::new();
+/// fifo.on_insert(blk(1), SimTime::ZERO);
+/// fifo.on_insert(blk(2), SimTime::ZERO);
+/// fifo.on_access(blk(1), SimTime::from_secs(1), true); // hits don't reorder
+/// assert_eq!(fifo.evict(), blk(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fifo {
+    queue: VecDeque<BlockId>,
+}
+
+impl Fifo {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Fifo::default()
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn name(&self) -> String {
+        "fifo".to_owned()
+    }
+
+    fn on_access(&mut self, _block: BlockId, _time: SimTime, _hit: bool) {}
+
+    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
+        self.queue.push_back(block);
+    }
+
+    fn evict(&mut self) -> BlockId {
+        self.queue.pop_front().expect("no block to evict")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{count_misses, seq_trace};
+
+    #[test]
+    fn insertion_order_drives_eviction() {
+        let mut f = Fifo::new();
+        for n in 1..=3u64 {
+            f.on_insert(
+                BlockId::new(pc_units::DiskId::new(0), pc_units::BlockNo::new(n)),
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(f.evict().block().number(), 1);
+        assert_eq!(f.evict().block().number(), 2);
+    }
+
+    #[test]
+    fn fifo_and_lru_agree_on_scan() {
+        let t = seq_trace(&[1, 2, 3, 4, 1, 2, 3, 4]);
+        assert_eq!(count_misses(&t, 3, Box::new(Fifo::new())), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "no block")]
+    fn evict_on_empty_panics() {
+        Fifo::new().evict();
+    }
+}

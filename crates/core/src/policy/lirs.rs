@@ -1,0 +1,318 @@
+//! LIRS — Low Inter-reference Recency Set replacement (Jiang & Zhang,
+//! SIGMETRICS'02).
+//!
+//! Another storage-cache policy the paper names as PA-wrappable (§4).
+//! LIRS ranks blocks by *inter-reference recency* (IRR — the recency of
+//! the previous access) rather than plain recency: blocks with low IRR
+//! ("LIR") own almost the whole cache; the rest ("HIR") pass through a
+//! small probationary region and are evicted first, so one-shot scans
+//! cannot flush the hot set.
+//!
+//! Implementation: the classic two-structure form — a recency stack `S`
+//! holding LIR blocks plus (resident and non-resident) HIR blocks, and a
+//! FIFO queue `Q` of resident HIR blocks. The bottom of `S` is always
+//! LIR (pruning); a HIR block re-accessed while still in `S` has low IRR
+//! and is promoted to LIR, demoting the bottom LIR block. `S` is bounded
+//! at a small multiple of the cache size by discarding its oldest
+//! non-resident entries.
+
+use std::collections::HashMap;
+
+use pc_units::{BlockId, SimTime};
+
+use crate::policy::pa_lru::Stack;
+use crate::policy::ReplacementPolicy;
+
+/// A block's standing in LIRS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Low inter-reference recency: owns the main cache region.
+    Lir,
+    /// High IRR, resident in the probationary region (in `Q`).
+    HirResident,
+    /// High IRR, evicted but still remembered in `S` (ghost).
+    HirGhost,
+}
+
+/// The LIRS replacement policy, sized for a specific cache capacity.
+///
+/// The configured capacity **must** equal the hosting
+/// [`BlockCache`](crate::BlockCache)'s capacity.
+///
+/// # Examples
+///
+/// ```
+/// use pc_cache::policy::Lirs;
+/// use pc_cache::{BlockCache, WritePolicy};
+///
+/// let cache = BlockCache::new(256, Box::new(Lirs::new(256)), WritePolicy::WriteBack);
+/// assert_eq!(cache.policy_name(), "lirs");
+/// ```
+#[derive(Debug)]
+pub struct Lirs {
+    /// Target LIR-set size (cache minus the HIR resident region).
+    lir_capacity: usize,
+    /// Bound on `S` (ghost memory), in entries.
+    stack_bound: usize,
+    /// The recency stack.
+    s: Stack,
+    /// Resident HIR blocks, FIFO.
+    q: Stack,
+    status: HashMap<BlockId, Status>,
+    lir_count: usize,
+    next_seq: u64,
+}
+
+impl Lirs {
+    /// Creates LIRS for a cache of `capacity` blocks, with the paper's
+    /// ~1% HIR resident region (at least one block) and a ghost stack
+    /// bounded at 3× the capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LIRS needs a positive capacity");
+        let hir_region = (capacity / 100).max(1);
+        Lirs {
+            lir_capacity: capacity.saturating_sub(hir_region),
+            stack_bound: capacity.saturating_mul(3).max(8),
+            s: Stack::default(),
+            q: Stack::default(),
+            status: HashMap::new(),
+            lir_count: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Sizes of (LIR set, resident HIR queue, stack `S`) — diagnostic.
+    #[must_use]
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (self.lir_count, self.q.len(), self.s.len())
+    }
+
+    fn seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Stack pruning: pop non-LIR entries off the bottom of `S` so its
+    /// bottom is always LIR. Popped ghosts are forgotten; popped resident
+    /// HIR blocks stay in `Q` (they just lose their `S` recency).
+    fn prune(&mut self) {
+        while let Some(bottom) = self.s.peek_bottom() {
+            match self.status.get(&bottom) {
+                Some(Status::Lir) => break,
+                Some(Status::HirResident) => {
+                    self.s.remove(bottom);
+                }
+                Some(Status::HirGhost) => {
+                    self.s.remove(bottom);
+                    self.status.remove(&bottom);
+                }
+                None => {
+                    self.s.remove(bottom);
+                }
+            }
+        }
+    }
+
+    /// Demotes the bottom LIR block of `S` into the HIR resident queue.
+    fn demote_bottom_lir(&mut self) {
+        if let Some(bottom) = self.s.peek_bottom() {
+            if self.status.get(&bottom) == Some(&Status::Lir) {
+                self.s.remove(bottom);
+                self.status.insert(bottom, Status::HirResident);
+                self.lir_count -= 1;
+                let seq = self.seq();
+                self.q.touch(bottom, seq);
+                self.prune();
+            }
+        }
+    }
+
+    /// Bounds the ghost memory: drop the oldest non-resident entries of
+    /// `S` once it exceeds `stack_bound`.
+    fn bound_stack(&mut self) {
+        while self.s.len() > self.stack_bound {
+            let Some(ghost) = self
+                .s
+                .iter_bottom_up()
+                .find(|b| self.status.get(b) == Some(&Status::HirGhost))
+            else {
+                break;
+            };
+            self.s.remove(ghost);
+            self.status.remove(&ghost);
+        }
+    }
+
+    /// Moves `block` to the top of `S` and, if it was LIR at the bottom,
+    /// prunes.
+    fn refresh(&mut self, block: BlockId) {
+        let seq = self.seq();
+        self.s.touch(block, seq);
+        self.prune();
+    }
+}
+
+impl ReplacementPolicy for Lirs {
+    fn name(&self) -> String {
+        "lirs".to_owned()
+    }
+
+    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
+        if !hit {
+            return; // handled at on_insert
+        }
+        match self.status.get(&block).copied() {
+            Some(Status::Lir) => self.refresh(block),
+            Some(Status::HirResident) => {
+                if self.s.contains(block) {
+                    // Low IRR: promote to LIR, demote a LIR block.
+                    self.status.insert(block, Status::Lir);
+                    self.lir_count += 1;
+                    self.q.remove(block);
+                    self.refresh(block);
+                    if self.lir_count > self.lir_capacity {
+                        self.demote_bottom_lir();
+                    }
+                } else {
+                    // Still high IRR: refresh both recencies.
+                    self.refresh(block);
+                    let seq = self.seq();
+                    self.q.touch(block, seq);
+                }
+            }
+            _ => unreachable!("hit on a non-resident block"),
+        }
+    }
+
+    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
+        if self.lir_count < self.lir_capacity && !self.s.contains(block) {
+            // Warm-up: the LIR set has room; new blocks join it directly.
+            self.status.insert(block, Status::Lir);
+            self.lir_count += 1;
+            self.refresh(block);
+            return;
+        }
+        if self.status.get(&block) == Some(&Status::HirGhost) {
+            // Re-reference within the ghost window: low IRR — straight to
+            // LIR, demoting the coldest LIR block.
+            self.status.insert(block, Status::Lir);
+            self.lir_count += 1;
+            self.refresh(block);
+            if self.lir_count > self.lir_capacity {
+                self.demote_bottom_lir();
+            }
+        } else {
+            // Fresh (or long-forgotten) block: probationary HIR.
+            self.status.insert(block, Status::HirResident);
+            self.refresh(block);
+            let seq = self.seq();
+            self.q.touch(block, seq);
+        }
+        self.bound_stack();
+    }
+
+    fn evict(&mut self) -> BlockId {
+        // Resident HIR blocks go first; if none exist (warm-up with a
+        // tiny cache), sacrifice the coldest LIR block.
+        if let Some(victim) = self.q.pop_bottom() {
+            if self.s.contains(victim) {
+                self.status.insert(victim, Status::HirGhost);
+            } else {
+                self.status.remove(&victim);
+            }
+            return victim;
+        }
+        let victim = self.s.peek_bottom().expect("no block to evict");
+        self.s.remove(victim);
+        self.status.remove(&victim);
+        self.lir_count -= 1;
+        self.prune();
+        victim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{count_misses, seq_trace};
+    use crate::policy::Lru;
+
+    #[test]
+    fn behaves_like_a_cache() {
+        let t = seq_trace(&[1, 2, 3, 1, 2, 3, 4, 5, 1, 2]);
+        let misses = count_misses(&t, 3, Box::new(Lirs::new(3)));
+        assert!((5..=10).contains(&misses), "misses {misses}");
+    }
+
+    #[test]
+    fn loop_pattern_beats_lru() {
+        // LIRS' signature win: a loop slightly larger than the cache.
+        // LRU misses every access; LIRS pins most of the loop as LIR.
+        let mut pattern = Vec::new();
+        for _ in 0..25 {
+            for b in 0..12u64 {
+                pattern.push(b);
+            }
+        }
+        let t = seq_trace(&pattern);
+        let lirs = count_misses(&t, 10, Box::new(Lirs::new(10)));
+        let lru = count_misses(&t, 10, Box::new(Lru::new()));
+        assert_eq!(lru, 300, "LRU thrashes the whole loop");
+        assert!(lirs < lru / 2, "lirs {lirs} vs lru {lru}");
+    }
+
+    #[test]
+    fn scan_does_not_flush_the_hot_set() {
+        // Hot pair accessed between one-shot scan blocks.
+        let mut pattern = Vec::new();
+        for i in 0..60u64 {
+            pattern.push(1);
+            pattern.push(2);
+            pattern.push(1_000 + i);
+        }
+        let t = seq_trace(&pattern);
+        let lirs = count_misses(&t, 4, Box::new(Lirs::new(4)));
+        // 2 cold + 60 scan blocks: the hot pair never misses again.
+        assert_eq!(lirs, 62, "hot set must stay resident");
+    }
+
+    #[test]
+    fn stack_stays_bounded() {
+        let mut pattern = Vec::new();
+        for i in 0..5_000u64 {
+            pattern.push(i); // endless cold scan
+        }
+        let t = seq_trace(&pattern);
+        let mut cache =
+            crate::BlockCache::new(8, Box::new(Lirs::new(8)), crate::WritePolicy::WriteBack);
+        for r in &t {
+            cache.access(r, |_| false);
+        }
+        assert!(cache.len() <= 8);
+    }
+
+    #[test]
+    fn eviction_targets_resident_hir_first() {
+        let mut lirs = Lirs::new(4); // lir_capacity 3, hir region 1
+        let blk = crate::policy::testutil::blk;
+        for n in 1..=4u64 {
+            lirs.on_access(blk(0, n), SimTime::ZERO, false);
+            lirs.on_insert(blk(0, n), SimTime::ZERO);
+        }
+        // Blocks 1..3 fill the LIR set; block 4 is probationary HIR.
+        let (lir, hir, _) = lirs.sizes();
+        assert_eq!((lir, hir), (3, 1));
+        assert_eq!(lirs.evict(), blk(0, 4), "HIR evicted before any LIR");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn rejects_zero_capacity() {
+        let _ = Lirs::new(0);
+    }
+}

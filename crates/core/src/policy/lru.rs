@@ -1,0 +1,127 @@
+//! Least-recently-used replacement.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pc_units::{BlockId, SimTime};
+
+use crate::policy::ReplacementPolicy;
+
+/// Classic LRU: evicts the block whose last access is oldest.
+///
+/// This is the paper's baseline policy and the recency stack PA-LRU builds
+/// on.
+///
+/// # Examples
+///
+/// ```
+/// use pc_cache::policy::{Lru, ReplacementPolicy};
+/// use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+///
+/// let blk = |n| BlockId::new(DiskId::new(0), BlockNo::new(n));
+/// let mut lru = Lru::new();
+/// lru.on_access(blk(1), SimTime::from_secs(1), false);
+/// lru.on_insert(blk(1), SimTime::from_secs(1));
+/// lru.on_access(blk(2), SimTime::from_secs(2), false);
+/// lru.on_insert(blk(2), SimTime::from_secs(2));
+/// lru.on_access(blk(1), SimTime::from_secs(3), true); // refresh 1
+/// assert_eq!(lru.evict(), blk(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Lru {
+    /// Recency order: sequence number → block (oldest first).
+    order: BTreeMap<u64, BlockId>,
+    /// Block → its current sequence number.
+    seq_of: HashMap<BlockId, u64>,
+    next_seq: u64,
+}
+
+impl Lru {
+    /// Creates an empty LRU stack.
+    #[must_use]
+    pub fn new() -> Self {
+        Lru::default()
+    }
+
+    /// Number of tracked blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if no block is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    fn touch(&mut self, block: BlockId) {
+        if let Some(old) = self.seq_of.insert(block, self.next_seq) {
+            self.order.remove(&old);
+        }
+        self.order.insert(self.next_seq, block);
+        self.next_seq += 1;
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn name(&self) -> String {
+        "lru".to_owned()
+    }
+
+    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
+        if hit {
+            self.touch(block);
+        }
+    }
+
+    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
+        self.touch(block);
+    }
+
+    fn evict(&mut self) -> BlockId {
+        let (&seq, &block) = self.order.iter().next().expect("no block to evict");
+        self.order.remove(&seq);
+        self.seq_of.remove(&block);
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{blk, count_misses, seq_trace};
+
+    #[test]
+    fn evicts_least_recent() {
+        let mut lru = Lru::new();
+        for n in 1..=3 {
+            lru.on_access(blk(0, n), SimTime::from_secs(n), false);
+            lru.on_insert(blk(0, n), SimTime::from_secs(n));
+        }
+        lru.on_access(blk(0, 1), SimTime::from_secs(10), true);
+        assert_eq!(lru.evict(), blk(0, 2));
+        assert_eq!(lru.evict(), blk(0, 3));
+        assert_eq!(lru.evict(), blk(0, 1));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn misses_on_cyclic_scan_exceed_capacity() {
+        // LRU's classic pathology: a cyclic scan of N+1 blocks through an
+        // N-block cache misses every time.
+        let t = seq_trace(&[1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4]);
+        assert_eq!(count_misses(&t, 3, Box::new(Lru::new())), 12);
+    }
+
+    #[test]
+    fn hits_on_recency_friendly_stream() {
+        let t = seq_trace(&[1, 2, 1, 2, 1, 2, 3, 3, 3]);
+        assert_eq!(count_misses(&t, 2, Box::new(Lru::new())), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no block")]
+    fn evict_on_empty_panics() {
+        Lru::new().evict();
+    }
+}

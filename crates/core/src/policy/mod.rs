@@ -1,0 +1,114 @@
+//! Cache replacement policies.
+//!
+//! All policies — on-line and off-line — implement [`ReplacementPolicy`].
+//! The cache drives a policy with a strict protocol:
+//!
+//! 1. [`on_access`](ReplacementPolicy::on_access) for **every** access, in
+//!    trace order, flagged hit or miss. Off-line policies count these
+//!    calls to track their position in the precomputed trace.
+//! 2. On a miss with a full cache, [`evict`](ReplacementPolicy::evict)
+//!    once; the policy returns (and forgets) a currently-resident victim.
+//! 3. On every miss, [`on_insert`](ReplacementPolicy::on_insert) for the
+//!    newly-resident block.
+
+mod arc;
+mod belady;
+mod classifier;
+mod fifo;
+mod lirs;
+mod lru;
+mod mq;
+mod opg;
+mod pa;
+mod pa_lru;
+mod two_q;
+
+pub use arc::ArcPolicy;
+pub use belady::{min_misses, Belady};
+pub use classifier::DiskClassifier;
+pub use fifo::Fifo;
+pub use lirs::Lirs;
+pub use lru::Lru;
+pub use mq::Mq;
+pub use opg::{Opg, OpgDpm};
+pub use pa::Pa;
+pub use pa_lru::{PaLru, PaLruConfig};
+pub use two_q::TwoQ;
+
+use pc_units::{BlockId, SimTime};
+
+/// A pluggable cache replacement policy. See the [module
+/// documentation](self) for the driving protocol.
+pub trait ReplacementPolicy {
+    /// A short human-readable name, e.g. `"lru"` or `"opg(eps=0)"`.
+    fn name(&self) -> String;
+
+    /// Observes one cache access (hit or miss), in trace order.
+    fn on_access(&mut self, block: BlockId, time: SimTime, hit: bool);
+
+    /// Chooses a victim among resident blocks and removes it from the
+    /// policy's bookkeeping. Called only when an insertion needs space.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if no block is resident.
+    fn evict(&mut self) -> BlockId;
+
+    /// Registers the block just installed by the most recent miss.
+    fn on_insert(&mut self, block: BlockId, time: SimTime);
+
+    /// Registers a block installed by *prefetching* rather than by a
+    /// client access. Defaults to [`on_insert`](Self::on_insert), which is
+    /// correct for on-line policies; off-line policies override this to
+    /// reject prefetching (their future-knowledge cursor is indexed by
+    /// client accesses only).
+    ///
+    /// # Panics
+    ///
+    /// Off-line implementations ([`Belady`], [`Opg`]) panic.
+    fn on_prefetch_insert(&mut self, block: BlockId, time: SimTime) {
+        self.on_insert(block, time);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for policy tests.
+
+    use pc_trace::{IoOp, Record, Trace};
+    use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+
+    use crate::{BlockCache, ReplacementPolicy, WritePolicy};
+
+    /// Builds a block id.
+    pub fn blk(disk: u32, no: u64) -> BlockId {
+        BlockId::new(DiskId::new(disk), BlockNo::new(no))
+    }
+
+    /// Builds a read-only trace on one disk from block numbers, one access
+    /// per second.
+    pub fn seq_trace(blocks: &[u64]) -> Trace {
+        let mut t = Trace::new(1);
+        for (i, &b) in blocks.iter().enumerate() {
+            t.push(Record::new(
+                SimTime::from_secs(i as u64),
+                blk(0, b),
+                IoOp::Read,
+            ));
+        }
+        t
+    }
+
+    /// Runs a trace through a cache with the given policy, returning the
+    /// number of misses.
+    pub fn count_misses(trace: &Trace, capacity: usize, policy: Box<dyn ReplacementPolicy>) -> u64 {
+        let mut cache = BlockCache::new(capacity, policy, WritePolicy::WriteBack);
+        let mut misses = 0;
+        for r in trace {
+            if !cache.access(r, |_| false).hit {
+                misses += 1;
+            }
+        }
+        misses
+    }
+}

@@ -1,0 +1,274 @@
+//! MQ — the Multi-Queue second-level buffer-cache policy (Zhou, Philbin
+//! & Li, USENIX'01).
+//!
+//! Cited by the paper both as related work and as a PA-wrappable policy.
+//! MQ keeps `m` LRU queues; a block with reference count `f` lives in
+//! queue `⌊log₂ f⌋` (capped), so frequently-reused blocks climb to
+//! higher queues and survive the weak recency locality of second-level
+//! caches. Blocks expire down the ladder when unreferenced for
+//! `life_time` accesses, and a ghost history (`Qout`) remembers the
+//! reference counts of recently evicted blocks.
+
+use std::collections::{HashMap, VecDeque};
+
+use pc_units::{BlockId, SimTime};
+
+use crate::policy::pa_lru::Stack;
+use crate::policy::ReplacementPolicy;
+
+/// Per-resident-block metadata.
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    frequency: u64,
+    queue: usize,
+    expires: u64,
+}
+
+/// The Multi-Queue replacement policy.
+///
+/// # Examples
+///
+/// ```
+/// use pc_cache::policy::Mq;
+/// use pc_cache::{BlockCache, WritePolicy};
+///
+/// let cache = BlockCache::new(512, Box::new(Mq::new(512)), WritePolicy::WriteBack);
+/// assert_eq!(cache.policy_name(), "mq");
+/// ```
+#[derive(Debug)]
+pub struct Mq {
+    queues: Vec<Stack>,
+    meta: HashMap<BlockId, BlockMeta>,
+    /// Ghost history of evicted blocks' reference counts, FIFO-bounded.
+    ghost: HashMap<BlockId, u64>,
+    ghost_order: VecDeque<BlockId>,
+    ghost_capacity: usize,
+    life_time: u64,
+    clock: u64,
+    next_seq: u64,
+}
+
+impl Mq {
+    /// MQ with the common defaults for a cache of `capacity` blocks:
+    /// 8 queues, a ghost history of `capacity` ids, and a lifetime of
+    /// 2 × capacity accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MQ needs a positive capacity");
+        Mq::with_parameters(8, capacity, (capacity as u64) * 2)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` or `life_time` is zero.
+    #[must_use]
+    pub fn with_parameters(queues: usize, ghost_capacity: usize, life_time: u64) -> Self {
+        assert!(queues > 0, "MQ needs at least one queue");
+        assert!(life_time > 0, "MQ needs a positive lifetime");
+        Mq {
+            queues: (0..queues).map(|_| Stack::default()).collect(),
+            meta: HashMap::new(),
+            ghost: HashMap::new(),
+            ghost_order: VecDeque::new(),
+            ghost_capacity: ghost_capacity.max(1),
+            life_time,
+            clock: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// The queue a block with reference count `f` belongs in.
+    fn queue_for(&self, frequency: u64) -> usize {
+        (63 - frequency.max(1).leading_zeros() as usize).min(self.queues.len() - 1)
+    }
+
+    fn seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Places a block into its frequency queue with a fresh lifetime.
+    fn enqueue(&mut self, block: BlockId, frequency: u64) {
+        let queue = self.queue_for(frequency);
+        let seq = self.seq();
+        self.queues[queue].touch(block, seq);
+        self.meta.insert(
+            block,
+            BlockMeta {
+                frequency,
+                queue,
+                expires: self.clock + self.life_time,
+            },
+        );
+    }
+
+    /// MQ's `Adjust`: demote expired queue heads one level, refreshing
+    /// their lifetime.
+    fn adjust(&mut self) {
+        for q in (1..self.queues.len()).rev() {
+            // At most one demotion per queue per access, like the paper.
+            let Some(head) = self.queues[q].peek_bottom() else {
+                continue;
+            };
+            let meta = self.meta[&head];
+            if meta.expires < self.clock {
+                self.queues[q].remove(head);
+                let seq = self.seq();
+                self.queues[q - 1].touch(head, seq);
+                self.meta.insert(
+                    head,
+                    BlockMeta {
+                        queue: q - 1,
+                        expires: self.clock + self.life_time,
+                        ..meta
+                    },
+                );
+            }
+        }
+    }
+
+    fn remember_ghost(&mut self, block: BlockId, frequency: u64) {
+        if self.ghost.insert(block, frequency).is_none() {
+            self.ghost_order.push_back(block);
+            if self.ghost_order.len() > self.ghost_capacity {
+                if let Some(old) = self.ghost_order.pop_front() {
+                    self.ghost.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for Mq {
+    fn name(&self) -> String {
+        "mq".to_owned()
+    }
+
+    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
+        self.clock += 1;
+        if hit {
+            let meta = self.meta[&block];
+            self.queues[meta.queue].remove(block);
+            self.enqueue(block, meta.frequency + 1);
+        }
+        self.adjust();
+    }
+
+    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
+        // A returning block resumes its remembered reference count.
+        let frequency = self.ghost.get(&block).copied().unwrap_or(0) + 1;
+        self.enqueue(block, frequency);
+    }
+
+    fn evict(&mut self) -> BlockId {
+        for q in 0..self.queues.len() {
+            if let Some(victim) = self.queues[q].pop_bottom() {
+                let meta = self.meta.remove(&victim).expect("victim has metadata");
+                self.remember_ghost(victim, meta.frequency);
+                return victim;
+            }
+        }
+        panic!("no block to evict");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{blk, count_misses, seq_trace};
+    use crate::policy::Lru;
+
+    #[test]
+    fn queue_assignment_is_logarithmic() {
+        let mq = Mq::new(64);
+        assert_eq!(mq.queue_for(1), 0);
+        assert_eq!(mq.queue_for(2), 1);
+        assert_eq!(mq.queue_for(3), 1);
+        assert_eq!(mq.queue_for(4), 2);
+        assert_eq!(mq.queue_for(1 << 20), 7, "capped at the top queue");
+    }
+
+    #[test]
+    fn frequent_blocks_outlive_one_shot_traffic() {
+        // Second-level pattern: a small hot set re-referenced with stack
+        // distances beyond the cache size, through one-shot traffic. The
+        // ghost history must be deep enough to carry the hot blocks'
+        // frequencies across their early evictions.
+        let mut pattern = Vec::new();
+        for round in 0..40u64 {
+            for hot in 0..3u64 {
+                pattern.push(hot);
+            }
+            for one_shot in 0..5u64 {
+                pattern.push(10_000 + round * 5 + one_shot);
+            }
+        }
+        let t = seq_trace(&pattern);
+        let mq = count_misses(&t, 6, Box::new(Mq::with_parameters(8, 64, 100)));
+        let lru = count_misses(&t, 6, Box::new(Lru::new()));
+        assert!(mq < lru, "mq {mq} vs lru {lru}");
+    }
+
+    #[test]
+    fn ghost_restores_frequency() {
+        let mut mq = Mq::new(2);
+        // Build up frequency on block 1.
+        mq.on_access(blk(0, 1), SimTime::ZERO, false);
+        mq.on_insert(blk(0, 1), SimTime::ZERO);
+        for _ in 0..7 {
+            mq.on_access(blk(0, 1), SimTime::ZERO, true);
+        }
+        let q_before = mq.meta[&blk(0, 1)].queue;
+        assert!(q_before >= 2);
+        // Evict it, then bring it back: it must not restart at queue 0.
+        mq.queues[q_before].remove(blk(0, 1));
+        let meta = mq.meta.remove(&blk(0, 1)).unwrap();
+        mq.remember_ghost(blk(0, 1), meta.frequency);
+        mq.on_access(blk(0, 1), SimTime::ZERO, false);
+        mq.on_insert(blk(0, 1), SimTime::ZERO);
+        assert!(mq.meta[&blk(0, 1)].queue >= 2, "frequency survived eviction");
+    }
+
+    #[test]
+    fn expired_heads_demote() {
+        let mut mq = Mq::with_parameters(4, 16, 2);
+        mq.on_access(blk(0, 1), SimTime::ZERO, false);
+        mq.on_insert(blk(0, 1), SimTime::ZERO);
+        for _ in 0..3 {
+            mq.on_access(blk(0, 1), SimTime::ZERO, true);
+        }
+        let high = mq.meta[&blk(0, 1)].queue;
+        assert!(high >= 1);
+        // Touch other blocks until block 1's lifetime lapses.
+        for i in 0..10u64 {
+            mq.on_access(blk(0, 100 + i), SimTime::ZERO, false);
+            mq.on_insert(blk(0, 100 + i), SimTime::ZERO);
+        }
+        assert!(
+            mq.meta[&blk(0, 1)].queue < high,
+            "block should demote after expiring"
+        );
+    }
+
+    #[test]
+    fn ghost_history_is_bounded() {
+        let mut mq = Mq::with_parameters(8, 4, 100);
+        for i in 0..100u64 {
+            mq.remember_ghost(blk(0, i), 1);
+        }
+        assert!(mq.ghost.len() <= 4);
+        assert_eq!(mq.ghost.len(), mq.ghost_order.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "no block")]
+    fn evict_on_empty_panics() {
+        Mq::new(4).evict();
+    }
+}

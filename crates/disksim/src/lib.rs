@@ -1,0 +1,46 @@
+//! Disk energy simulation with pluggable power management.
+//!
+//! This crate implements the disk side of the paper's evaluation stack —
+//! the role DiskSim plus the authors' power-model extension played:
+//!
+//! * [`DpmPolicy`] — the disk power-management schemes of §2.2:
+//!   [`DpmPolicy::Oracle`] (per-gap envelope-optimal, zero added latency),
+//!   [`DpmPolicy::Practical`] (the 2-competitive threshold ladder),
+//!   [`DpmPolicy::FixedThreshold`] (single-threshold spin-down, for
+//!   ablations) and [`DpmPolicy::AlwaysOn`].
+//! * [`DiskSim`] — one disk's lazily-advanced state machine: FCFS queueing,
+//!   seek/rotation/transfer service, spin-down/spin-up transitions with
+//!   real durations, and complete per-mode time and energy accounting.
+//! * [`DiskArray`] — the whole storage system's disk farm.
+//! * [`DiskReport`] — per-disk accounting used for the paper's Figures 6–9
+//!   (energy, response time, per-mode residency, transition counts).
+//!
+//! # Examples
+//!
+//! ```
+//! use pc_diskmodel::{DiskPowerSpec, PowerModel, ServiceModel, ServiceRequest};
+//! use pc_disksim::{DiskSim, DpmPolicy};
+//! use pc_units::{BlockNo, DiskId, SimTime};
+//!
+//! let power = PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15());
+//! let mut disk = DiskSim::new(DiskId::new(0), power, ServiceModel::default(), DpmPolicy::Practical);
+//! let served = disk.service(SimTime::from_secs(1), ServiceRequest::single(BlockNo::new(7)));
+//! assert!(served.response > pc_units::SimDuration::ZERO);
+//! disk.finish(SimTime::from_secs(120));
+//! assert!(disk.report().total_energy().as_joules() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod disk;
+mod report;
+mod sched;
+mod timeline;
+
+pub use array::DiskArray;
+pub use disk::{DiskSim, DpmPolicy, Served};
+pub use report::DiskReport;
+pub use sched::{schedule_disk, QueueDiscipline, ScheduledOutcome};
+pub use timeline::{PowerEvent, Timeline, TimelineEntry};

@@ -1,0 +1,215 @@
+//! Power-state timelines: an optional per-disk event recorder.
+//!
+//! When enabled ([`DiskSim::with_timeline`](crate::DiskSim::with_timeline)),
+//! the disk records every power-state change and service interval with
+//! exact timestamps — the raw material for Gantt-style visualizations
+//! (see `examples/power_timeline.rs`), for debugging power-management
+//! decisions, and for tests that pin down the exact state sequence of a
+//! scripted scenario.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pc_diskmodel::ModeId;
+use pc_units::{SimDuration, SimTime};
+
+/// One power/service event on a disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerEvent {
+    /// The disk begins resting in `mode`.
+    Rest {
+        /// The mode entered.
+        mode: ModeId,
+    },
+    /// A spin-down transition toward `to` begins.
+    SpinDown {
+        /// The destination mode.
+        to: ModeId,
+    },
+    /// A spin-up transition back to full speed begins.
+    SpinUp,
+    /// Request service (seek + rotation + transfer) begins.
+    ServiceStart,
+    /// Request service completes.
+    ServiceEnd,
+}
+
+impl fmt::Display for PowerEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerEvent::Rest { mode } => write!(f, "rest({mode})"),
+            PowerEvent::SpinDown { to } => write!(f, "spin-down→{to}"),
+            PowerEvent::SpinUp => f.write_str("spin-up"),
+            PowerEvent::ServiceStart => f.write_str("service-start"),
+            PowerEvent::ServiceEnd => f.write_str("service-end"),
+        }
+    }
+}
+
+/// A timestamped [`PowerEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// When the event occurs.
+    pub at: SimTime,
+    /// What happens.
+    pub event: PowerEvent,
+}
+
+/// An append-only, time-ordered sequence of power events.
+///
+/// # Examples
+///
+/// ```
+/// use pc_diskmodel::{DiskPowerSpec, PowerModel, ServiceModel, ServiceRequest};
+/// use pc_disksim::{DiskSim, DpmPolicy, PowerEvent};
+/// use pc_units::{BlockNo, DiskId, SimDuration, SimTime};
+///
+/// let power = PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15());
+/// let mut disk = DiskSim::new(DiskId::new(0), power, ServiceModel::default(), DpmPolicy::Practical)
+///     .with_timeline();
+/// let a = disk.service(SimTime::from_secs(1), ServiceRequest::single(BlockNo::new(1)));
+/// disk.service(a.completion + SimDuration::from_secs(15), ServiceRequest::single(BlockNo::new(2)));
+/// // The 15 s gap crossed the first two thresholds: the timeline shows
+/// // the demotions and the final spin-up.
+/// let downs = disk
+///     .timeline()
+///     .expect("recording enabled")
+///     .iter()
+///     .filter(|e| matches!(e.event, PowerEvent::SpinDown { .. }))
+///     .count();
+/// assert_eq!(downs, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Appends an event. Events must not go back in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `at` precedes the last recorded event.
+    pub(crate) fn push(&mut self, at: SimTime, event: PowerEvent) {
+        debug_assert!(
+            self.entries.last().is_none_or(|e| e.at <= at),
+            "timeline must be ordered: {event} at {at}"
+        );
+        self.entries.push(TimelineEntry { at, event });
+    }
+
+    /// The recorded entries, in time order.
+    #[must_use]
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, TimelineEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders an ASCII strip of the disk's state over `[from, to)`, one
+    /// character per `step` of simulated time:
+    /// `#` servicing, `v`/`^` spinning down/up, `0`–`9` resting in that
+    /// mode index, `.` unknown (before the first event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or `to <= from`.
+    #[must_use]
+    pub fn render(&self, from: SimTime, to: SimTime, step: SimDuration) -> String {
+        assert!(!step.is_zero(), "step must be positive");
+        assert!(to > from, "empty render window");
+        let cells = ((to - from).as_micros() / step.as_micros()).max(1) as usize;
+        let mut out = String::with_capacity(cells);
+        let mut idx = 0usize;
+        let mut current: Option<char> = None;
+        for c in 0..cells {
+            let cell_time = from + step * (c as u64);
+            while idx < self.entries.len() && self.entries[idx].at <= cell_time {
+                current = Some(match self.entries[idx].event {
+                    PowerEvent::Rest { mode } => {
+                        char::from_digit(mode.index().min(9) as u32, 10).expect("digit")
+                    }
+                    PowerEvent::SpinDown { .. } => 'v',
+                    PowerEvent::SpinUp => '^',
+                    PowerEvent::ServiceStart => '#',
+                    PowerEvent::ServiceEnd => '0',
+                });
+                idx += 1;
+            }
+            out.push(current.unwrap_or('.'));
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a Timeline {
+    type Item = &'a TimelineEntry;
+    type IntoIter = std::slice::Iter<'a, TimelineEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tl = Timeline::default();
+        tl.push(t(1), PowerEvent::ServiceStart);
+        tl.push(t(2), PowerEvent::ServiceEnd);
+        tl.push(t(2), PowerEvent::Rest { mode: ModeId::FULL_SPEED });
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl.entries()[0].at, t(1));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "ordered")]
+    fn rejects_time_travel() {
+        let mut tl = Timeline::default();
+        tl.push(t(5), PowerEvent::SpinUp);
+        tl.push(t(1), PowerEvent::ServiceStart);
+    }
+
+    #[test]
+    fn render_paints_states_per_cell() {
+        let mut tl = Timeline::default();
+        tl.push(t(0), PowerEvent::Rest { mode: ModeId::FULL_SPEED });
+        tl.push(t(3), PowerEvent::SpinDown { to: ModeId::new(1) });
+        tl.push(t(4), PowerEvent::Rest { mode: ModeId::new(1) });
+        tl.push(t(8), PowerEvent::SpinUp);
+        let strip = tl.render(t(0), t(10), SimDuration::from_secs(1));
+        assert_eq!(strip, "000v1111^^");
+    }
+
+    #[test]
+    fn render_marks_unknown_prefix() {
+        let mut tl = Timeline::default();
+        tl.push(t(5), PowerEvent::ServiceStart);
+        let strip = tl.render(t(0), t(8), SimDuration::from_secs(1));
+        assert_eq!(strip, ".....###");
+    }
+}

@@ -1,0 +1,130 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale X] [--seed N]
+//! repro all [--scale X] [--seed N]
+//! ```
+//!
+//! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b
+//! fig6c fig7 fig8 fig9-ratio fig9-gap`. The default scale of 1.0 runs
+//! paper-comparable trace lengths (`fig9-*` take minutes); `--scale 0.05`
+//! gives quick smoke runs.
+
+use std::env;
+use std::process::ExitCode;
+
+use pc_experiments::{ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
+use pc_experiments::{table1, table2, table3, Params, TraceKind};
+
+const EXPERIMENTS: [&str; 25] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig7",
+    "fig8",
+    "fig9-ratio",
+    "fig9-gap",
+    "ablation-eps",
+    "ablation-pa",
+    "ablation-modes",
+    "ablation-policies",
+    "ablation-wbeu",
+    "ablation-prefetch",
+    "ablation-scheduler",
+    "ablation-combo",
+    "ablation-layout",
+    "ablation-disktype",
+    "ablation-serve-at-speed",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut which = None;
+    let mut params = Params::paper();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => params.scale = s,
+                _ => return usage("--scale needs a positive number"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => params.seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            name if which.is_none() => which = Some(name.to_owned()),
+            other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(which) = which else {
+        return usage("missing experiment name");
+    };
+
+    if which == "all" {
+        for name in EXPERIMENTS {
+            run_one(name, &params);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if EXPERIMENTS.contains(&which.as_str()) {
+        run_one(&which, &params);
+        ExitCode::SUCCESS
+    } else {
+        usage(&format!("unknown experiment: {which}"))
+    }
+}
+
+fn run_one(name: &str, params: &Params) {
+    let started = std::time::Instant::now();
+    let output = match name {
+        "table1" => table1::run(),
+        "table2" => table2::run(params),
+        "table3" => table3::run(),
+        "fig2" => fig2::run(),
+        "fig3" => fig3::run(),
+        "fig4" => fig4::run(),
+        "fig5" => fig5::run(params),
+        "fig6a" => fig6::energy(params, TraceKind::Oltp),
+        "fig6b" => fig6::energy(params, TraceKind::Cello),
+        "fig6c" => fig6::response(params),
+        "fig7" => fig7::run(params),
+        "fig8" => fig8::run(params),
+        "fig9-ratio" => fig9::by_write_ratio(params),
+        "fig9-gap" => fig9::by_interarrival(params),
+        "ablation-eps" => ablations::epsilon_sweep(params),
+        "ablation-pa" => ablations::pa_sensitivity(params),
+        "ablation-modes" => ablations::mode_count(params),
+        "ablation-policies" => ablations::policy_zoo(params),
+        "ablation-wbeu" => ablations::wbeu_dirty_limit(params),
+        "ablation-prefetch" => ablations::prefetch_depth(params),
+        "ablation-scheduler" => ablations::scheduler(params),
+        "ablation-combo" => ablations::combo(params),
+        "ablation-layout" => ablations::layout(params),
+        "ablation-disktype" => ablations::disk_type(params),
+        "ablation-serve-at-speed" => ablations::serve_at_speed(params),
+        other => unreachable!("validated experiment name: {other}"),
+    };
+    println!("{}", output.text);
+    println!("[{name} done in {:.1?}]\n", started.elapsed());
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!("usage: repro <experiment|all> [--scale X] [--seed N]");
+    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,155 @@
+//! `tracegen` — generate, inspect and convert workload traces.
+//!
+//! ```text
+//! tracegen oltp  [--requests N] [--seed S] [--out FILE]
+//! tracegen cello [--requests N] [--seed S] [--out FILE]
+//! tracegen synthetic [--requests N] [--seed S] [--write-ratio R]
+//!          [--gap-ms MS] [--pareto] [--out FILE]
+//! tracegen stats FILE
+//! ```
+//!
+//! Traces are written in the line-oriented text format of
+//! [`Trace::to_writer`] and can be replayed by any `pc-sim` runner via
+//! [`Trace::from_reader`].
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use pc_trace::{CelloConfig, GapDistribution, OltpConfig, SyntheticConfig, Trace, TraceStats};
+use pc_units::SimDuration;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: tracegen <oltp|cello|synthetic> [--requests N] [--seed S] \
+                 [--write-ratio R] [--gap-ms MS] [--pareto] [--out FILE]\n\
+                 \x20      tracegen stats FILE"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+
+    if command == "stats" {
+        let path = args.get(1).ok_or("stats needs a file path")?;
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let trace =
+            Trace::from_reader(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))?;
+        print_stats(&trace);
+        return Ok(());
+    }
+
+    let mut requests = None;
+    let mut seed = 42u64;
+    let mut write_ratio = None;
+    let mut gap_ms = None;
+    let mut pareto = false;
+    let mut out: Option<String> = None;
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .cloned()
+        };
+        match arg.as_str() {
+            "--requests" => {
+                requests = Some(
+                    value("--requests")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --requests: {e}"))?,
+                );
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--write-ratio" => {
+                write_ratio = Some(
+                    value("--write-ratio")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --write-ratio: {e}"))?,
+                );
+            }
+            "--gap-ms" => {
+                gap_ms = Some(
+                    value("--gap-ms")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad --gap-ms: {e}"))?,
+                );
+            }
+            "--pareto" => pareto = true,
+            "--out" => out = Some(value("--out")?),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+
+    let trace = match command.as_str() {
+        "oltp" => OltpConfig::default()
+            .with_requests(requests.unwrap_or(72_000))
+            .generate(seed),
+        "cello" => CelloConfig::default()
+            .with_requests(requests.unwrap_or(400_000))
+            .generate(seed),
+        "synthetic" => {
+            let mut cfg = SyntheticConfig::default().with_requests(requests.unwrap_or(100_000));
+            if let Some(r) = write_ratio {
+                cfg = cfg.with_write_ratio(r);
+            }
+            if let Some(ms) = gap_ms {
+                let mean = SimDuration::from_millis(ms);
+                cfg = cfg.with_gaps(if pareto {
+                    GapDistribution::pareto(mean)
+                } else {
+                    GapDistribution::exponential(mean)
+                });
+            }
+            cfg.generate(seed)
+        }
+        other => return Err(format!("unknown command: {other}")),
+    };
+
+    match out {
+        Some(path) => {
+            let file = File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut writer = BufWriter::new(file);
+            trace
+                .to_writer(&mut writer)
+                .and_then(|()| writer.flush())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {} records to {path}", trace.len());
+        }
+        None => {
+            let stdout = io::stdout();
+            trace
+                .to_writer(stdout.lock())
+                .map_err(|e| format!("write stdout: {e}"))?;
+        }
+    }
+    print_stats(&trace);
+    Ok(())
+}
+
+fn print_stats(trace: &Trace) {
+    let s = TraceStats::of(trace);
+    eprintln!(
+        "requests={} disks={} writes={:.1}% mean-gap={} cold={:.1}% unique-blocks={}",
+        s.requests,
+        s.disks,
+        s.write_fraction * 100.0,
+        s.mean_interarrival,
+        s.cold_fraction * 100.0,
+        s.unique_blocks
+    );
+}

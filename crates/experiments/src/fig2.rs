@@ -1,0 +1,68 @@
+//! Figure 2 — per-mode energy-consumption lines and their lower envelope,
+//! with the intersection points that become the Practical-DPM thresholds.
+
+use pc_diskmodel::{DiskPowerSpec, PowerModel};
+use pc_units::SimDuration;
+
+use crate::{ExperimentOutput, Table};
+
+/// Interval lengths (seconds) at which the series are sampled.
+const SAMPLES: [u64; 10] = [0, 5, 10, 15, 20, 30, 50, 75, 100, 150];
+
+/// Prints the energy of each mode's line per sampled interval length, the
+/// lower envelope, and the envelope's breakpoints (t0…t4).
+#[must_use]
+pub fn run() -> ExperimentOutput {
+    let model = PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15());
+    let mut header: Vec<String> = vec!["interval".into()];
+    header.extend(model.modes().map(|(_, m)| m.name.clone()));
+    header.push("envelope".into());
+    let mut t = Table::new(header);
+    for s in SAMPLES {
+        let gap = SimDuration::from_secs(s);
+        let mut row = vec![format!("{s}s")];
+        for (id, _) in model.modes() {
+            row.push(format!("{:.1}", model.energy_line(id, gap).as_joules()));
+        }
+        row.push(format!("{:.1}", model.lower_envelope(gap).as_joules()));
+        t.row(row);
+    }
+
+    let mut steps = Table::new(["breakpoint", "at idle", "enters mode"]);
+    for (i, step) in model.ladder().iter().enumerate().skip(1) {
+        steps.row([
+            format!("t{}", i - 1),
+            step.at_idle.to_string(),
+            model.mode(step.mode).name.clone(),
+        ]);
+    }
+
+    let mut out = ExperimentOutput {
+        text: format!(
+            "Figure 2: Energy consumption per mode and lower envelope (J)\n\n{}\nEnvelope breakpoints (the 2-competitive Practical-DPM thresholds):\n\n{}",
+            t.render(),
+            steps.render()
+        ),
+        ..ExperimentOutput::default()
+    };
+    out.record("breakpoints", (model.ladder().len() - 1) as f64);
+    out.record(
+        "first_threshold_s",
+        model.ladder()[1].at_idle.as_secs_f64(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_reach_the_envelope() {
+        let o = run();
+        assert_eq!(o.metric("breakpoints"), 5.0);
+        let t0 = o.metric("first_threshold_s");
+        assert!((t0 - 10.678).abs() < 0.01, "t0 {t0}");
+        assert!(o.text.contains("standby"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 4 — energy-*savings* lines per mode (over staying at full-speed
+//! idle) and their upper envelope.
+
+use pc_diskmodel::{DiskPowerSpec, PowerModel};
+use pc_units::SimDuration;
+
+use crate::{ExperimentOutput, Table};
+
+/// Interval lengths (seconds) at which the series are sampled.
+const SAMPLES: [u64; 10] = [0, 5, 10, 15, 20, 30, 50, 75, 100, 150];
+
+/// Prints the savings each mode offers per sampled interval length and the
+/// maximum (upper envelope), illustrating the super-linear growth the
+/// paper's §4 argument builds on.
+#[must_use]
+pub fn run() -> ExperimentOutput {
+    let model = PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15());
+    let mut header: Vec<String> = vec!["interval".into()];
+    header.extend(model.modes().skip(1).map(|(_, m)| m.name.clone()));
+    header.push("max".into());
+    let mut t = Table::new(header);
+    for s in SAMPLES {
+        let gap = SimDuration::from_secs(s);
+        let mut row = vec![format!("{s}s")];
+        for (id, _) in model.modes().skip(1) {
+            row.push(format!("{:.1}", model.savings_line(id, gap).as_joules()));
+        }
+        row.push(format!("{:.1}", model.max_savings(gap).as_joules()));
+        t.row(row);
+    }
+
+    let mut out = ExperimentOutput {
+        text: format!(
+            "Figure 4: Energy savings over full-speed idle per mode, and the upper envelope (J)\n\n{}",
+            t.render()
+        ),
+        ..ExperimentOutput::default()
+    };
+    // The super-linearity the paper highlights: savings per second grow
+    // with the interval length.
+    let per_s = |s: u64| {
+        model
+            .max_savings(SimDuration::from_secs(s))
+            .as_joules()
+            / s as f64
+    };
+    out.record("rate_at_20s", per_s(20));
+    out.record("rate_at_150s", per_s(150));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_rate_is_superlinear() {
+        let o = run();
+        assert!(o.metric("rate_at_150s") > o.metric("rate_at_20s"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 8 — PA-LRU's energy savings over LRU as a function of the
+//! standby→active spin-up energy.
+
+use pc_diskmodel::DiskPowerSpec;
+use pc_sim::{run_replacement, PolicySpec, SimConfig};
+use pc_units::Joules;
+
+use crate::{ExperimentOutput, Params, Table};
+
+/// The paper's sweep points (joules).
+pub const SPIN_UP_COSTS: [f64; 7] = [33.75, 67.5, 101.25, 135.0, 202.5, 270.0, 675.0];
+
+/// Sweeps the spin-up energy (intermediate-mode costs re-derive from the
+/// linear model, and the Practical-DPM thresholds shift with the
+/// break-even times) and reports PA-LRU's percentage energy savings over
+/// LRU on the OLTP-like trace.
+#[must_use]
+pub fn run(params: &Params) -> ExperimentOutput {
+    let trace = params.oltp_trace();
+    let mut t = Table::new(["spin-up cost", "pa-lru saving over lru"]);
+    let mut out = ExperimentOutput::default();
+    for cost in SPIN_UP_COSTS {
+        let spec = DiskPowerSpec::ultrastar_36z15().with_spin_up_energy(Joules::new(cost));
+        let cfg = SimConfig::default().with_power_spec(spec);
+        let lru = run_replacement(&trace, &PolicySpec::Lru, &cfg);
+        let pa = run_replacement(&trace, &params.pa_policy(&cfg.power_model()), &cfg);
+        let saving = pa.saving_over(&lru);
+        t.row([format!("{cost}J"), format!("{saving:.1}%")]);
+        out.record(format!("saving_at_{cost}"), saving);
+    }
+    out.text = format!(
+        "Figure 8: PA-LRU energy savings over LRU vs spin-up cost (OLTP)\n\n{}",
+        t.render()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_are_positive_and_stable_in_the_scsi_band() {
+        let o = run(&Params {
+            scale: 0.2,
+            ..Params::quick()
+        });
+        // The paper: savings are fairly stable between 67.5 J and 270 J
+        // and shrink at cheap spin-ups. At test scale the warm-up phase
+        // dominates, so only the weak form of both claims is asserted;
+        // full-scale magnitudes are recorded in EXPERIMENTS.md.
+        for cost in [67.5, 135.0, 270.0] {
+            assert!(
+                o.metric(&format!("saving_at_{cost}")) > 0.5,
+                "saving at {cost} J too small"
+            );
+        }
+        assert!(o.metric("saving_at_135") >= o.metric("saving_at_33.75"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared experiment parameters.
+
+use pc_cache::policy::PaLruConfig;
+use pc_diskmodel::PowerModel;
+use pc_sim::PolicySpec;
+use pc_trace::{CelloConfig, OltpConfig, Trace};
+use pc_units::SimDuration;
+
+/// Which of the paper's two real-system workloads to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The TPC-C / Microsoft SQL Server trace (21 disks, 22% writes).
+    Oltp,
+    /// HP's Cello96 file-server trace (19 disks, 38% writes).
+    Cello,
+}
+
+impl TraceKind {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Oltp => "oltp",
+            TraceKind::Cello => "cello96",
+        }
+    }
+}
+
+/// Global experiment parameters: a scale factor on trace lengths and the
+/// RNG seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Multiplier on every experiment's default request count. 1.0 =
+    /// paper-comparable runs (minutes); small values = smoke tests.
+    pub scale: f64,
+    /// Seed for all trace generation.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Paper-comparable scale.
+    #[must_use]
+    pub fn paper() -> Self {
+        Params {
+            scale: 1.0,
+            seed: 42,
+        }
+    }
+
+    /// A fast, CI-friendly scale (a few percent of the paper's lengths;
+    /// shapes still hold, bars are noisier).
+    #[must_use]
+    pub fn quick() -> Self {
+        Params {
+            scale: 0.05,
+            seed: 42,
+        }
+    }
+
+    /// Scales a default request count, with a floor to keep toy runs
+    /// meaningful.
+    #[must_use]
+    pub fn requests(&self, base: usize) -> usize {
+        ((base as f64 * self.scale) as usize).max(500)
+    }
+
+    /// The OLTP-like trace at this scale.
+    #[must_use]
+    pub fn oltp_trace(&self) -> Trace {
+        OltpConfig::default()
+            .with_requests(self.requests(72_000))
+            .generate(self.seed)
+    }
+
+    /// The Cello-like trace at this scale. The base length (400 000
+    /// requests ≈ 37 minutes) spans multiple PA-LRU epochs.
+    #[must_use]
+    pub fn cello_trace(&self) -> Trace {
+        CelloConfig::default()
+            .with_requests(self.requests(400_000))
+            .generate(self.seed)
+    }
+
+    /// The trace for a [`TraceKind`].
+    #[must_use]
+    pub fn trace(&self, kind: TraceKind) -> Trace {
+        match kind {
+            TraceKind::Oltp => self.oltp_trace(),
+            TraceKind::Cello => self.cello_trace(),
+        }
+    }
+
+    /// PA-LRU's epoch, scaled with the trace length so down-scaled runs
+    /// keep the paper's ~8-epochs-per-trace proportion (15 minutes at
+    /// full scale, never below one minute).
+    #[must_use]
+    pub fn pa_epoch(&self) -> SimDuration {
+        SimDuration::from_secs_f64((900.0 * self.scale).clamp(60.0, 900.0))
+    }
+
+    /// The PA-LRU policy spec at this scale: the paper's parameters with
+    /// the scaled epoch.
+    #[must_use]
+    pub fn pa_policy(&self, power: &PowerModel) -> PolicySpec {
+        PolicySpec::PaLruWith(PaLruConfig {
+            epoch: self.pa_epoch(),
+            ..PaLruConfig::for_power_model(power)
+        })
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_applies_with_floor() {
+        let p = Params {
+            scale: 0.01,
+            seed: 1,
+        };
+        assert_eq!(p.requests(72_000), 720);
+        assert_eq!(p.requests(1_000), 500, "floor applies");
+        assert_eq!(Params::paper().requests(72_000), 72_000);
+    }
+
+    #[test]
+    fn traces_match_kinds() {
+        let p = Params::quick();
+        assert_eq!(p.trace(TraceKind::Oltp).disk_count(), 21);
+        assert_eq!(p.trace(TraceKind::Cello).disk_count(), 19);
+    }
+}

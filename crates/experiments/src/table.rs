@@ -1,0 +1,136 @@
+//! Minimal aligned text-table formatting and experiment output.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One experiment's result: the formatted text the paper-style rows are
+/// printed as, plus a key→value map of headline numbers for tests and
+/// EXPERIMENTS.md.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentOutput {
+    /// Human-readable table(s).
+    pub text: String,
+    /// Machine-checkable headline metrics.
+    pub metrics: HashMap<String, f64>,
+}
+
+impl ExperimentOutput {
+    /// Fetches a metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric was not recorded — experiment code always
+    /// records what its tests read.
+    #[must_use]
+    pub fn metric(&self, key: &str) -> f64 {
+        *self
+            .metrics
+            .get(key)
+            .unwrap_or_else(|| panic!("metric {key} missing; have {:?}", self.metrics.keys()))
+    }
+
+    /// Records a metric.
+    pub fn record(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.insert(key.into(), value);
+    }
+}
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                let _ = write!(out, "{}{}", cell, " ".repeat(pad));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["longer-name", "2.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("longer-name"));
+        // Columns align: "value" header starts at the same offset as "1".
+        let off = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][off..off + 1], "1");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let mut o = ExperimentOutput::default();
+        o.record("x", 1.5);
+        assert_eq!(o.metric("x"), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn missing_metric_panics() {
+        let _ = ExperimentOutput::default().metric("nope");
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 1 — disk simulation parameters (IBM Ultrastar 36Z15).
+
+use pc_diskmodel::{DiskPowerSpec, PowerModel};
+
+use crate::{ExperimentOutput, Table};
+
+/// Prints the Table-1 rows plus the derived multi-speed mode table.
+#[must_use]
+pub fn run() -> ExperimentOutput {
+    let spec = DiskPowerSpec::ultrastar_36z15();
+    let mut t = Table::new(["parameter", "value"]);
+    t.row(["Individual Disk Capacity", "18.4 GB"]);
+    t.row(["Maximum Disk Rotation Speed", &format!("{} RPM", spec.max_rpm)]);
+    t.row(["Minimum Disk Rotation Speed", &format!("{} RPM", spec.min_rpm)]);
+    t.row(["RPM Step-Size", &format!("{} RPM", spec.rpm_step)]);
+    t.row(["Active Power (Read/Write)", &spec.active_power.to_string()]);
+    t.row(["Seek Power", &spec.seek_power.to_string()]);
+    t.row(["Idle Power @15000RPM", &spec.idle_power.to_string()]);
+    t.row(["Standby Power", &spec.standby_power.to_string()]);
+    t.row(["Spinup Time (Standby to Active)", &spec.spin_up_time.to_string()]);
+    t.row(["Spinup Energy (Standby to Active)", &spec.spin_up_energy.to_string()]);
+    t.row(["Spindown Time (Active to Standby)", &spec.spin_down_time.to_string()]);
+    t.row(["Spindown Energy (Active to Standby)", &spec.spin_down_energy.to_string()]);
+
+    let model = PowerModel::multi_speed(&spec);
+    let mut modes = Table::new(["mode", "rpm", "power", "spin-down", "spin-up", "break-even"]);
+    for (id, m) in model.modes() {
+        modes.row([
+            m.name.clone(),
+            m.rpm.to_string(),
+            m.power.to_string(),
+            format!("{} / {}", m.spin_down.time, m.spin_down.energy),
+            format!("{} / {}", m.spin_up.time, m.spin_up.energy),
+            if id.is_full_speed() {
+                "-".to_owned()
+            } else {
+                model.break_even(id).to_string()
+            },
+        ]);
+    }
+
+    let mut out = ExperimentOutput {
+        text: format!(
+            "Table 1: Simulation parameters (IBM Ultrastar 36Z15)\n\n{}\nDerived multi-speed modes:\n\n{}",
+            t.render(),
+            modes.render()
+        ),
+        ..ExperimentOutput::default()
+    };
+    out.record("idle_power_w", spec.idle_power.as_watts());
+    out.record("modes", model.mode_count() as f64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_the_datasheet_numbers() {
+        let o = run();
+        assert!(o.text.contains("15000 RPM"));
+        assert!(o.text.contains("10.200W"));
+        assert!(o.text.contains("135.000J"));
+        assert_eq!(o.metric("modes"), 6.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Table 2 — characteristics of the (emulated) evaluation traces.
+
+use pc_trace::TraceStats;
+
+use crate::{ExperimentOutput, Params, Table, TraceKind};
+
+/// Prints the Table-2 columns (disks, write fraction, mean inter-arrival)
+/// for the generated OLTP-like and Cello-like traces, plus the cold-miss
+/// fraction §5.2 quotes for Cello.
+#[must_use]
+pub fn run(params: &Params) -> ExperimentOutput {
+    let mut t = Table::new([
+        "trace",
+        "requests",
+        "disks",
+        "writes",
+        "mean inter-arrival",
+        "cold fraction",
+    ]);
+    let mut out = ExperimentOutput::default();
+    for kind in [TraceKind::Oltp, TraceKind::Cello] {
+        let stats = TraceStats::of(&params.trace(kind));
+        t.row([
+            kind.name().to_owned(),
+            stats.requests.to_string(),
+            stats.disks.to_string(),
+            format!("{:.0}%", stats.write_fraction * 100.0),
+            stats.mean_interarrival.to_string(),
+            format!("{:.0}%", stats.cold_fraction * 100.0),
+        ]);
+        out.record(format!("{}_writes", kind.name()), stats.write_fraction);
+        out.record(
+            format!("{}_gap_ms", kind.name()),
+            stats.mean_interarrival.as_millis_f64(),
+        );
+        out.record(format!("{}_cold", kind.name()), stats.cold_fraction);
+    }
+    out.text = format!("Table 2: Trace characteristics (generated)\n\n{}", t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_papers_characteristics() {
+        let o = run(&Params::quick());
+        assert!((o.metric("oltp_writes") - 0.22).abs() < 0.04);
+        assert!((o.metric("cello96_writes") - 0.38).abs() < 0.04);
+        assert!((o.metric("oltp_gap_ms") - 99.0).abs() < 20.0);
+        assert!((o.metric("cello96_gap_ms") - 5.61).abs() < 1.2);
+        assert!((o.metric("cello96_cold") - 0.64).abs() < 0.08);
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 3 — default parameters of the synthetic trace generator used in
+//! the write-policy study.
+
+use pc_trace::{GapDistribution, SyntheticConfig};
+
+use crate::{ExperimentOutput, Table};
+
+/// Prints the generator defaults (the paper's Table 3).
+#[must_use]
+pub fn run() -> ExperimentOutput {
+    let c = SyntheticConfig::default();
+    let mut t = Table::new(["parameter", "value"]);
+    t.row(["Request Number", &format!("{}", c.requests)]);
+    t.row(["Disk Number", &c.disks.to_string()]);
+    t.row([
+        "Exponential Distribution",
+        &format!("mean inter-arrival {}", c.gaps.mean()),
+    ]);
+    let pareto = GapDistribution::pareto(c.gaps.mean());
+    if let GapDistribution::Pareto { shape, .. } = pareto {
+        t.row([
+            "Pareto Distribution",
+            &format!("shape {shape} (finite mean, infinite variance)"),
+        ]);
+    }
+    t.row(["Reuse (temporal locality)", &c.reuse_probability.to_string()]);
+    t.row(["Write Ratio", &c.write_ratio.to_string()]);
+    t.row(["Disk Size", "18 GB"]);
+    t.row(["Sequential Access Probability", &c.seq_probability.to_string()]);
+    t.row(["Local Access Probability", &c.local_probability.to_string()]);
+    t.row([
+        "Random Access Probability",
+        &format!("{}", 1.0 - c.seq_probability - c.local_probability),
+    ]);
+    t.row([
+        "Maximum Local Distance",
+        &format!("{} blocks", c.max_local_distance),
+    ]);
+
+    let mut out = ExperimentOutput {
+        text: format!("Table 3: Default synthetic trace parameters\n\n{}", t.render()),
+        ..ExperimentOutput::default()
+    };
+    out.record("disks", f64::from(c.disks));
+    out.record("write_ratio", c.write_ratio);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_the_table3_defaults() {
+        let o = run();
+        assert_eq!(o.metric("disks"), 20.0);
+        assert_eq!(o.metric("write_ratio"), 0.5);
+        assert!(o.text.contains("1000000"));
+        assert!(o.text.contains("100 blocks"));
+    }
+}

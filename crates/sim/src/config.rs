@@ -1,0 +1,299 @@
+//! Simulation configuration and policy construction.
+
+use pc_cache::policy::{
+    ArcPolicy, Belady, Fifo, Lirs, Lru, Mq, Opg, OpgDpm, Pa, PaLru, PaLruConfig, TwoQ,
+};
+use pc_cache::{ReplacementPolicy, WritePolicy};
+use pc_diskmodel::{DiskPowerSpec, PowerModel, ServiceModel};
+use pc_disksim::DpmPolicy;
+use pc_trace::Trace;
+use pc_units::{Joules, SimDuration};
+
+/// Which replacement policy to run (constructed per trace, since the
+/// off-line policies need the future).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// Least-recently-used (the paper's baseline).
+    Lru,
+    /// First-in-first-out.
+    Fifo,
+    /// Belady's off-line MIN.
+    Belady,
+    /// The off-line power-aware greedy algorithm, priced against the
+    /// configured DPM with rounding threshold ε.
+    Opg {
+        /// Penalty rounding threshold (0 = pure OPG, huge = Belady).
+        epsilon: Joules,
+    },
+    /// The on-line power-aware LRU with the paper's parameters (T derived
+    /// from the power model's first NAP break-even time).
+    PaLru,
+    /// PA-LRU with explicit parameters (ablations).
+    PaLruWith(PaLruConfig),
+    /// ARC (Megiddo & Modha) sized to the cache capacity.
+    Arc,
+    /// The Multi-Queue policy (Zhou, Philbin & Li) sized to the cache
+    /// capacity.
+    Mq,
+    /// LIRS (Jiang & Zhang) sized to the cache capacity.
+    Lirs,
+    /// 2Q (Johnson & Shasha) sized to the cache capacity.
+    TwoQ,
+    /// The generic PA wrapper around ARC (paper §4's claimed
+    /// composability).
+    PaArc(PaLruConfig),
+    /// The generic PA wrapper around MQ.
+    PaMq(PaLruConfig),
+    /// The generic PA wrapper around LIRS.
+    PaLirs(PaLruConfig),
+    /// The generic PA wrapper around 2Q.
+    PaTwoQ(PaLruConfig),
+}
+
+impl PolicySpec {
+    /// A short display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            PolicySpec::Lru => "lru".into(),
+            PolicySpec::Fifo => "fifo".into(),
+            PolicySpec::Belady => "belady".into(),
+            PolicySpec::Opg { epsilon } => format!("opg(eps={})", epsilon.as_joules()),
+            PolicySpec::PaLru | PolicySpec::PaLruWith(_) => "pa-lru".into(),
+            PolicySpec::Arc => "arc".into(),
+            PolicySpec::Mq => "mq".into(),
+            PolicySpec::Lirs => "lirs".into(),
+            PolicySpec::TwoQ => "2q".into(),
+            PolicySpec::PaArc(_) => "pa-arc".into(),
+            PolicySpec::PaMq(_) => "pa-mq".into(),
+            PolicySpec::PaLirs(_) => "pa-lirs".into(),
+            PolicySpec::PaTwoQ(_) => "pa-2q".into(),
+        }
+    }
+
+    /// Builds the policy instance for a trace, power model and cache
+    /// capacity.
+    #[must_use]
+    pub fn build(
+        &self,
+        trace: &Trace,
+        power: &PowerModel,
+        dpm: DpmPolicy,
+        capacity: usize,
+    ) -> Box<dyn ReplacementPolicy> {
+        // ARC/MQ size their ghosts against the capacity; clamp the
+        // infinite-cache sentinel to something arithmetic-safe (ghosts
+        // are irrelevant without evictions).
+        let sized = capacity.min(1 << 30);
+        match self {
+            PolicySpec::Lru => Box::new(Lru::new()),
+            PolicySpec::Fifo => Box::new(Fifo::new()),
+            PolicySpec::Belady => Box::new(Belady::new(trace)),
+            PolicySpec::Opg { epsilon } => {
+                let pricing = match dpm {
+                    DpmPolicy::Oracle => OpgDpm::Oracle,
+                    _ => OpgDpm::Practical,
+                };
+                Box::new(Opg::new(trace, power.clone(), pricing, *epsilon))
+            }
+            PolicySpec::PaLru => Box::new(PaLru::new(PaLruConfig::for_power_model(power))),
+            PolicySpec::PaLruWith(cfg) => Box::new(PaLru::new(cfg.clone())),
+            PolicySpec::Arc => Box::new(ArcPolicy::new(sized)),
+            PolicySpec::Mq => Box::new(Mq::new(sized)),
+            PolicySpec::PaArc(cfg) => Box::new(Pa::new(
+                cfg.clone(),
+                ArcPolicy::new(sized),
+                ArcPolicy::new(sized),
+            )),
+            PolicySpec::PaMq(cfg) => {
+                Box::new(Pa::new(cfg.clone(), Mq::new(sized), Mq::new(sized)))
+            }
+            PolicySpec::Lirs => Box::new(Lirs::new(sized)),
+            PolicySpec::TwoQ => Box::new(TwoQ::new(sized)),
+            PolicySpec::PaLirs(cfg) => {
+                Box::new(Pa::new(cfg.clone(), Lirs::new(sized), Lirs::new(sized)))
+            }
+            PolicySpec::PaTwoQ(cfg) => {
+                Box::new(Pa::new(cfg.clone(), TwoQ::new(sized), TwoQ::new(sized)))
+            }
+        }
+    }
+}
+
+/// Full simulator configuration.
+///
+/// Defaults follow the paper's §5.1 setup: IBM Ultrastar 36Z15 with the
+/// 6-mode multi-speed extension, Practical DPM, write-back caching, and a
+/// 4096-block (32 MB at 8 KiB) storage cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Cache capacity in blocks (`usize::MAX` = the paper's
+    /// infinite-cache lower bound).
+    pub cache_blocks: usize,
+    /// Disk data-sheet parameters.
+    pub power_spec: DiskPowerSpec,
+    /// Use the 6-mode multi-speed model (false = classic 2-mode).
+    pub multi_speed: bool,
+    /// Disk power management below the cache.
+    pub dpm: DpmPolicy,
+    /// Cache write policy.
+    pub write_policy: WritePolicy,
+    /// Mechanical timing model.
+    pub service: ServiceModel,
+    /// Response time charged to every access for the cache itself.
+    pub hit_time: SimDuration,
+    /// Sequential read-ahead depth (0 = disabled; on-line policies only).
+    pub prefetch_depth: u64,
+    /// Carrera-style serve-at-speed disks (multi-speed option 1; the
+    /// paper uses option 2, serve at full speed only).
+    pub serve_at_speed: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cache_blocks: 4_096,
+            power_spec: DiskPowerSpec::ultrastar_36z15(),
+            multi_speed: true,
+            dpm: DpmPolicy::Practical,
+            write_policy: WritePolicy::WriteBack,
+            service: ServiceModel::ultrastar_36z15(),
+            hit_time: SimDuration::from_micros(200),
+            prefetch_depth: 0,
+            serve_at_speed: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sets the cache capacity in blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    #[must_use]
+    pub fn with_cache_blocks(mut self, blocks: usize) -> Self {
+        assert!(blocks > 0, "cache needs at least one block");
+        self.cache_blocks = blocks;
+        self
+    }
+
+    /// Switches to the infinite-cache baseline.
+    #[must_use]
+    pub fn with_infinite_cache(mut self) -> Self {
+        self.cache_blocks = usize::MAX;
+        self
+    }
+
+    /// Sets the disk power-management scheme.
+    #[must_use]
+    pub fn with_dpm(mut self, dpm: DpmPolicy) -> Self {
+        self.dpm = dpm;
+        self
+    }
+
+    /// Sets the write policy.
+    #[must_use]
+    pub fn with_write_policy(mut self, wp: WritePolicy) -> Self {
+        self.write_policy = wp;
+        self
+    }
+
+    /// Replaces the disk spec (e.g. the Figure-8 spin-up-cost sweep).
+    #[must_use]
+    pub fn with_power_spec(mut self, spec: DiskPowerSpec) -> Self {
+        self.power_spec = spec;
+        self
+    }
+
+    /// Selects the 2-mode model instead of multi-speed (ablations).
+    #[must_use]
+    pub fn with_two_mode_disks(mut self) -> Self {
+        self.multi_speed = false;
+        self
+    }
+
+    /// Enables sequential read-ahead of `depth` blocks behind every read
+    /// miss (on-line replacement policies only).
+    #[must_use]
+    pub fn with_prefetch_depth(mut self, depth: u64) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Switches the disks to Carrera-style serve-at-speed operation
+    /// (multi-speed option 1; requires a causal DPM).
+    #[must_use]
+    pub fn with_serve_at_speed(mut self) -> Self {
+        self.serve_at_speed = true;
+        self
+    }
+
+    /// The derived power model.
+    #[must_use]
+    pub fn power_model(&self) -> PowerModel {
+        if self.multi_speed {
+            PowerModel::multi_speed(&self.power_spec)
+        } else {
+            PowerModel::two_mode(&self.power_spec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_trace::OltpConfig;
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::default()
+            .with_cache_blocks(128)
+            .with_dpm(DpmPolicy::Oracle)
+            .with_write_policy(WritePolicy::WriteThrough)
+            .with_two_mode_disks();
+        assert_eq!(c.cache_blocks, 128);
+        assert_eq!(c.dpm, DpmPolicy::Oracle);
+        assert_eq!(c.power_model().mode_count(), 2);
+        let inf = c.with_infinite_cache();
+        assert_eq!(inf.cache_blocks, usize::MAX);
+    }
+
+    #[test]
+    fn policy_specs_build() {
+        let trace = OltpConfig::default().with_requests(100).generate(0);
+        let config = SimConfig::default();
+        let power = config.power_model();
+        for spec in [
+            PolicySpec::Lru,
+            PolicySpec::Fifo,
+            PolicySpec::Belady,
+            PolicySpec::Arc,
+            PolicySpec::Mq,
+            PolicySpec::PaArc(PaLruConfig::default()),
+            PolicySpec::PaMq(PaLruConfig::default()),
+            PolicySpec::Opg {
+                epsilon: Joules::ZERO,
+            },
+            PolicySpec::PaLru,
+        ] {
+            let p = spec.build(&trace, &power, DpmPolicy::Practical, 1024);
+            assert!(!p.name().is_empty());
+            assert!(!spec.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn opg_pricing_follows_dpm() {
+        let trace = OltpConfig::default().with_requests(50).generate(0);
+        let config = SimConfig::default();
+        let power = config.power_model();
+        let spec = PolicySpec::Opg {
+            epsilon: Joules::ZERO,
+        };
+        let oracle = spec.build(&trace, &power, DpmPolicy::Oracle, 1024);
+        let practical = spec.build(&trace, &power, DpmPolicy::Practical, 1024);
+        assert!(oracle.name().contains("oracle"));
+        assert!(practical.name().contains("practical"));
+    }
+}

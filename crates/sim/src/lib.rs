@@ -1,0 +1,39 @@
+//! The complete storage-system simulator: cache + disks + power
+//! management, wired together the way the paper's CacheSim + DiskSim
+//! stack was.
+//!
+//! Two runners cover the paper's two experiment families:
+//!
+//! * [`run_replacement`] — the §5 replacement-policy experiments
+//!   (Figures 6–8). Two-phase: the cache filters the trace into per-disk
+//!   request sequences; each disk then replays its sequence under Oracle
+//!   or Practical DPM. Valid because no §5 policy reads live disk power
+//!   state.
+//! * [`run_write_policy`] — the §6 write-policy experiments (Figure 9).
+//!   Integrated single pass: WBEU and WTDU consult the disks' *current*
+//!   power mode, so cache and disks co-simulate (Practical DPM, like the
+//!   paper's published panels).
+//!
+//! # Examples
+//!
+//! ```
+//! use pc_sim::{run_replacement, PolicySpec, SimConfig};
+//! use pc_trace::OltpConfig;
+//!
+//! let trace = OltpConfig::default().with_requests(2_000).generate(1);
+//! let config = SimConfig::default().with_cache_blocks(512);
+//! let lru = run_replacement(&trace, &PolicySpec::Lru, &config);
+//! let infinite = run_replacement(&trace, &PolicySpec::Lru, &config.clone().with_infinite_cache());
+//! assert!(infinite.cache.hit_ratio() >= lru.cache.hit_ratio());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod report;
+mod runner;
+
+pub use config::{PolicySpec, SimConfig};
+pub use report::SimReport;
+pub use runner::{run_replacement, run_write_policy};

@@ -1,0 +1,137 @@
+//! Whole-simulation reports.
+
+use serde::{Deserialize, Serialize};
+
+use pc_cache::{CacheStats, IntervalHistogram};
+use pc_disksim::DiskReport;
+use pc_units::{Joules, SimDuration, SimTime};
+
+/// Everything one simulation run produces: cache counters, per-disk
+/// energy/time accounting, log-device accounting (WTDU), and the
+/// client-visible response-time aggregate.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Replacement policy name.
+    pub policy: String,
+    /// Write policy name.
+    pub write_policy: String,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Per-disk accounting, indexed by disk.
+    pub disks: Vec<DiskReport>,
+    /// Log-device accounting (WTDU only). Only its *service* energy is
+    /// charged to the run (the log device is assumed always-on for other
+    /// reasons, matching the paper).
+    pub log: Option<DiskReport>,
+    /// Sum of client-visible response times across all trace requests.
+    pub response_total: SimDuration,
+    /// Distribution of per-request response times (geometric bins from
+    /// 100 µs), for tail-latency queries.
+    pub response_hist: IntervalHistogram,
+    /// Number of trace requests.
+    pub requests: u64,
+    /// Simulation horizon (energy is accounted up to this instant).
+    pub horizon: SimTime,
+}
+
+impl SimReport {
+    /// Total energy: all data-disk energy plus the log device's
+    /// incremental service energy (paper §6 includes log-write energy in
+    /// WTDU's numbers).
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        let disks: Joules = self.disks.iter().map(DiskReport::total_energy).sum();
+        let log = self.log.as_ref().map_or(Joules::ZERO, |l| l.service_energy);
+        disks + log
+    }
+
+    /// Mean client-visible response time.
+    #[must_use]
+    pub fn mean_response(&self) -> SimDuration {
+        if self.requests == 0 {
+            SimDuration::ZERO
+        } else {
+            self.response_total / self.requests
+        }
+    }
+
+    /// The `p`-quantile of per-request response times (histogram upper
+    /// bound; e.g. `response_quantile(0.99)` for the p99 tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1]`.
+    #[must_use]
+    pub fn response_quantile(&self, p: f64) -> SimDuration {
+        self.response_hist.quantile(p)
+    }
+
+    /// The fine-binned histogram a runner should collect responses into.
+    #[must_use]
+    pub fn response_histogram() -> IntervalHistogram {
+        // 100 µs … ~1.7 h in 24 doubling bins: covers cache hits through
+        // multi-spin-up pile-ups.
+        IntervalHistogram::geometric(SimDuration::from_micros(100), 24)
+    }
+
+    /// This run's energy as a fraction of a baseline run's (the paper's
+    /// "normalized to LRU" bars).
+    #[must_use]
+    pub fn energy_ratio(&self, baseline: &SimReport) -> f64 {
+        self.total_energy().as_joules() / baseline.total_energy().as_joules()
+    }
+
+    /// Percentage energy saving relative to a baseline (positive = this
+    /// run uses less energy), the paper's Figure 8/9 metric.
+    #[must_use]
+    pub fn saving_over(&self, baseline: &SimReport) -> f64 {
+        100.0 * (1.0 - self.energy_ratio(baseline))
+    }
+
+    /// Total spin-ups across all data disks.
+    #[must_use]
+    pub fn total_spin_ups(&self) -> u64 {
+        self.disks.iter().map(|d| d.spin_ups).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_energy(joules: f64) -> SimReport {
+        let mut d = DiskReport::new(1);
+        d.service_energy = Joules::new(joules);
+        SimReport {
+            disks: vec![d],
+            requests: 4,
+            response_total: SimDuration::from_secs(2),
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn ratios_and_savings() {
+        let a = report_with_energy(80.0);
+        let b = report_with_energy(100.0);
+        assert!((a.energy_ratio(&b) - 0.8).abs() < 1e-12);
+        assert!((a.saving_over(&b) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_service_energy_counts_but_only_service() {
+        let mut r = report_with_energy(10.0);
+        let mut log = DiskReport::new(1);
+        log.service_energy = Joules::new(5.0);
+        log.mode_energy[0] = Joules::new(1_000.0); // idle power: excluded
+        r.log = Some(log);
+        assert!((r.total_energy().as_joules() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_response() {
+        let r = report_with_energy(1.0);
+        assert_eq!(r.mean_response(), SimDuration::from_millis(500));
+        assert_eq!(SimReport::default().mean_response(), SimDuration::ZERO);
+    }
+}

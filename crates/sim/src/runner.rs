@@ -1,0 +1,475 @@
+//! The simulation loops.
+
+use pc_cache::{BlockCache, Effect, WritePolicy};
+use pc_diskmodel::ServiceRequest;
+use pc_disksim::{DiskArray, DiskSim, DpmPolicy};
+use pc_trace::{IoOp, Trace};
+use pc_units::{BlockNo, DiskId, SimDuration, SimTime};
+
+use crate::{PolicySpec, SimConfig, SimReport};
+
+/// Runs a replacement-policy experiment (paper §5, Figures 6–8): the
+/// cache shapes each disk's request sequence, and the disks account
+/// energy under the configured DPM (Oracle or Practical).
+///
+/// The write policy should be power-*unaware* here (write-back by
+/// default); use [`run_write_policy`] for WBEU/WTDU.
+///
+/// # Panics
+///
+/// Panics if the configuration combines Oracle DPM with a power-aware
+/// write policy (WBEU/WTDU), which is not causally well-defined — see
+/// DESIGN.md §2.
+#[must_use]
+pub fn run_replacement(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
+    run(trace, policy, config)
+}
+
+/// Runs a write-policy experiment (paper §6, Figure 9) under a causal DPM
+/// (the paper's published Figure-9 panels use Practical DPM).
+///
+/// # Panics
+///
+/// Panics if `config.dpm` is [`DpmPolicy::Oracle`].
+#[must_use]
+pub fn run_write_policy(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
+    assert!(
+        config.dpm != DpmPolicy::Oracle,
+        "write-policy experiments need a causal DPM (the cache reads live disk state)"
+    );
+    run(trace, policy, config)
+}
+
+/// The single simulation loop both entry points share. The cache consults
+/// live disk power state (used only by WBEU/WTDU); the disks lazily
+/// account idle periods, which is what lets Oracle DPM make clairvoyant
+/// per-gap decisions in the same pass.
+fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
+    let power = config.power_model();
+    let power_aware_writes = matches!(
+        config.write_policy,
+        WritePolicy::Wbeu { .. } | WritePolicy::Wtdu
+    );
+    assert!(
+        !(power_aware_writes && config.dpm == DpmPolicy::Oracle),
+        "WBEU/WTDU require a causal DPM"
+    );
+
+    let mut cache = BlockCache::new(
+        config.cache_blocks,
+        policy.build(trace, &power, config.dpm, config.cache_blocks),
+        config.write_policy,
+    )
+    .with_prefetch_depth(config.prefetch_depth);
+    let mut array = DiskArray::new_configured(
+        trace.disk_count().max(1),
+        power.clone(),
+        config.service.clone(),
+        config.dpm,
+        config.serve_at_speed,
+    );
+    // The WTDU log device: always active; only its service energy is ever
+    // charged (see SimReport::total_energy).
+    let mut log_disk = DiskSim::new(
+        DiskId::new(trace.disk_count()),
+        power.clone(),
+        config.service.clone(),
+        DpmPolicy::AlwaysOn,
+    );
+    let mut log_cursor: u64 = 0;
+
+    let mut response_total = SimDuration::ZERO;
+    let mut response_hist = SimReport::response_histogram();
+    let mut horizon = SimTime::ZERO;
+
+    for record in trace {
+        horizon = horizon.max(record.time);
+        let result = cache.access(record, |d| array.disk(d).is_sleeping(record.time));
+
+        // Service the disk-side work in order, coalescing contiguous
+        // single-block effects into multi-block transfers (a 16-block
+        // read pays one seek + one latency, not sixteen), and remembering
+        // the response of the transfer that carries the client's own I/O.
+        let mut own_read = None;
+        let mut own_write = None;
+        for run in coalesce(&result.effects) {
+            match run {
+                EffectRun::Disk { first, blocks, read } => {
+                    let served = array.service(
+                        first.disk(),
+                        record.time,
+                        ServiceRequest {
+                            block: first.block(),
+                            blocks,
+                        },
+                    );
+                    let carries_own = first.disk() == record.block.disk()
+                        && (first.block().number()..first.block().number() + blocks)
+                            .contains(&record.block.block().number());
+                    if carries_own {
+                        if read {
+                            own_read = Some(served.response);
+                        } else {
+                            own_write = Some(served.response);
+                        }
+                    }
+                }
+                EffectRun::Log { blocks } => {
+                    // Log appends are sequential on the log device; they
+                    // are always the client's own write (only the current
+                    // request's write handler emits them).
+                    let served = log_disk.service(
+                        record.time,
+                        ServiceRequest {
+                            block: BlockNo::new(log_cursor + 1),
+                            blocks,
+                        },
+                    );
+                    log_cursor += blocks;
+                    own_write = Some(served.response);
+                }
+            }
+        }
+
+        // Client-visible response: cache time, plus the synchronous disk
+        // work this request had to wait for. Write-back style writes
+        // complete in the cache; write-through style writes wait for
+        // persistence; read misses wait for the fetch.
+        let synchronous = match record.op {
+            IoOp::Read => own_read.unwrap_or(SimDuration::ZERO),
+            IoOp::Write => match config.write_policy {
+                WritePolicy::WriteThrough | WritePolicy::Wtdu => {
+                    own_write.unwrap_or(SimDuration::ZERO)
+                }
+                WritePolicy::WriteBack | WritePolicy::Wbeu { .. } => SimDuration::ZERO,
+            },
+        };
+        let response = config.hit_time + synchronous;
+        response_total += response;
+        response_hist.record(response);
+    }
+
+    let end = horizon
+        .max(array.latest_completion())
+        .max(log_disk.ready_at());
+    array.finish(end);
+    log_disk.finish(end);
+
+    let log = if cache.stats().log_writes > 0 || config.write_policy == WritePolicy::Wtdu {
+        Some(log_disk.report().clone())
+    } else {
+        None
+    };
+
+    SimReport {
+        policy: cache.policy_name(),
+        write_policy: config.write_policy.name().to_owned(),
+        cache: cache.stats(),
+        disks: array.reports().into_iter().cloned().collect(),
+        log,
+        response_total,
+        response_hist,
+        requests: trace.len() as u64,
+        horizon: end,
+    }
+}
+
+/// A maximal run of coalescible effects: contiguous same-direction disk
+/// transfers, or consecutive log appends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EffectRun {
+    /// `blocks` consecutive blocks starting at `first`, read or written.
+    Disk {
+        first: pc_units::BlockId,
+        blocks: u64,
+        read: bool,
+    },
+    /// `blocks` consecutive appends to the log device.
+    Log { blocks: u64 },
+}
+
+/// Merges per-block effects into multi-block transfers where contiguous.
+fn coalesce(effects: &[Effect]) -> Vec<EffectRun> {
+    let mut runs: Vec<EffectRun> = Vec::new();
+    for e in effects {
+        match *e {
+            Effect::ReadDisk(b) | Effect::WriteDisk(b) => {
+                let is_read = matches!(e, Effect::ReadDisk(_));
+                if let Some(EffectRun::Disk {
+                    first,
+                    blocks,
+                    read,
+                }) = runs.last_mut()
+                {
+                    if *read == is_read
+                        && first.disk() == b.disk()
+                        && first.block().number() + *blocks == b.block().number()
+                    {
+                        *blocks += 1;
+                        continue;
+                    }
+                }
+                runs.push(EffectRun::Disk {
+                    first: b,
+                    blocks: 1,
+                    read: is_read,
+                });
+            }
+            Effect::WriteLog(_) => {
+                if let Some(EffectRun::Log { blocks }) = runs.last_mut() {
+                    *blocks += 1;
+                    continue;
+                }
+                runs.push(EffectRun::Log { blocks: 1 });
+            }
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_trace::{CelloConfig, OltpConfig, SyntheticConfig};
+    use pc_units::Joules;
+
+    fn oltp(n: usize) -> Trace {
+        OltpConfig::default().with_requests(n).generate(42)
+    }
+
+    #[test]
+    fn accounting_covers_the_whole_horizon_on_every_disk() {
+        let t = oltp(3_000);
+        let r = run_replacement(&t, &PolicySpec::Lru, &SimConfig::default());
+        assert_eq!(r.disks.len(), 21);
+        for d in &r.disks {
+            // Total accounted time ≥ horizon (waits extend past arrivals).
+            assert!(
+                d.total_time().as_secs_f64() >= (r.horizon - SimTime::ZERO).as_secs_f64() - 1e-6
+            );
+        }
+        assert!(r.total_energy() > Joules::ZERO);
+        assert!(r.mean_response() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn oracle_dpm_beats_practical_dpm() {
+        let t = oltp(3_000);
+        let practical = run_replacement(&t, &PolicySpec::Lru, &SimConfig::default());
+        let oracle = run_replacement(
+            &t,
+            &PolicySpec::Lru,
+            &SimConfig::default().with_dpm(DpmPolicy::Oracle),
+        );
+        assert!(oracle.total_energy() < practical.total_energy());
+        // Oracle never delays a request for spin-ups.
+        assert!(oracle.mean_response() <= practical.mean_response());
+    }
+
+    #[test]
+    fn infinite_cache_is_an_energy_lower_bound_under_oracle() {
+        let t = oltp(4_000);
+        let cfg = SimConfig::default().with_dpm(DpmPolicy::Oracle);
+        let infinite = run_replacement(&t, &PolicySpec::Lru, &cfg.clone().with_infinite_cache());
+        for policy in [PolicySpec::Lru, PolicySpec::Belady, PolicySpec::PaLru] {
+            let r = run_replacement(&t, &policy, &cfg);
+            assert!(
+                infinite.total_energy().as_joules() <= r.total_energy().as_joules() * 1.001,
+                "infinite {} vs {} {}",
+                infinite.total_energy(),
+                r.policy,
+                r.total_energy()
+            );
+        }
+    }
+
+    #[test]
+    fn belady_minimizes_misses_across_policies() {
+        let t = oltp(4_000);
+        let cfg = SimConfig::default();
+        let belady = run_replacement(&t, &PolicySpec::Belady, &cfg);
+        for policy in [PolicySpec::Lru, PolicySpec::Fifo, PolicySpec::PaLru] {
+            let r = run_replacement(&t, &policy, &cfg);
+            assert!(
+                belady.cache.misses() <= r.cache.misses(),
+                "belady {} vs {} {}",
+                belady.cache.misses(),
+                r.policy,
+                r.cache.misses()
+            );
+        }
+    }
+
+    #[test]
+    fn write_back_saves_energy_over_write_through_on_write_heavy_traffic() {
+        let t = SyntheticConfig::default()
+            .with_requests(6_000)
+            .with_disks(8)
+            .with_write_ratio(0.9)
+            .generate(7);
+        let wb = run_write_policy(
+            &t,
+            &PolicySpec::Lru,
+            &SimConfig::default().with_write_policy(WritePolicy::WriteBack),
+        );
+        let wt = run_write_policy(
+            &t,
+            &PolicySpec::Lru,
+            &SimConfig::default().with_write_policy(WritePolicy::WriteThrough),
+        );
+        assert!(
+            wb.total_energy() < wt.total_energy(),
+            "wb {} wt {}",
+            wb.total_energy(),
+            wt.total_energy()
+        );
+        // Write-back defers far more disk writes than write-through issues.
+        assert!(wb.cache.disk_writes < wt.cache.disk_writes);
+    }
+
+    #[test]
+    fn wtdu_logs_instead_of_waking_disks() {
+        let t = SyntheticConfig::default()
+            .with_requests(4_000)
+            .with_disks(8)
+            .with_write_ratio(0.8)
+            .generate(3);
+        let wtdu = run_write_policy(
+            &t,
+            &PolicySpec::Lru,
+            &SimConfig::default().with_write_policy(WritePolicy::Wtdu),
+        );
+        assert!(wtdu.cache.log_writes > 0, "some writes must hit the log");
+        assert!(wtdu.log.is_some());
+        let wt = run_write_policy(
+            &t,
+            &PolicySpec::Lru,
+            &SimConfig::default().with_write_policy(WritePolicy::WriteThrough),
+        );
+        assert!(
+            wtdu.total_energy() < wt.total_energy(),
+            "wtdu {} wt {}",
+            wtdu.total_energy(),
+            wt.total_energy()
+        );
+    }
+
+    #[test]
+    fn cello_offers_little_headroom() {
+        // The paper's §5.2: Cello's cold-miss-dominated, dense traffic
+        // leaves even an infinite cache only ~12% below LRU.
+        let t = CelloConfig::default().with_requests(20_000).generate(9);
+        let cfg = SimConfig::default();
+        let lru = run_replacement(&t, &PolicySpec::Lru, &cfg);
+        let infinite = run_replacement(&t, &PolicySpec::Lru, &cfg.clone().with_infinite_cache());
+        let ratio = infinite.energy_ratio(&lru);
+        assert!(ratio > 0.75, "infinite/LRU ratio {ratio} suspiciously low");
+    }
+
+    #[test]
+    fn coalesce_merges_contiguous_same_direction_effects() {
+        use pc_units::{BlockId, BlockNo};
+        let b = |n: u64| BlockId::new(DiskId::new(0), BlockNo::new(n));
+        let other = BlockId::new(DiskId::new(1), BlockNo::new(12));
+        let effects = vec![
+            Effect::ReadDisk(b(10)),
+            Effect::ReadDisk(b(11)),
+            Effect::ReadDisk(b(12)),
+            Effect::WriteDisk(b(13)), // direction change splits
+            Effect::ReadDisk(b(14)),
+            Effect::ReadDisk(other), // disk change splits
+            Effect::WriteLog(b(1)),
+            Effect::WriteLog(b(7)), // log runs merge regardless of blocks
+        ];
+        let runs = coalesce(&effects);
+        assert_eq!(
+            runs,
+            vec![
+                EffectRun::Disk { first: b(10), blocks: 3, read: true },
+                EffectRun::Disk { first: b(13), blocks: 1, read: false },
+                EffectRun::Disk { first: b(14), blocks: 1, read: true },
+                EffectRun::Disk { first: other, blocks: 1, read: true },
+                EffectRun::Log { blocks: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_block_reads_cost_one_mechanical_operation() {
+        // A single 16-block sequential read must be cheaper than 16
+        // scattered single-block reads (one seek + latency vs sixteen).
+        use pc_trace::{IoOp, Record};
+        use pc_units::{BlockId, BlockNo};
+        let mut seq = pc_trace::Trace::new(1);
+        let mut r = Record::new(
+            SimTime::from_secs(1),
+            BlockId::new(DiskId::new(0), BlockNo::new(1_000)),
+            IoOp::Read,
+        );
+        r.blocks = 16;
+        seq.push(r);
+        let mut scattered = pc_trace::Trace::new(1);
+        for i in 0..16u64 {
+            scattered.push(Record::new(
+                SimTime::from_secs(1),
+                BlockId::new(DiskId::new(0), BlockNo::new(i * 50_000)),
+                IoOp::Read,
+            ));
+        }
+        let cfg = SimConfig::default();
+        let a = run_replacement(&seq, &PolicySpec::Lru, &cfg);
+        let b = run_replacement(&scattered, &PolicySpec::Lru, &cfg);
+        let service_a: SimDuration = a.disks.iter().map(|d| d.service_time).sum();
+        let service_b: SimDuration = b.disks.iter().map(|d| d.service_time).sum();
+        assert!(
+            service_a.as_secs_f64() * 3.0 < service_b.as_secs_f64(),
+            "coalesced {service_a} vs scattered {service_b}"
+        );
+    }
+
+    #[test]
+    fn response_quantiles_bracket_the_mean() {
+        let t = oltp(4_000);
+        let r = run_replacement(&t, &PolicySpec::Lru, &SimConfig::default());
+        let p50 = r.response_quantile(0.5);
+        let p99 = r.response_quantile(0.99);
+        assert!(p50 <= p99);
+        // The distribution is heavy-tailed: spin-up waits push p99 far
+        // above the (hit-dominated) median.
+        assert!(p50 < SimDuration::from_millis(50), "p50 {p50}");
+        assert!(p99 > r.mean_response(), "p99 {p99}");
+    }
+
+    #[test]
+    fn prefetching_is_wired_through_the_config() {
+        let t = SyntheticConfig {
+            seq_probability: 0.8,
+            local_probability: 0.1,
+            reuse_probability: 0.0,
+            ..SyntheticConfig::default()
+        }
+        .with_requests(4_000)
+        .generate(1);
+        let plain = run_replacement(&t, &PolicySpec::Lru, &SimConfig::default());
+        let ahead = run_replacement(
+            &t,
+            &PolicySpec::Lru,
+            &SimConfig::default().with_prefetch_depth(4),
+        );
+        assert!(ahead.cache.prefetch_reads > 0);
+        assert!(ahead.cache.hit_ratio() > plain.cache.hit_ratio() + 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "causal DPM")]
+    fn write_policy_runner_rejects_oracle() {
+        let t = oltp(10);
+        let _ = run_write_policy(
+            &t,
+            &PolicySpec::Lru,
+            &SimConfig::default()
+                .with_dpm(DpmPolicy::Oracle)
+                .with_write_policy(WritePolicy::Wtdu),
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Data layout transformations: how logical volumes map onto physical
+//! disks.
+//!
+//! The paper's storage system implicitly places each logical volume on
+//! its own disk — the layout that *creates* per-disk idle periods for
+//! power management to harvest. RAID-style striping is the opposite
+//! extreme: every volume's blocks interleave across all spindles, so any
+//! activity anywhere keeps every disk awake. [`DataLayout::remap`] lets
+//! the same trace be replayed under either layout (the
+//! `ablation-layout` experiment quantifies the difference).
+
+use serde::{Deserialize, Serialize};
+
+use pc_units::{BlockId, BlockNo, DiskId};
+
+use crate::{Record, Trace};
+
+/// A mapping from logical (volume, block) addresses to physical
+/// (disk, block) addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataLayout {
+    /// Volume `v` lives wholly on disk `v` (the paper's layout).
+    Partitioned,
+    /// All volumes striped across all disks in `stripe_blocks`-sized
+    /// chunks (RAID-0 style).
+    Striped {
+        /// Stripe unit, in blocks.
+        stripe_blocks: u64,
+    },
+}
+
+impl DataLayout {
+    /// Short lowercase name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataLayout::Partitioned => "partitioned",
+            DataLayout::Striped { .. } => "striped",
+        }
+    }
+
+    /// Maps one logical address to its physical address under this
+    /// layout, for a system of `disks` disks and logical volumes of
+    /// `volume_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a striped stripe unit is zero or `disks` is zero.
+    #[must_use]
+    pub fn place(&self, logical: BlockId, disks: u32, volume_blocks: u64) -> BlockId {
+        match *self {
+            DataLayout::Partitioned => logical,
+            DataLayout::Striped { stripe_blocks } => {
+                assert!(stripe_blocks > 0, "stripe unit must be positive");
+                assert!(disks > 0, "need at least one disk");
+                // Linearize (volume, block) and deal stripes round-robin.
+                let linear = u64::from(logical.disk().index()) * volume_blocks
+                    + logical.block().number();
+                let stripe = linear / stripe_blocks;
+                let offset = linear % stripe_blocks;
+                let disk = (stripe % u64::from(disks)) as u32;
+                let row = stripe / u64::from(disks);
+                BlockId::new(
+                    DiskId::new(disk),
+                    BlockNo::new(row * stripe_blocks + offset),
+                )
+            }
+        }
+    }
+
+    /// Rewrites a whole trace under this layout. `volume_blocks` bounds
+    /// each logical volume (any block number at or above it still maps
+    /// deterministically, just into a higher row).
+    ///
+    /// # Panics
+    ///
+    /// Propagates [`DataLayout::place`]'s panics.
+    #[must_use]
+    pub fn remap(&self, trace: &Trace, volume_blocks: u64) -> Trace {
+        let disks = trace.disk_count();
+        let records = trace
+            .iter()
+            .map(|r| Record {
+                block: self.place(r.block, disks, volume_blocks),
+                ..*r
+            })
+            .collect();
+        Trace::from_records(disks, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IoOp, OltpConfig};
+    use pc_units::SimTime;
+    use std::collections::HashSet;
+
+    fn blk(d: u32, b: u64) -> BlockId {
+        BlockId::new(DiskId::new(d), BlockNo::new(b))
+    }
+
+    #[test]
+    fn partitioned_is_identity() {
+        let layout = DataLayout::Partitioned;
+        assert_eq!(layout.place(blk(3, 77), 8, 1_000), blk(3, 77));
+    }
+
+    #[test]
+    fn striping_deals_stripes_round_robin() {
+        let layout = DataLayout::Striped { stripe_blocks: 4 };
+        // Volume 0, blocks 0..16 over 2 disks: stripes alternate.
+        assert_eq!(layout.place(blk(0, 0), 2, 1_000), blk(0, 0));
+        assert_eq!(layout.place(blk(0, 3), 2, 1_000), blk(0, 3));
+        assert_eq!(layout.place(blk(0, 4), 2, 1_000), blk(1, 0));
+        assert_eq!(layout.place(blk(0, 8), 2, 1_000), blk(0, 4));
+        assert_eq!(layout.place(blk(0, 12), 2, 1_000), blk(1, 4));
+    }
+
+    #[test]
+    fn striping_is_injective() {
+        let layout = DataLayout::Striped { stripe_blocks: 8 };
+        let mut seen = HashSet::new();
+        for v in 0..4u32 {
+            for b in 0..500u64 {
+                assert!(
+                    seen.insert(layout.place(blk(v, b), 4, 1_000)),
+                    "collision at volume {v} block {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remap_preserves_times_ops_and_lengths() {
+        let trace = OltpConfig::default().with_requests(2_000).generate(1);
+        let striped = DataLayout::Striped { stripe_blocks: 16 }.remap(&trace, 1 << 20);
+        assert_eq!(striped.len(), trace.len());
+        for (a, b) in trace.iter().zip(striped.iter()) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.blocks, b.blocks);
+        }
+    }
+
+    #[test]
+    fn striping_spreads_a_single_volumes_traffic_over_all_disks() {
+        let mut t = Trace::new(4);
+        for i in 0..64u64 {
+            t.push(Record::new(
+                SimTime::from_millis(i),
+                blk(0, i * 8), // one volume, striding over stripes
+                IoOp::Read,
+            ));
+        }
+        let striped = DataLayout::Striped { stripe_blocks: 8 }.remap(&t, 1 << 20);
+        let disks: HashSet<u32> = striped.iter().map(|r| r.block.disk().index()).collect();
+        assert_eq!(disks.len(), 4, "every disk receives traffic");
+        // Partitioned keeps it on one disk.
+        let part: HashSet<u32> = DataLayout::Partitioned
+            .remap(&t, 1 << 20)
+            .iter()
+            .map(|r| r.block.disk().index())
+            .collect();
+        assert_eq!(part.len(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Random samplers used by the workload generators.
+//!
+//! The paper's synthetic traces (Table 3) use exponential or Pareto
+//! inter-arrival times ("Pareto … with a finite mean and infinite
+//! variance", i.e. shape between 1 and 2) and Zipf-distributed stack
+//! distances for temporal locality.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use pc_units::SimDuration;
+
+/// An inter-arrival time distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GapDistribution {
+    /// Exponential gaps (a Poisson arrival process; no burstiness).
+    Exponential {
+        /// Mean inter-arrival time.
+        mean: SimDuration,
+    },
+    /// Pareto gaps: bursty arrivals with finite mean, infinite variance.
+    Pareto {
+        /// Mean inter-arrival time.
+        mean: SimDuration,
+        /// Shape parameter α; must satisfy `1 < α ≤ 2` for a finite mean
+        /// and infinite variance as in the paper.
+        shape: f64,
+    },
+}
+
+impl GapDistribution {
+    /// Exponential gaps with the given mean.
+    #[must_use]
+    pub fn exponential(mean: SimDuration) -> Self {
+        GapDistribution::Exponential { mean }
+    }
+
+    /// Pareto gaps with the given mean and the paper-style shape of 1.3.
+    #[must_use]
+    pub fn pareto(mean: SimDuration) -> Self {
+        GapDistribution::Pareto { mean, shape: 1.3 }
+    }
+
+    /// The configured mean gap.
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            GapDistribution::Exponential { mean } | GapDistribution::Pareto { mean, .. } => mean,
+        }
+    }
+
+    /// Draws one inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Pareto shape ≤ 1 was configured (infinite mean).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            GapDistribution::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+            }
+            GapDistribution::Pareto { mean, shape } => {
+                assert!(shape > 1.0, "Pareto shape must exceed 1 for a finite mean");
+                // mean = scale * shape / (shape - 1)  =>  scale below.
+                let scale = mean.as_secs_f64() * (shape - 1.0) / shape;
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                SimDuration::from_secs_f64(scale / u.powf(1.0 / shape))
+            }
+        }
+    }
+}
+
+/// A Zipf(θ) sampler over ranks `1..=n`, used for stack-distance temporal
+/// locality: small ranks (recently-used blocks) are drawn most often.
+///
+/// # Examples
+///
+/// ```
+/// use pc_trace::ZipfSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = ZipfSampler::new(100, 0.99);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=100).contains(&rank));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over ranks `1..=n` with exponent `theta`
+    /// (`P(rank=k) ∝ k^{-theta}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or not finite.
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-theta);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler has a single rank.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(dist: GapDistribution, samples: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(99);
+        let total: f64 = (0..samples)
+            .map(|_| dist.sample(&mut rng).as_secs_f64())
+            .sum();
+        total / samples as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let target = SimDuration::from_millis(250);
+        let m = mean_of(GapDistribution::exponential(target), 200_000);
+        assert!((m - 0.25).abs() < 0.005, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_mean_converges_roughly() {
+        // Infinite variance makes the sample mean noisy; allow a wide band.
+        let target = SimDuration::from_millis(250);
+        let m = mean_of(GapDistribution::pareto(target), 400_000);
+        assert!((m - 0.25).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_is_burstier_than_exponential() {
+        // The median Pareto gap is far below its mean (mass in rare bursts).
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = GapDistribution::pareto(SimDuration::from_millis(250));
+        let mut gaps: Vec<f64> = (0..20_001)
+            .map(|_| dist.sample(&mut rng).as_secs_f64())
+            .collect();
+        gaps.sort_by(f64::total_cmp);
+        let median = gaps[gaps.len() / 2];
+        assert!(median < 0.15, "median {median} should sit well below mean");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn pareto_rejects_infinite_mean_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dist = GapDistribution::Pareto {
+            mean: SimDuration::from_millis(1),
+            shape: 0.9,
+        };
+        let _ = dist.sample(&mut rng);
+    }
+
+    #[test]
+    fn zipf_favours_small_ranks() {
+        let zipf = ZipfSampler::new(1_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0usize;
+        let n = 50_000;
+        for _ in 0..n {
+            if zipf.sample(&mut rng) <= 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 1000 ranks should take a large share under Zipf(0.99).
+        assert!(head as f64 / n as f64 > 0.25);
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let zipf = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng) - 1] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 800.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_stay_in_range() {
+        let zipf = ZipfSampler::new(3, 1.2);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            assert!((1..=3).contains(&zipf.sample(&mut rng)));
+        }
+    }
+}

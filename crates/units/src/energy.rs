@@ -1,0 +1,207 @@
+//! Energy and power quantities.
+//!
+//! [`Watts`] × [`SimDuration`](crate::SimDuration) yields [`Joules`];
+//! [`Joules`] ÷ [`Watts`] yields a duration. Both types are thin `f64`
+//! wrappers that keep dimensional analysis in the type system.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimDuration;
+
+/// An amount of energy, in joules.
+///
+/// # Examples
+///
+/// ```
+/// use pc_units::{Joules, SimDuration, Watts};
+///
+/// let spin_up = Joules::new(135.0);
+/// let idle = Watts::new(10.2) * SimDuration::from_secs(10);
+/// assert!((spin_up + idle).as_joules() > 235.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Joules(f64);
+
+/// A rate of energy consumption, in watts.
+///
+/// # Examples
+///
+/// ```
+/// use pc_units::{SimDuration, Watts};
+///
+/// let energy = Watts::new(2.5) * SimDuration::from_secs(4);
+/// assert!((energy.as_joules() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Watts(f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Creates an energy amount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is not finite.
+    #[must_use]
+    pub fn new(joules: f64) -> Self {
+        assert!(joules.is_finite(), "energy must be finite, got {joules}");
+        Joules(joules)
+    }
+
+    /// Returns the amount in joules.
+    #[must_use]
+    pub const fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the smaller of two amounts.
+    #[must_use]
+    pub fn min(self, other: Joules) -> Joules {
+        Joules(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two amounts.
+    #[must_use]
+    pub fn max(self, other: Joules) -> Joules {
+        Joules(self.0.max(other.0))
+    }
+}
+
+impl Watts {
+    /// Zero power.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Creates a power level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is not finite.
+    #[must_use]
+    pub fn new(watts: f64) -> Self {
+        assert!(watts.is_finite(), "power must be finite, got {watts}");
+        Watts(watts)
+    }
+
+    /// Returns the level in watts.
+    #[must_use]
+    pub const fn as_watts(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Joules {
+    type Output = Joules;
+
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Joules {
+    type Output = Joules;
+
+    fn mul(self, rhs: f64) -> Joules {
+        Joules(self.0 * rhs)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = SimDuration;
+
+    /// Returns how long the energy would last at the given constant power.
+    fn div(self, rhs: Watts) -> SimDuration {
+        SimDuration::from_secs_f64(self.0 / rhs.0)
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        iter.fold(Joules::ZERO, Add::add)
+    }
+}
+
+impl Mul<SimDuration> for Watts {
+    type Output = Joules;
+
+    fn mul(self, rhs: SimDuration) -> Joules {
+        Joules(self.0 * rhs.as_secs_f64())
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}J", self.0)
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}W", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_duration_is_energy() {
+        let e = Watts::new(10.0) * SimDuration::from_millis(1500);
+        assert!((e.as_joules() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_over_power_is_duration() {
+        let d = Joules::new(20.0) / Watts::new(4.0);
+        assert_eq!(d, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn joules_sum_and_ordering() {
+        let total: Joules = [1.0, 2.0, 3.5].into_iter().map(Joules::new).sum();
+        assert!((total.as_joules() - 6.5).abs() < 1e-12);
+        assert!(Joules::new(1.0) < Joules::new(2.0));
+        assert_eq!(Joules::new(1.0).max(Joules::new(2.0)), Joules::new(2.0));
+        assert_eq!(Joules::new(1.0).min(Joules::new(2.0)), Joules::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_energy() {
+        let _ = Joules::new(f64::NAN);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Joules::new(1.5).to_string(), "1.500J");
+        assert_eq!(Watts::new(10.2).to_string(), "10.200W");
+    }
+}

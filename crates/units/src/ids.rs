@@ -1,0 +1,175 @@
+//! Storage addressing identifiers.
+//!
+//! A storage system is an array of disks; each disk is an array of
+//! fixed-size blocks. [`DiskId`] and [`BlockNo`] are the two coordinates,
+//! and [`BlockId`] is the pair — the key under which the storage cache
+//! indexes data.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The index of a disk within the storage system's disk array.
+///
+/// # Examples
+///
+/// ```
+/// use pc_units::DiskId;
+///
+/// let d = DiskId::new(14);
+/// assert_eq!(d.index(), 14);
+/// assert_eq!(d.to_string(), "disk14");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DiskId(u32);
+
+/// The index of a block within one disk.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BlockNo(u64);
+
+/// A globally-unique block address: a `(disk, block)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use pc_units::{BlockId, BlockNo, DiskId};
+///
+/// let id = BlockId::new(DiskId::new(2), BlockNo::new(4096));
+/// assert_eq!(id.disk(), DiskId::new(2));
+/// assert_eq!(id.block(), BlockNo::new(4096));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BlockId {
+    disk: DiskId,
+    block: BlockNo,
+}
+
+impl DiskId {
+    /// Creates a disk identifier from its array index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        DiskId(index)
+    }
+
+    /// Returns the disk's array index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the disk's array index as a `usize`, for direct slice
+    /// indexing.
+    #[must_use]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockNo {
+    /// Creates a block number.
+    #[must_use]
+    pub const fn new(number: u64) -> Self {
+        BlockNo(number)
+    }
+
+    /// Returns the raw block number.
+    #[must_use]
+    pub const fn number(self) -> u64 {
+        self.0
+    }
+}
+
+impl BlockId {
+    /// Creates a block address from its disk and block coordinates.
+    #[must_use]
+    pub const fn new(disk: DiskId, block: BlockNo) -> Self {
+        BlockId { disk, block }
+    }
+
+    /// Returns the disk coordinate.
+    #[must_use]
+    pub const fn disk(self) -> DiskId {
+        self.disk
+    }
+
+    /// Returns the block coordinate.
+    #[must_use]
+    pub const fn block(self) -> BlockNo {
+        self.block
+    }
+}
+
+impl From<u32> for DiskId {
+    fn from(index: u32) -> Self {
+        DiskId(index)
+    }
+}
+
+impl From<u64> for BlockNo {
+    fn from(number: u64) -> Self {
+        BlockNo(number)
+    }
+}
+
+impl From<(DiskId, BlockNo)> for BlockId {
+    fn from((disk, block): (DiskId, BlockNo)) -> Self {
+        BlockId { disk, block }
+    }
+}
+
+impl fmt::Display for DiskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.disk, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_round_trip() {
+        let id = BlockId::new(DiskId::new(3), BlockNo::new(77));
+        assert_eq!(id.disk().index(), 3);
+        assert_eq!(id.block().number(), 77);
+        assert_eq!(BlockId::from((DiskId::new(3), BlockNo::new(77))), id);
+    }
+
+    #[test]
+    fn ordering_groups_by_disk_first() {
+        let a = BlockId::new(DiskId::new(0), BlockNo::new(999));
+        let b = BlockId::new(DiskId::new(1), BlockNo::new(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let id = BlockId::new(DiskId::new(2), BlockNo::new(5));
+        assert_eq!(id.to_string(), "disk2#5");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(DiskId::from(9u32), DiskId::new(9));
+        assert_eq!(BlockNo::from(9u64), BlockNo::new(9));
+        assert_eq!(DiskId::new(9).as_usize(), 9usize);
+    }
+}

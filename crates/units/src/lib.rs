@@ -1,0 +1,36 @@
+//! Strongly-typed units for the `powercache` simulator workspace.
+//!
+//! Every quantity that crosses a crate boundary in this workspace is wrapped
+//! in a newtype so that instants cannot be confused with durations, joules
+//! with watts, or disk numbers with block numbers ([C-NEWTYPE]).
+//!
+//! * [`SimTime`] — an absolute instant on the simulation clock (µs).
+//! * [`SimDuration`] — a span between two instants (µs).
+//! * [`Joules`], [`Watts`] — energy and power, with the obvious
+//!   `power × duration = energy` arithmetic.
+//! * [`DiskId`], [`BlockNo`], [`BlockId`] — storage addressing.
+//!
+//! # Examples
+//!
+//! ```
+//! use pc_units::{Joules, SimDuration, SimTime, Watts};
+//!
+//! let start = SimTime::ZERO;
+//! let end = start + SimDuration::from_secs_f64(2.0);
+//! let idle_power = Watts::new(10.2);
+//! let energy: Joules = idle_power * (end - start);
+//! assert!((energy.as_joules() - 20.4).abs() < 1e-9);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod ids;
+mod time;
+
+pub use energy::{Joules, Watts};
+pub use ids::{BlockId, BlockNo, DiskId};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,86 @@
+//! The paper's §5 story end-to-end: run all five replacement strategies
+//! on the OLTP-like workload under both DPM schemes and show *why*
+//! PA-LRU wins, with a per-disk drill-down of one hot and one cacheable
+//! disk (the paper's disks 4 and 14).
+//!
+//! ```text
+//! cargo run --release --example oltp_energy
+//! ```
+
+use pc_disksim::DpmPolicy;
+use pc_sim::{run_replacement, PolicySpec, SimConfig};
+use pc_trace::OltpConfig;
+use pc_units::{DiskId, Joules};
+
+fn main() {
+    let trace = OltpConfig::default().generate(42); // the full 2-hour trace
+    let base = SimConfig::default();
+
+    println!("== Energy (normalized to LRU), OLTP-like trace ==\n");
+    println!("{:16} {:>12} {:>12}", "policy", "oracle-dpm", "practical");
+    let oracle = base.clone().with_dpm(DpmPolicy::Oracle);
+    let practical = base.clone().with_dpm(DpmPolicy::Practical);
+    let policies: [(&str, PolicySpec, bool); 5] = [
+        ("infinite-cache", PolicySpec::Lru, true),
+        ("belady", PolicySpec::Belady, false),
+        ("opg", PolicySpec::Opg { epsilon: Joules::ZERO }, false),
+        ("lru", PolicySpec::Lru, false),
+        ("pa-lru", PolicySpec::PaLru, false),
+    ];
+    let lru_o = run_replacement(&trace, &PolicySpec::Lru, &oracle);
+    let lru_p = run_replacement(&trace, &PolicySpec::Lru, &practical);
+    let mut pa_report = None;
+    let mut lru_report = None;
+    for (name, spec, infinite) in policies {
+        let mk = |cfg: &SimConfig| {
+            let cfg = if infinite {
+                cfg.clone().with_infinite_cache()
+            } else {
+                cfg.clone()
+            };
+            run_replacement(&trace, &spec, &cfg)
+        };
+        let ro = mk(&oracle);
+        let rp = mk(&practical);
+        println!(
+            "{:16} {:>12.3} {:>12.3}",
+            name,
+            ro.energy_ratio(&lru_o),
+            rp.energy_ratio(&lru_p)
+        );
+        if name == "pa-lru" {
+            pa_report = Some(rp);
+        } else if name == "lru" {
+            lru_report = Some(rp);
+        }
+    }
+
+    let pa = pa_report.expect("pa-lru ran");
+    let lru = lru_report.expect("lru ran");
+    println!(
+        "\nmean response: lru {}  pa-lru {}  ({:.0}% better)",
+        lru.mean_response(),
+        pa.mean_response(),
+        100.0 * (1.0 - pa.mean_response().as_secs_f64() / lru.mean_response().as_secs_f64())
+    );
+
+    println!("\n== Why: two representative disks under Practical DPM ==\n");
+    for (label, disk) in [("hot disk 4", DiskId::new(4)), ("cacheable disk 14", DiskId::new(14))] {
+        for (policy, report) in [("lru", &lru), ("pa-lru", &pa)] {
+            let d = &report.disks[disk.as_usize()];
+            let f = d.time_fractions();
+            println!(
+                "{label:18} {policy:7}  standby {:4.1}%  transitions {:4.1}%  spin-ups {:4}  disk-gap {}",
+                f.per_mode.last().unwrap() * 100.0,
+                (f.spin_up + f.spin_down) * 100.0,
+                d.spin_ups,
+                d.mean_interarrival(),
+            );
+        }
+    }
+    println!(
+        "\nPA-LRU pins the cacheable disks' working sets, stretching their idle\n\
+         periods into the deep power modes — fewer spin-ups, less energy, and\n\
+         faster responses, exactly the paper's Figure 6/7 mechanism."
+    );
+}

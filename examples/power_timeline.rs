@@ -1,0 +1,59 @@
+//! Visualize a disk's power states over time under the three
+//! power-management schemes — an ASCII Gantt view of what the energy
+//! numbers summarize.
+//!
+//! Legend: `#` servicing, `v` spinning down, `^` spinning up,
+//! digits = resting in that power mode (0 = full-speed idle,
+//! 5 = standby).
+//!
+//! ```text
+//! cargo run --release --example power_timeline
+//! ```
+
+use pc_diskmodel::{DiskPowerSpec, PowerModel, ServiceModel, ServiceRequest};
+use pc_disksim::{DiskSim, DpmPolicy};
+use pc_units::{BlockNo, DiskId, SimDuration, SimTime};
+
+fn main() {
+    // One scripted request pattern: a burst, a medium gap (NAP territory),
+    // another access, then a long lull (standby territory).
+    let arrivals_secs = [5u64, 6, 7, 40, 45, 170];
+    let horizon = SimTime::from_secs(200);
+
+    println!(
+        "Request arrivals at t = {arrivals_secs:?} s; one character = 2 s; legend: \
+         # service, v down, ^ up, 0..5 rest mode\n"
+    );
+    for policy in [DpmPolicy::AlwaysOn, DpmPolicy::Practical, DpmPolicy::Oracle] {
+        let mut disk = DiskSim::new(
+            DiskId::new(0),
+            PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15()),
+            ServiceModel::ultrastar_36z15(),
+            policy,
+        )
+        .with_timeline();
+        for (i, &s) in arrivals_secs.iter().enumerate() {
+            let arrival = SimTime::from_secs(s).max(disk.ready_at());
+            disk.service(arrival, ServiceRequest::single(BlockNo::new(i as u64 * 40_000)));
+        }
+        disk.finish(horizon);
+        let strip = disk
+            .timeline()
+            .expect("recording enabled")
+            .render(SimTime::ZERO, horizon, SimDuration::from_secs(2));
+        let report = disk.report();
+        println!("{policy:<10?} |{strip}|");
+        println!(
+            "{:>10}  energy {:>10}, spin-ups {}, mean response {}\n",
+            "",
+            report.total_energy().to_string(),
+            report.spin_ups,
+            report.mean_response(),
+        );
+    }
+    println!(
+        "AlwaysOn burns idle power through every gap; Practical descends the\n\
+         threshold ladder and pays spin-up waits; Oracle drops straight to the\n\
+         best mode and wakes just in time."
+    );
+}

@@ -1,0 +1,196 @@
+//! Cross-validation between the cycle-accurate disk state machine
+//! (`pc-disksim`) and the analytic power model (`pc-diskmodel`), plus
+//! lower-bound checks of every policy against the exhaustive optimum.
+
+use pc_cache::optimal::{min_energy, miss_sequence_energy, threshold_energy};
+use pc_cache::policy::{Belady, Fifo, Lru, Opg, OpgDpm};
+use pc_cache::{BlockCache, ReplacementPolicy, WritePolicy};
+use pc_diskmodel::{DiskPowerSpec, ModeId, PowerModel, ServiceModel, ServiceRequest};
+use pc_disksim::{DiskSim, DpmPolicy};
+use pc_trace::{IoOp, Record, Trace};
+use pc_units::{BlockId, BlockNo, DiskId, Joules, SimDuration, SimTime, Watts};
+
+fn power() -> PowerModel {
+    PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15())
+}
+
+/// Runs one disk through `gaps.len() + 1` requests whose inter-request
+/// idle gaps are exactly `gaps`, and returns the *idle-side* energy
+/// (everything except request service). The simulation finishes at the
+/// last completion, so no trailing idle is accounted.
+fn sim_idle_energy(gaps_secs: &[u64], dpm: DpmPolicy) -> f64 {
+    let mut disk = DiskSim::new(DiskId::new(0), power(), ServiceModel::default(), dpm);
+    let mut t = SimTime::from_secs(1);
+    for (i, &g) in gaps_secs.iter().enumerate() {
+        let served = disk.service(t, ServiceRequest::single(BlockNo::new(i as u64)));
+        t = served.completion + SimDuration::from_secs(g);
+    }
+    // The final request closes the last gap.
+    let served = disk.service(t, ServiceRequest::single(BlockNo::new(999)));
+    disk.finish(served.completion);
+    let r = disk.report();
+    r.total_energy().as_joules() - r.service_energy.as_joules()
+}
+
+/// The Oracle state machine's per-gap energy differs from the Figure-2
+/// line `LE(gap)` by exactly `P_mode × (transition time)` — the line
+/// model charges the resting power across the *whole* gap, the machine
+/// only across the residency. This test pins that relation gap by gap.
+#[test]
+fn oracle_sim_energy_matches_the_envelope_up_to_transition_residency() {
+    let model = power();
+    let gaps: [u64; 6] = [5, 14, 25, 40, 120, 700];
+    // First request arrives at t = 1 s: one second of full-speed idle
+    // precedes it, then each gap contributes its envelope energy minus
+    // the resting power over the transition windows.
+    let mut expected = 10.2;
+    for g in gaps {
+        let gap = SimDuration::from_secs(g);
+        let mode = model.oracle_mode_for_gap(gap);
+        let spec = model.mode(mode);
+        let line = model.energy_line(mode, gap).as_joules();
+        let correction =
+            spec.power.as_watts() * (spec.spin_down.time + spec.spin_up.time).as_secs_f64();
+        expected += line - correction;
+    }
+    let simulated = sim_idle_energy(&gaps, DpmPolicy::Oracle);
+    assert!(
+        (simulated - expected).abs() < 1e-6,
+        "sim {simulated} vs analytic {expected}"
+    );
+}
+
+/// The Practical state machine tracks the analytic threshold-ladder
+/// energy within the (small, bounded) spin-down-residency difference.
+#[test]
+fn practical_sim_energy_tracks_the_analytic_ladder() {
+    let model = power();
+    let gaps: [u64; 7] = [3, 12, 15, 22, 36, 100, 400];
+    let simulated = sim_idle_energy(&gaps, DpmPolicy::Practical) - 10.2; // minus lead-in idle second
+    let analytic: f64 = gaps
+        .iter()
+        .map(|&g| model.practical_idle_energy(SimDuration::from_secs(g)).as_joules())
+        .sum();
+    // The machine spends each spin-down window at transition energy only,
+    // while the analytic form also charges the destination mode's power
+    // there; the gap-wise difference is bounded by idle-power × total
+    // spin-down time (1.5 s per full descent).
+    let bound = gaps.len() as f64 * 10.2 * 1.5;
+    assert!(
+        simulated <= analytic + 1e-6,
+        "sim {simulated} must not exceed analytic {analytic}"
+    );
+    assert!(
+        analytic - simulated <= bound,
+        "sim {simulated} vs analytic {analytic}: gap beyond transition residency"
+    );
+}
+
+/// 2-competitiveness end-to-end: on any gap schedule, the Practical
+/// machine consumes at most twice the Oracle machine (plus nothing).
+#[test]
+fn practical_machine_is_2_competitive_with_oracle_machine() {
+    for gaps in [
+        vec![5u64, 9, 13, 17, 21, 50],
+        vec![11, 11, 11, 11],
+        vec![100, 3, 100, 3, 100],
+        vec![700, 1, 2, 700],
+    ] {
+        let oracle = sim_idle_energy(&gaps, DpmPolicy::Oracle);
+        let practical = sim_idle_energy(&gaps, DpmPolicy::Practical);
+        assert!(practical >= oracle - 1e-6);
+        assert!(
+            practical <= 2.0 * oracle + 1e-6,
+            "gaps {gaps:?}: practical {practical} oracle {oracle}"
+        );
+    }
+}
+
+/// The exhaustive minimum-energy schedule lower-bounds every implemented
+/// policy on small instances — including the power-aware ones.
+#[test]
+fn exhaustive_optimum_lower_bounds_every_policy() {
+    let energy_fn = threshold_energy(Watts::new(1.0), Watts::new(0.0), SimDuration::from_secs(10));
+    // Deterministic pseudo-random small instances.
+    let mut state = 0xC0FFEEu64;
+    let mut rand = move |m: u64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % m
+    };
+    for round in 0..12 {
+        let n = 8 + rand(6) as usize;
+        let mut t = Trace::new(2);
+        let mut time = 0u64;
+        for _ in 0..n {
+            time += 1 + rand(12);
+            t.push(Record::new(
+                SimTime::from_secs(time),
+                BlockId::new(DiskId::new(rand(2) as u32), BlockNo::new(rand(6))),
+                IoOp::Read,
+            ));
+        }
+        let horizon = SimTime::from_secs(time + 15);
+        let capacity = 2 + (round % 2) as usize;
+        let optimal = min_energy(&t, capacity, horizon, Joules::ZERO, &energy_fn);
+
+        let policies: Vec<Box<dyn ReplacementPolicy>> = vec![
+            Box::new(Lru::new()),
+            Box::new(Fifo::new()),
+            Box::new(Belady::new(&t)),
+            Box::new(Opg::new(&t, power(), OpgDpm::Oracle, Joules::ZERO)),
+        ];
+        for policy in policies {
+            let name = policy.name();
+            let mut cache = BlockCache::new(capacity, policy, WritePolicy::WriteBack);
+            let mut miss_times: Vec<Vec<SimTime>> = vec![Vec::new(), Vec::new()];
+            for r in &t {
+                if !cache.access(r, |_| false).hit {
+                    miss_times[r.block.disk().as_usize()].push(r.time);
+                }
+            }
+            let energy: f64 = miss_times
+                .iter()
+                .map(|m| {
+                    miss_sequence_energy(m, horizon, Joules::ZERO, &energy_fn).as_joules()
+                })
+                .sum();
+            assert!(
+                optimal.energy.as_joules() <= energy + 1e-9,
+                "round {round}: optimal {} must lower-bound {name} ({energy})",
+                optimal.energy
+            );
+        }
+    }
+}
+
+/// The sum of a report's per-mode energies reproduces `power × time`
+/// mode by mode (no hidden joules).
+#[test]
+fn per_mode_energy_is_power_times_time() {
+    let model = power();
+    let mut disk = DiskSim::new(
+        DiskId::new(0),
+        model.clone(),
+        ServiceModel::default(),
+        DpmPolicy::Practical,
+    );
+    let mut t = SimTime::from_secs(1);
+    for (i, g) in [7u64, 18, 33, 120, 15].into_iter().enumerate() {
+        let served = disk.service(t, ServiceRequest::single(BlockNo::new(i as u64 * 999)));
+        t = served.completion + SimDuration::from_secs(g);
+    }
+    disk.finish(t);
+    let r = disk.report();
+    for (id, spec) in model.modes() {
+        let expected = spec.power.as_watts() * r.mode_time[id.index()].as_secs_f64();
+        let actual = r.mode_energy[id.index()].as_joules();
+        assert!(
+            (expected - actual).abs() < 1e-6,
+            "{id}: {actual} vs {expected}"
+        );
+    }
+    // And the disk did visit low-power modes in this schedule.
+    assert!(r.mode_time[ModeId::new(1).index()] > SimDuration::ZERO);
+}

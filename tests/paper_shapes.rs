@@ -1,0 +1,102 @@
+//! The paper's headline qualitative results, asserted end-to-end at
+//! moderate scale. Full-scale magnitudes are recorded in EXPERIMENTS.md;
+//! these tests pin the *shape*: who wins, in which direction, and where
+//! the effect disappears.
+
+use pc_experiments::{fig3, fig6, fig9, Params, TraceKind};
+
+fn params() -> Params {
+    Params {
+        scale: 0.35,
+        seed: 42,
+    }
+}
+
+/// §3 / Figure 3: Belady minimizes misses but not energy.
+#[test]
+fn belady_is_not_energy_optimal() {
+    let o = fig3::run();
+    assert_eq!(o.metric("belady_misses"), 6.0);
+    assert!(o.metric("optimal_energy") < o.metric("belady_energy"));
+    assert!(o.metric("optimal_misses") > o.metric("belady_misses"));
+}
+
+/// §5.2 / Figure 6a: on OLTP, PA-LRU saves energy over LRU, OPG is at
+/// least as energy-efficient as Belady, and the infinite cache bounds
+/// everything from below under Oracle DPM.
+#[test]
+fn figure6a_energy_shape() {
+    let o = fig6::energy(&params(), TraceKind::Oltp);
+    assert!(
+        o.metric("pa-lru_practical") < 0.97,
+        "pa-lru ratio {}",
+        o.metric("pa-lru_practical")
+    );
+    assert!(o.metric("opg_oracle") <= o.metric("belady_oracle") + 1e-9);
+    for bar in ["belady", "opg", "lru", "pa-lru"] {
+        assert!(
+            o.metric("infinite-cache_oracle") <= o.metric(&format!("{bar}_oracle")) + 0.01,
+            "infinite cache must lower-bound {bar}"
+        );
+    }
+}
+
+/// §5.2 / Figure 6b: on Cello96 the headroom shrinks: even the infinite
+/// cache saves little, and PA-LRU's edge over LRU is small (within a few
+/// percent) — the paper's cold-miss-dominated regime.
+#[test]
+fn figure6b_cello_offers_little_headroom() {
+    let o = fig6::energy(&params(), TraceKind::Cello);
+    let infinite = o.metric("infinite-cache_practical");
+    assert!(infinite > 0.75, "infinite/LRU ratio {infinite} too low for Cello");
+    let pa = o.metric("pa-lru_practical");
+    assert!(
+        (pa - 1.0).abs() < 0.1,
+        "pa-lru on cello should sit within a few % of LRU, got {pa}"
+    );
+    assert!(pa <= 1.02, "pa-lru must not burn notably more than LRU");
+}
+
+/// §5.2 / Figure 6c: PA-LRU improves OLTP response time; on Cello the
+/// difference stays small.
+#[test]
+fn figure6c_response_shape() {
+    let o = fig6::response(&params());
+    assert!(o.metric("pa-lru_oltp") < 0.95);
+    assert!((o.metric("pa-lru_cello") - 1.0).abs() < 0.1);
+}
+
+/// §6 / Figure 9: write-back beats write-through increasingly with the
+/// write ratio; WBEU and WTDU dominate plain write-back at heavy writes;
+/// savings vanish at 0% writes.
+#[test]
+fn figure9_write_policy_shape() {
+    let p = Params {
+        scale: 0.05,
+        seed: 42,
+    };
+    let o = fig9::by_write_ratio(&p);
+    for dist in ["exp", "pareto"] {
+        assert!(o.metric(&format!("wb_{dist}_at_0")).abs() < 3.0);
+        assert!(o.metric(&format!("wb_{dist}_at_1")) > 5.0);
+        assert!(
+            o.metric(&format!("wb_{dist}_at_1")) > o.metric(&format!("wb_{dist}_at_0.4")),
+            "wb savings must grow with write ratio ({dist})"
+        );
+        assert!(
+            o.metric(&format!("wbeu_{dist}_at_1")) > 40.0,
+            "wbeu at pure writes ({dist})"
+        );
+        assert!(
+            o.metric(&format!("wtdu_{dist}_at_1")) > 40.0,
+            "wtdu at pure writes ({dist})"
+        );
+        assert!(
+            o.metric(&format!("wbeu_{dist}_at_1")) > o.metric(&format!("wb_{dist}_at_1")),
+            "wbeu dominates wb ({dist})"
+        );
+    }
+    // The paper: WB's edge is slightly larger under exponential arrivals
+    // than under bursty Pareto arrivals.
+    assert!(o.metric("wb_exp_at_1") >= o.metric("wb_pareto_at_1") - 1.0);
+}
