@@ -9,6 +9,7 @@ fn params() -> Params {
     Params {
         scale: 0.05,
         seed: 42,
+        jobs: 0,
     }
 }
 

@@ -26,9 +26,10 @@ fn power() -> PowerModel {
 
 fn drive(trace: &Trace, policy: Box<dyn ReplacementPolicy>) -> u64 {
     let mut cache = BlockCache::new(CAPACITY, policy, WritePolicy::WriteBack);
+    let mut effects = Vec::new();
     let mut misses = 0;
     for r in trace {
-        if !cache.access(r, |_| false).hit {
+        if !cache.access(r, |_| false, &mut effects).hit {
             misses += 1;
         }
     }

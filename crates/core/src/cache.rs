@@ -2,17 +2,15 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use serde::{Deserialize, Serialize};
-
 use pc_trace::{IoOp, Record};
 use pc_units::{BlockId, DiskId};
 
 use crate::policy::ReplacementPolicy;
 use crate::wtdu::LogSpace;
-use crate::{AccessResult, Effect, WritePolicy};
+use crate::{AccessOutcome, AccessResult, Effect, WritePolicy};
 
 /// Aggregate cache counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Total accesses.
     pub accesses: u64,
@@ -81,9 +79,10 @@ struct BlockState {
 ///
 /// let mut cache = BlockCache::new(8, Box::new(Lru::new()), WritePolicy::WriteThrough);
 /// let block = BlockId::new(DiskId::new(0), BlockNo::new(3));
-/// let res = cache.access(&Record::new(SimTime::ZERO, block, IoOp::Write), |_| false);
+/// let mut effects = Vec::new();
+/// cache.access(&Record::new(SimTime::ZERO, block, IoOp::Write), |_| false, &mut effects);
 /// // Write-through: the write reaches the disk immediately.
-/// assert!(res.effects.contains(&Effect::WriteDisk(block)));
+/// assert!(effects.contains(&Effect::WriteDisk(block)));
 /// ```
 pub struct BlockCache {
     capacity: usize,
@@ -203,11 +202,22 @@ impl BlockCache {
     /// Processes one access (of `record.blocks` consecutive blocks).
     /// `sleeping(d)` must report whether disk `d` currently rests below
     /// full speed; the power-aware write policies use it to decide
-    /// between logging, deferring and flushing. The returned
-    /// [`AccessResult`] lists the disk-side work this access triggers, in
-    /// service order; `hit` means *every* block of the request was
-    /// resident, and only the missing blocks are fetched.
-    pub fn access<F: Fn(DiskId) -> bool>(&mut self, record: &Record, sleeping: F) -> AccessResult {
+    /// between logging, deferring and flushing.
+    ///
+    /// **Scratch-buffer contract:** `effects` is a caller-owned scratch
+    /// buffer. The cache clears it on entry and fills it with the
+    /// disk-side work this access triggers, in service order; the caller
+    /// reads it after the call and reuses the same buffer for the next
+    /// access, so the steady-state hit path performs no heap allocation.
+    /// In the returned [`AccessOutcome`], `hit` means *every* block of
+    /// the request was resident, and only the missing blocks are fetched.
+    pub fn access<F: Fn(DiskId) -> bool>(
+        &mut self,
+        record: &Record,
+        sleeping: F,
+        effects: &mut Vec<Effect>,
+    ) -> AccessOutcome {
+        effects.clear();
         let disk = record.block.disk();
         self.stats.accesses += 1;
         match record.op {
@@ -219,7 +229,6 @@ impl BlockCache {
         // observable by the cache anyway.
         let asleep = sleeping(disk);
 
-        let mut effects = Vec::new();
         let mut evicted = None;
         let mut all_hit = true;
         let mut activated = false;
@@ -239,7 +248,7 @@ impl BlockCache {
                 // deferred work on that activation.
                 if record.op == IoOp::Read {
                     if asleep && !activated {
-                        self.on_activation(disk, &mut effects);
+                        self.on_activation(disk, effects);
                         activated = true;
                     }
                     effects.push(Effect::ReadDisk(block));
@@ -247,7 +256,7 @@ impl BlockCache {
                     read_missed = true;
                 }
                 if self.resident.len() >= self.capacity {
-                    let victim = self.evict_one(&mut effects);
+                    let victim = self.evict_one(effects);
                     if evicted.is_none() {
                         evicted = Some(victim);
                     }
@@ -256,7 +265,7 @@ impl BlockCache {
                 self.resident.insert(block, BlockState::default());
             }
             if record.op == IoOp::Write {
-                self.handle_write(block, asleep, &mut effects);
+                self.handle_write(block, asleep, effects);
             }
         }
 
@@ -270,12 +279,29 @@ impl BlockCache {
                     record.block.block().number() + record.blocks.saturating_sub(1),
                 ),
             );
-            self.prefetch_after(last, record.time, &mut effects);
+            self.prefetch_after(last, record.time, effects);
         }
 
-        AccessResult {
+        AccessOutcome {
             hit: all_hit,
             evicted,
+        }
+    }
+
+    /// Allocating convenience wrapper around [`BlockCache::access`]:
+    /// returns the effects in an owned [`AccessResult`]. Handy in tests
+    /// and examples; simulation loops should thread a reusable scratch
+    /// buffer through `access` instead.
+    pub fn access_alloc<F: Fn(DiskId) -> bool>(
+        &mut self,
+        record: &Record,
+        sleeping: F,
+    ) -> AccessResult {
+        let mut effects = Vec::new();
+        let outcome = self.access(record, sleeping, &mut effects);
+        AccessResult {
+            hit: outcome.hit,
+            evicted: outcome.evicted,
             effects,
         }
     }
@@ -491,10 +517,10 @@ mod tests {
     fn read_miss_then_hit() {
         let mut c = cache(2, WritePolicy::WriteBack);
         let b = blk(0, 1);
-        let r1 = c.access(&rec(0, b, IoOp::Read), |_| false);
+        let r1 = c.access_alloc(&rec(0, b, IoOp::Read), |_| false);
         assert!(!r1.hit);
         assert_eq!(r1.effects, vec![Effect::ReadDisk(b)]);
-        let r2 = c.access(&rec(1, b, IoOp::Read), |_| false);
+        let r2 = c.access_alloc(&rec(1, b, IoOp::Read), |_| false);
         assert!(r2.hit);
         assert!(r2.effects.is_empty());
         assert_eq!(c.stats().hit_ratio(), 0.5);
@@ -503,9 +529,9 @@ mod tests {
     #[test]
     fn lru_eviction_writes_back_dirty_blocks() {
         let mut c = cache(2, WritePolicy::WriteBack);
-        c.access(&rec(0, blk(0, 1), IoOp::Write), |_| false);
-        c.access(&rec(1, blk(0, 2), IoOp::Read), |_| false);
-        let r = c.access(&rec(2, blk(0, 3), IoOp::Read), |_| false);
+        c.access_alloc(&rec(0, blk(0, 1), IoOp::Write), |_| false);
+        c.access_alloc(&rec(1, blk(0, 2), IoOp::Read), |_| false);
+        let r = c.access_alloc(&rec(2, blk(0, 3), IoOp::Read), |_| false);
         assert_eq!(r.evicted, Some(blk(0, 1)));
         assert!(r.effects.contains(&Effect::WriteDisk(blk(0, 1))));
         assert_eq!(c.stats().dirty_evictions, 1);
@@ -514,9 +540,9 @@ mod tests {
     #[test]
     fn write_through_never_holds_dirty_blocks() {
         let mut c = cache(2, WritePolicy::WriteThrough);
-        c.access(&rec(0, blk(0, 1), IoOp::Write), |_| false);
-        c.access(&rec(1, blk(0, 2), IoOp::Read), |_| false);
-        let r = c.access(&rec(2, blk(0, 3), IoOp::Read), |_| false);
+        c.access_alloc(&rec(0, blk(0, 1), IoOp::Write), |_| false);
+        c.access_alloc(&rec(1, blk(0, 2), IoOp::Read), |_| false);
+        let r = c.access_alloc(&rec(2, blk(0, 3), IoOp::Read), |_| false);
         // Eviction of block 1 emits no write-back: it was written through.
         assert_eq!(
             r.effects
@@ -531,7 +557,7 @@ mod tests {
     #[test]
     fn write_miss_allocates_without_reading() {
         let mut c = cache(4, WritePolicy::WriteBack);
-        let r = c.access(&rec(0, blk(0, 9), IoOp::Write), |_| false);
+        let r = c.access_alloc(&rec(0, blk(0, 9), IoOp::Write), |_| false);
         assert!(!r.hit);
         assert!(r.effects.is_empty(), "no fetch, no write-through");
         assert!(c.contains(blk(0, 9)));
@@ -540,10 +566,10 @@ mod tests {
     #[test]
     fn wbeu_flushes_on_read_activation() {
         let mut c = cache(8, WritePolicy::Wbeu { dirty_limit: 100 });
-        c.access(&rec(0, blk(1, 1), IoOp::Write), |_| false);
-        c.access(&rec(1, blk(1, 2), IoOp::Write), |_| false);
+        c.access_alloc(&rec(0, blk(1, 1), IoOp::Write), |_| false);
+        c.access_alloc(&rec(1, blk(1, 2), IoOp::Write), |_| false);
         // Read miss to disk 1 while it sleeps: flush rides the spin-up.
-        let r = c.access(&rec(2, blk(1, 3), IoOp::Read), |_| true);
+        let r = c.access_alloc(&rec(2, blk(1, 3), IoOp::Read), |_| true);
         let writes: Vec<_> = r
             .effects
             .iter()
@@ -558,9 +584,9 @@ mod tests {
     #[test]
     fn wbeu_respects_dirty_limit() {
         let mut c = cache(16, WritePolicy::Wbeu { dirty_limit: 2 });
-        c.access(&rec(0, blk(0, 1), IoOp::Write), |_| true);
-        c.access(&rec(1, blk(0, 2), IoOp::Write), |_| true);
-        let r = c.access(&rec(2, blk(0, 3), IoOp::Write), |_| true);
+        c.access_alloc(&rec(0, blk(0, 1), IoOp::Write), |_| true);
+        c.access_alloc(&rec(1, blk(0, 2), IoOp::Write), |_| true);
+        let r = c.access_alloc(&rec(2, blk(0, 3), IoOp::Write), |_| true);
         // Third dirty block exceeds the limit of 2: forced flush of all 3.
         assert_eq!(
             r.effects
@@ -575,7 +601,7 @@ mod tests {
     fn wtdu_logs_writes_to_sleeping_disks() {
         let mut c = cache(8, WritePolicy::Wtdu);
         let b = blk(2, 7);
-        let r = c.access(&rec(0, b, IoOp::Write), |_| true);
+        let r = c.access_alloc(&rec(0, b, IoOp::Write), |_| true);
         assert_eq!(r.effects, vec![Effect::WriteLog(b)]);
         assert_eq!(c.stats().log_writes, 1);
         assert_eq!(c.log().pending(DiskId::new(2)), 1);
@@ -587,7 +613,7 @@ mod tests {
     fn wtdu_writes_directly_to_active_disks() {
         let mut c = cache(8, WritePolicy::Wtdu);
         let b = blk(2, 7);
-        let r = c.access(&rec(0, b, IoOp::Write), |_| false);
+        let r = c.access_alloc(&rec(0, b, IoOp::Write), |_| false);
         assert_eq!(r.effects, vec![Effect::WriteDisk(b)]);
         assert_eq!(c.stats().log_writes, 0);
     }
@@ -595,10 +621,10 @@ mod tests {
     #[test]
     fn wtdu_activation_flushes_and_retires_log() {
         let mut c = cache(8, WritePolicy::Wtdu);
-        c.access(&rec(0, blk(2, 7), IoOp::Write), |_| true);
-        c.access(&rec(1, blk(2, 8), IoOp::Write), |_| true);
+        c.access_alloc(&rec(0, blk(2, 7), IoOp::Write), |_| true);
+        c.access_alloc(&rec(1, blk(2, 8), IoOp::Write), |_| true);
         // Disk 2 wakes for a read: logged blocks flushed, region retired.
-        let r = c.access(&rec(2, blk(2, 9), IoOp::Read), |_| true);
+        let r = c.access_alloc(&rec(2, blk(2, 9), IoOp::Read), |_| true);
         assert_eq!(
             r.effects
                 .iter()
@@ -614,10 +640,10 @@ mod tests {
     fn wtdu_direct_write_supersedes_logged_value() {
         let mut c = cache(8, WritePolicy::Wtdu);
         let b = blk(0, 1);
-        c.access(&rec(0, b, IoOp::Write), |_| true); // logged
-        c.access(&rec(1, b, IoOp::Write), |_| false); // direct while active
+        c.access_alloc(&rec(0, b, IoOp::Write), |_| true); // logged
+        c.access_alloc(&rec(1, b, IoOp::Write), |_| false); // direct while active
         // Waking the disk later flushes nothing (the logged mark cleared).
-        let r = c.access(&rec(2, blk(0, 2), IoOp::Read), |_| true);
+        let r = c.access_alloc(&rec(2, blk(0, 2), IoOp::Read), |_| true);
         assert_eq!(
             r.effects
                 .iter()
@@ -631,7 +657,7 @@ mod tests {
     fn capacity_is_never_exceeded() {
         let mut c = cache(3, WritePolicy::WriteBack);
         for i in 0..50 {
-            c.access(&rec(i, blk(0, i % 7), IoOp::Read), |_| false);
+            c.access_alloc(&rec(i, blk(0, i % 7), IoOp::Read), |_| false);
             assert!(c.len() <= 3);
         }
         assert_eq!(c.stats().accesses, 50);
@@ -643,7 +669,7 @@ mod tests {
         let mut misses = 0;
         for i in 0..100u64 {
             let b = blk(0, i % 10);
-            if !c.access(&rec(i, b, IoOp::Read), |_| false).hit {
+            if !c.access_alloc(&rec(i, b, IoOp::Read), |_| false).hit {
                 misses += 1;
             }
         }
@@ -655,7 +681,7 @@ mod tests {
     fn log_grows_past_64_disks() {
         let mut c = cache(8, WritePolicy::Wtdu);
         let b = blk(200, 1);
-        let r = c.access(&rec(0, b, IoOp::Write), |_| true);
+        let r = c.access_alloc(&rec(0, b, IoOp::Write), |_| true);
         assert_eq!(r.effects, vec![Effect::WriteLog(b)]);
         assert_eq!(c.log().pending(DiskId::new(200)), 1);
     }
@@ -669,7 +695,7 @@ mod tests {
     #[test]
     fn prefetch_pulls_sequential_blocks() {
         let mut c = cache(8, WritePolicy::WriteBack).with_prefetch_depth(2);
-        let r = c.access(&rec(0, blk(0, 10), IoOp::Read), |_| false);
+        let r = c.access_alloc(&rec(0, blk(0, 10), IoOp::Read), |_| false);
         assert_eq!(
             r.effects,
             vec![
@@ -680,15 +706,15 @@ mod tests {
         );
         assert_eq!(c.stats().prefetch_reads, 2);
         // The prefetched blocks now hit without any disk work.
-        assert!(c.access(&rec(1, blk(0, 11), IoOp::Read), |_| false).hit);
-        assert!(c.access(&rec(2, blk(0, 12), IoOp::Read), |_| false).hit);
+        assert!(c.access_alloc(&rec(1, blk(0, 11), IoOp::Read), |_| false).hit);
+        assert!(c.access_alloc(&rec(2, blk(0, 12), IoOp::Read), |_| false).hit);
     }
 
     #[test]
     fn prefetch_skips_resident_blocks_and_respects_capacity() {
         let mut c = cache(2, WritePolicy::WriteBack).with_prefetch_depth(3);
-        c.access(&rec(0, blk(0, 11), IoOp::Read), |_| false);
-        let r = c.access(&rec(1, blk(0, 10), IoOp::Read), |_| false);
+        c.access_alloc(&rec(0, blk(0, 11), IoOp::Read), |_| false);
+        let r = c.access_alloc(&rec(1, blk(0, 10), IoOp::Read), |_| false);
         // Block 11 is already resident; capacity 2 bounds the rest.
         assert!(c.len() <= 2);
         let reads = r
@@ -702,7 +728,7 @@ mod tests {
     #[test]
     fn writes_do_not_trigger_prefetch() {
         let mut c = cache(8, WritePolicy::WriteBack).with_prefetch_depth(4);
-        let r = c.access(&rec(0, blk(0, 5), IoOp::Write), |_| false);
+        let r = c.access_alloc(&rec(0, blk(0, 5), IoOp::Write), |_| false);
         assert!(r.effects.is_empty());
         assert_eq!(c.stats().prefetch_reads, 0);
     }
@@ -711,11 +737,11 @@ mod tests {
     fn multi_block_requests_fetch_only_missing_blocks() {
         let mut c = cache(8, WritePolicy::WriteBack);
         // Warm block 11.
-        c.access(&rec(0, blk(0, 11), IoOp::Read), |_| false);
+        c.access_alloc(&rec(0, blk(0, 11), IoOp::Read), |_| false);
         // A 4-block read 10..=13: blocks 10, 12, 13 miss; 11 hits.
         let mut r4 = rec(1, blk(0, 10), IoOp::Read);
         r4.blocks = 4;
-        let res = c.access(&r4, |_| false);
+        let res = c.access_alloc(&r4, |_| false);
         assert!(!res.hit, "partial hits count as a request miss");
         let fetched: Vec<u64> = res
             .effects
@@ -727,7 +753,7 @@ mod tests {
             .collect();
         assert_eq!(fetched, vec![10, 12, 13]);
         // The whole run now hits.
-        let again = c.access(
+        let again = c.access_alloc(
             &Record {
                 time: SimTime::from_millis(2),
                 ..r4
@@ -743,7 +769,7 @@ mod tests {
         let mut c = cache(8, WritePolicy::WriteThrough);
         let mut w = rec(0, blk(0, 20), IoOp::Write);
         w.blocks = 3;
-        let res = c.access(&w, |_| false);
+        let res = c.access_alloc(&w, |_| false);
         let written: Vec<u64> = res
             .effects
             .iter()
@@ -773,7 +799,7 @@ mod tests {
         let mut c = BlockCache::new(4, Box::new(Belady::new(&t)), WritePolicy::WriteBack);
         let mut hits = 0;
         for r in &t {
-            if c.access(r, |_| false).hit {
+            if c.access_alloc(r, |_| false).hit {
                 hits += 1;
             }
         }
@@ -788,6 +814,6 @@ mod tests {
         t.push(rec(0, blk(0, 1), IoOp::Read));
         let mut c = BlockCache::new(4, Box::new(Belady::new(&t)), WritePolicy::WriteBack)
             .with_prefetch_depth(1);
-        c.access(&rec(0, blk(0, 1), IoOp::Read), |_| false);
+        c.access_alloc(&rec(0, blk(0, 1), IoOp::Read), |_| false);
     }
 }

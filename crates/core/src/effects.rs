@@ -1,11 +1,9 @@
 //! Cache write policies and the disk-side effects the cache emits.
 
-use serde::{Deserialize, Serialize};
-
 use pc_units::BlockId;
 
 /// A storage-cache write policy (paper §6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WritePolicy {
     /// Write dirty data to disk immediately; the cache never holds dirty
     /// blocks.
@@ -44,7 +42,7 @@ impl WritePolicy {
 
 /// A disk-side action the cache asks its host (simulator or controller)
 /// to perform, in order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Effect {
     /// Fetch a block from its disk (read miss).
     ReadDisk(BlockId),
@@ -65,8 +63,24 @@ impl Effect {
     }
 }
 
-/// The outcome of one cache access.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// The outcome of one cache access (scratch-buffer API).
+///
+/// The disk-side effects of the access live in the caller-provided
+/// scratch buffer, keeping the per-request hot path allocation-free;
+/// this struct carries only the `Copy` summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessOutcome {
+    /// Whether the access hit in the cache.
+    pub hit: bool,
+    /// The block evicted to make room, if any (the first one, for
+    /// multi-block requests).
+    pub evicted: Option<BlockId>,
+}
+
+/// The outcome of one cache access with owned effects, returned by the
+/// allocating convenience wrapper
+/// [`BlockCache::access_alloc`](crate::BlockCache::access_alloc).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AccessResult {
     /// Whether the access hit in the cache.
     pub hit: bool,

@@ -5,8 +5,6 @@
 //! between consecutive disk requests into geometric bins; at the end of an
 //! epoch, read off the `p`-quantile and reset.
 
-use serde::{Deserialize, Serialize};
-
 use pc_units::SimDuration;
 
 /// A histogram over interval lengths with geometric bin edges.
@@ -26,7 +24,7 @@ use pc_units::SimDuration;
 /// // … while the 90% quantile reaches into the 50 s bin.
 /// assert!(h.quantile(0.9) >= SimDuration::from_secs(32));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntervalHistogram {
     /// Upper edge of each bin; the last bin is unbounded.
     edges: Vec<SimDuration>,

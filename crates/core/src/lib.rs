@@ -36,12 +36,20 @@
 //!
 //! let mut cache = BlockCache::new(2, Box::new(Lru::new()), WritePolicy::WriteBack);
 //! let block = BlockId::new(DiskId::new(0), BlockNo::new(9));
+//! // A reusable scratch buffer receives each access's disk-side effects,
+//! // keeping the per-request loop allocation-free.
+//! let mut effects = Vec::new();
 //! let miss = cache.access(
 //!     &Record::new(SimTime::ZERO, block, IoOp::Read),
 //!     |_| false, // no disk is asleep
+//!     &mut effects,
 //! );
 //! assert!(!miss.hit);
-//! let hit = cache.access(&Record::new(SimTime::from_millis(1), block, IoOp::Read), |_| false);
+//! let hit = cache.access(
+//!     &Record::new(SimTime::from_millis(1), block, IoOp::Read),
+//!     |_| false,
+//!     &mut effects,
+//! );
 //! assert!(hit.hit);
 //! ```
 
@@ -59,7 +67,7 @@ pub mod wtdu;
 
 pub use bloom::BloomFilter;
 pub use cache::{BlockCache, CacheStats};
-pub use effects::{AccessResult, Effect, WritePolicy};
+pub use effects::{AccessOutcome, AccessResult, Effect, WritePolicy};
 pub use histogram::IntervalHistogram;
 pub use offline::OfflineIndex;
 pub use policy::ReplacementPolicy;

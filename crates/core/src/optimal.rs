@@ -276,7 +276,7 @@ mod tests {
         let t = figure3_trace();
         let mut miss_times = Vec::new();
         for r in &t {
-            if !cache.access(r, |_| false).hit {
+            if !cache.access_alloc(r, |_| false).hit {
                 miss_times.push(r.time);
             }
         }

@@ -269,7 +269,7 @@ mod tests {
         );
         for i in 0..2_000u64 {
             let b = blk(0, i % 100);
-            cache.access(
+            cache.access_alloc(
                 &pc_trace::Record::new(SimTime::from_millis(i), b, pc_trace::IoOp::Read),
                 |_| false,
             );

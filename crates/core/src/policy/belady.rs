@@ -29,7 +29,7 @@ use crate::policy::ReplacementPolicy;
 ///     t.push(Record::new(SimTime::from_secs(i as u64), blk(b), IoOp::Read));
 /// }
 /// let mut cache = BlockCache::new(2, Box::new(Belady::new(&t)), WritePolicy::WriteBack);
-/// let misses: u64 = t.iter().map(|r| u64::from(!cache.access(r, |_| false).hit)).sum();
+/// let misses: u64 = t.iter().map(|r| u64::from(!cache.access_alloc(r, |_| false).hit)).sum();
 /// // 3 cold misses; inserting 3 sacrifices the block reused furthest
 /// // away (2), so 1 hits and 2 misses once more.
 /// assert_eq!(misses, 4);
@@ -115,9 +115,10 @@ pub fn min_misses(trace: &Trace, capacity: usize) -> u64 {
         Box::new(Belady::new(trace)),
         WritePolicy::WriteBack,
     );
+    let mut effects = Vec::new();
     trace
         .iter()
-        .map(|r| u64::from(!cache.access(r, |_| false).hit))
+        .map(|r| u64::from(!cache.access(r, |_| false, &mut effects).hit))
         .sum()
 }
 

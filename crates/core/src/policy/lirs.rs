@@ -291,7 +291,7 @@ mod tests {
         let mut cache =
             crate::BlockCache::new(8, Box::new(Lirs::new(8)), crate::WritePolicy::WriteBack);
         for r in &t {
-            cache.access(r, |_| false);
+            cache.access_alloc(r, |_| false);
         }
         assert!(cache.len() <= 8);
     }

@@ -103,9 +103,10 @@ pub(crate) mod testutil {
     /// number of misses.
     pub fn count_misses(trace: &Trace, capacity: usize, policy: Box<dyn ReplacementPolicy>) -> u64 {
         let mut cache = BlockCache::new(capacity, policy, WritePolicy::WriteBack);
+        let mut effects = Vec::new();
         let mut misses = 0;
         for r in trace {
-            if !cache.access(r, |_| false).hit {
+            if !cache.access(r, |_| false, &mut effects).hit {
                 misses += 1;
             }
         }

@@ -82,7 +82,7 @@ type Key = (u64, Reverse<u64>, BlockId);
 /// let opg = Opg::new(&t, power, OpgDpm::Oracle, Joules::ZERO);
 /// let mut cache = BlockCache::new(2, Box::new(opg), WritePolicy::WriteBack);
 /// for r in &t {
-///     cache.access(r, |_| false);
+///     cache.access_alloc(r, |_| false);
 /// }
 /// ```
 pub struct Opg {
@@ -107,6 +107,9 @@ pub struct Opg {
     heap: BTreeSet<Key>,
     /// Block → its current heap key.
     key_of: HashMap<BlockId, Key>,
+    /// Reusable buffer for blocks collected during re-pricing, so the
+    /// per-record path performs no heap allocation in steady state.
+    scratch: Vec<BlockId>,
 }
 
 impl std::fmt::Debug for Opg {
@@ -160,6 +163,7 @@ impl Opg {
             by_x: HashMap::new(),
             heap: BTreeSet::new(),
             key_of: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -237,13 +241,18 @@ impl Opg {
         let Some(xs) = self.by_x.get(&disk) else {
             return;
         };
-        let affected: Vec<BlockId> = xs
-            .range((Excluded(lo), Excluded(hi)))
-            .flat_map(|(_, blocks)| blocks.iter().copied())
-            .collect();
-        for b in affected {
+        // `reprice` needs `&mut self`, so the affected set is staged in
+        // the persistent scratch buffer instead of a fresh Vec per call.
+        let mut affected = std::mem::take(&mut self.scratch);
+        affected.extend(
+            xs.range((Excluded(lo), Excluded(hi)))
+                .flat_map(|(_, blocks)| blocks.iter().copied()),
+        );
+        for &b in &affected {
             self.reprice(b);
         }
+        affected.clear();
+        self.scratch = affected;
     }
 
     /// Registers a future deterministic miss at `x` µs on `disk`,
@@ -264,9 +273,13 @@ impl Opg {
         self.reprice_range(disk, lo, hi);
         // Blocks at exactly x become free to evict (penalty 0).
         if let Some(blocks) = self.by_x.get(&disk).and_then(|m| m.get(&x)) {
-            for b in blocks.clone() {
+            let mut at_x = std::mem::take(&mut self.scratch);
+            at_x.extend(blocks.iter().copied());
+            for &b in &at_x {
                 self.reprice(b);
             }
+            at_x.clear();
+            self.scratch = at_x;
         }
     }
 
@@ -436,7 +449,7 @@ mod tests {
         let mut cache = BlockCache::new(3, Box::new(opg(&t, 0.0)), WritePolicy::WriteBack);
         let mut evictions = Vec::new();
         for r in &t {
-            if let Some(e) = cache.access(r, |_| false).evicted {
+            if let Some(e) = cache.access_alloc(r, |_| false).evicted {
                 evictions.push(e);
             }
         }
@@ -483,8 +496,8 @@ mod tests {
                 WritePolicy::WriteBack,
             );
             for r in &t {
-                let a = fast.access(r, |_| false);
-                let b = slow.access(r, |_| false);
+                let a = fast.access_alloc(r, |_| false);
+                let b = slow.access_alloc(r, |_| false);
                 assert_eq!(a.hit, b.hit, "hit mismatch at {:?} eps {eps}", r.time);
                 assert_eq!(
                     a.evicted, b.evicted,
@@ -511,7 +524,7 @@ mod tests {
         let mut cache = BlockCache::new(2, Box::new(opg(&t, 0.0)), WritePolicy::WriteBack);
         let mut victims = Vec::new();
         for r in &t {
-            if let Some(v) = cache.access(r, |_| false).evicted {
+            if let Some(v) = cache.access_alloc(r, |_| false).evicted {
                 victims.push(v);
             }
         }

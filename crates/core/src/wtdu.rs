@@ -20,12 +20,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use pc_units::{BlockId, BlockNo, DiskId};
 
 /// One entry in a log region: a deferred write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogEntry {
     /// Destination block on the data disk.
     pub block: BlockNo,
@@ -36,7 +34,7 @@ pub struct LogEntry {
 }
 
 /// One disk's log region.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LogRegion {
     /// Current region timestamp (stored in the region's first block).
     pub stamp: u64,
@@ -59,7 +57,7 @@ pub struct LogRegion {
 /// let replay = log.recover();
 /// assert_eq!(replay.len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogSpace {
     regions: Vec<LogRegion>,
     appends: u64,

@@ -1,0 +1,242 @@
+//! Minimal in-tree benchmark harness.
+//!
+//! Exposes the subset of the `criterion` API the `pc-bench` harnesses
+//! use — [`Criterion`], [`BenchmarkGroup`], [`Throughput`], [`Bencher`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple wall-clock sampler instead of criterion's statistical engine.
+//! The point is that `cargo bench` builds and produces usable numbers on
+//! an air-gapped machine; for publication-grade statistics, swap the
+//! real criterion back in by pointing the workspace `pc-criterion`
+//! dependency at crates.io.
+//!
+//! Measurement protocol, per benchmark: one calibration pass picks an
+//! iteration count targeting ~50 ms per sample, then `sample_size`
+//! samples are taken and the median per-iteration time is reported
+//! (median over means is robust to scheduler noise in the tails).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting throughput alongside wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark closure; runs and times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness state.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "need at least one sample");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size;
+        run_benchmark(&id.into(), samples, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "need at least one sample");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (retained for API compatibility; reporting is
+    /// incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Target wall-time per sample; short enough that small `sample_size`
+/// benches finish promptly, long enough to dominate timer overhead.
+const TARGET_SAMPLE: Duration = Duration::from_millis(50);
+
+fn run_benchmark<F>(id: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: one iteration, to size the per-sample batch.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / median)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench: {id:<50} {:>12} ns/iter ({samples} samples x {iters} iters){rate}",
+        format_ns(median * 1e9),
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(smoke, trivial_bench);
+
+    #[test]
+    fn harness_runs_end_to_end() {
+        // The group runner is a plain function; it must complete quickly
+        // and without panicking.
+        smoke();
+    }
+
+    #[test]
+    fn groups_report_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function(format!("{}-case", "fmt"), |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(12.0), "12ns");
+        assert_eq!(format_ns(1_500.0), "1.500us");
+        assert_eq!(format_ns(2_000_000.0), "2.000ms");
+        assert_eq!(format_ns(3e9), "3.000s");
+    }
+}

@@ -27,8 +27,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use pc_units::{Joules, SimDuration, Watts};
 
 use crate::DiskPowerSpec;
@@ -38,7 +36,7 @@ use crate::DiskPowerSpec;
 /// Mode 0 is always full-speed idle; higher indices are progressively
 /// lower-power modes, ending at standby.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ModeId(usize);
 
@@ -72,7 +70,7 @@ impl fmt::Display for ModeId {
 }
 
 /// The time and energy cost of one spindle-speed transition.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Transition {
     /// Wall-clock duration of the transition.
     pub time: SimDuration,
@@ -81,7 +79,7 @@ pub struct Transition {
 }
 
 /// One power mode of a multi-speed disk.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModeSpec {
     /// Human-readable name: `idle`, `nap1` … `nap4`, `standby`.
     pub name: String,
@@ -97,7 +95,7 @@ pub struct ModeSpec {
 
 /// One step of the Practical-DPM demotion ladder: after `at_idle` of
 /// cumulative idle time, the disk rests in `mode`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LadderStep {
     /// Cumulative idle time at which this mode is entered.
     pub at_idle: SimDuration,
@@ -123,7 +121,7 @@ pub struct LadderStep {
 /// let first = m.ladder()[1].at_idle;
 /// assert!(first > SimDuration::from_secs(10) && first < SimDuration::from_secs(11));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     active_power: Watts,
     seek_power: Watts,

@@ -6,12 +6,10 @@
 //! reproduced experiments are dominated by power-mode residency, so this
 //! level of fidelity suffices (see DESIGN.md §2).
 
-use serde::{Deserialize, Serialize};
-
 use pc_units::{BlockNo, SimDuration};
 
 /// One request to be serviced by a disk: a starting block and a length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceRequest {
     /// First block of the transfer.
     pub block: BlockNo,
@@ -30,7 +28,7 @@ impl ServiceRequest {
 /// One zone of a multi-zone (zoned-bit-recording) disk: a contiguous
 /// range of cylinders sharing a sectors-per-track count. Outer zones
 /// pack more blocks per track and therefore transfer faster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Zone {
     /// First block of the zone.
     pub first_block: u64,
@@ -55,7 +53,7 @@ pub struct Zone {
 /// // A random single-block access takes a few milliseconds.
 /// assert!(t.as_millis_f64() > 0.1 && t.as_millis_f64() < 15.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceModel {
     /// Size of one block, in bytes.
     pub block_bytes: u64,

@@ -1,7 +1,5 @@
 //! Data-sheet parameters of a disk drive.
 
-use serde::{Deserialize, Serialize};
-
 use pc_units::{Joules, SimDuration, Watts};
 
 /// The power-relevant data-sheet parameters of one disk drive, plus the
@@ -22,7 +20,7 @@ use pc_units::{Joules, SimDuration, Watts};
 /// let spec = DiskPowerSpec::ultrastar_36z15().with_spin_up_energy(Joules::new(67.5));
 /// assert_eq!(spec.spin_up_energy, Joules::new(67.5));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiskPowerSpec {
     /// Power while actively reading or writing.
     pub active_power: Watts,

@@ -1,14 +1,12 @@
 //! One disk's power/service state machine.
 
-use serde::{Deserialize, Serialize};
-
 use pc_diskmodel::{LadderStep, ModeId, PowerModel, ServiceModel, ServiceRequest, Transition};
 use pc_units::{BlockNo, DiskId, SimDuration, SimTime};
 
 use crate::{DiskReport, PowerEvent, Timeline};
 
 /// A disk power-management scheme (paper §2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DpmPolicy {
     /// Never leave full-speed idle.
     AlwaysOn,
@@ -25,7 +23,7 @@ pub enum DpmPolicy {
 }
 
 /// The outcome of servicing one request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Served {
     /// Time the request waited before service began (queueing plus any
     /// spin-down completion and spin-up).

@@ -1,7 +1,5 @@
 //! Per-disk accounting.
 
-use serde::{Deserialize, Serialize};
-
 use pc_units::{Joules, SimDuration};
 
 /// Complete time and energy accounting for one simulated disk.
@@ -10,7 +8,7 @@ use pc_units::{Joules, SimDuration};
 /// one bucket: servicing (active), residing in a power mode, spinning
 /// down, or spinning up — which is what makes the paper's Figure 7a
 /// percentage-breakdown reproducible.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DiskReport {
     /// Time spent actively servicing requests (seek + rotation + transfer).
     pub service_time: SimDuration,
@@ -151,7 +149,7 @@ impl DiskReport {
 }
 
 /// A Figure-7a style percentage time breakdown.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimeFractions {
     /// Fraction of time servicing requests.
     pub service: f64,

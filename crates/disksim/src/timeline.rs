@@ -9,13 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use pc_diskmodel::ModeId;
 use pc_units::{SimDuration, SimTime};
 
 /// One power/service event on a disk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PowerEvent {
     /// The disk begins resting in `mode`.
     Rest {
@@ -48,7 +46,7 @@ impl fmt::Display for PowerEvent {
 }
 
 /// A timestamped [`PowerEvent`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimelineEntry {
     /// When the event occurs.
     pub at: SimTime,
@@ -80,7 +78,7 @@ pub struct TimelineEntry {
 ///     .count();
 /// assert_eq!(downs, 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Timeline {
     entries: Vec<TimelineEntry>,
 }

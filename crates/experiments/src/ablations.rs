@@ -6,7 +6,7 @@ use pc_cache::WritePolicy;
 use pc_sim::{run_replacement, run_write_policy, PolicySpec, SimConfig};
 use pc_units::{Joules, SimDuration};
 
-use crate::{ExperimentOutput, Params, Table};
+use crate::{sweep, ExperimentOutput, Params, Table};
 
 /// OPG's ε threshold: the Belady ↔ pure-OPG continuum of §3.2.
 /// ε = 0 is pure OPG; a huge ε rounds every penalty equal, recovering
@@ -28,14 +28,17 @@ pub fn epsilon_sweep(params: &Params) -> ExperimentOutput {
     let lru = run_replacement(&trace, &PolicySpec::Lru, &cfg);
     let mut t = Table::new(["epsilon (J)", "energy vs lru", "misses"]);
     let mut out = ExperimentOutput::default();
-    for eps in [0.0, 10.0, 30.0, 100.0, 300.0, 1e9] {
-        let r = run_replacement(
+    let eps_points = vec![0.0, 10.0, 30.0, 100.0, 300.0, 1e9];
+    let reports = sweep::over(params, eps_points.clone(), |&eps| {
+        run_replacement(
             &trace,
             &PolicySpec::Opg {
                 epsilon: Joules::new(eps),
             },
             &cfg,
-        );
+        )
+    });
+    for (eps, r) in eps_points.into_iter().zip(reports) {
         let ratio = r.energy_ratio(&lru);
         t.row([
             if eps >= 1e9 {
@@ -70,62 +73,66 @@ pub fn pa_sensitivity(params: &Params) -> ExperimentOutput {
     };
     let mut t = Table::new(["variant", "saving over lru"]);
     let mut out = ExperimentOutput::default();
-    let mut run = |label: &str, config: PaLruConfig| {
-        let r = run_replacement(&trace, &PolicySpec::PaLruWith(config), &cfg);
-        let saving = r.saving_over(&lru);
+    let variants: Vec<(&'static str, PaLruConfig)> = vec![
+        ("paper (epoch=E, p=0.8, a=0.5)", base.clone()),
+        (
+            "epoch=E/4",
+            PaLruConfig {
+                epoch: base.epoch / 4,
+                ..base.clone()
+            },
+        ),
+        (
+            "epoch=4E",
+            PaLruConfig {
+                epoch: base.epoch * 4,
+                ..base.clone()
+            },
+        ),
+        (
+            "p=0.5",
+            PaLruConfig {
+                quantile: 0.5,
+                ..base.clone()
+            },
+        ),
+        (
+            "p=0.95",
+            PaLruConfig {
+                quantile: 0.95,
+                ..base.clone()
+            },
+        ),
+        (
+            "a=0.2",
+            PaLruConfig {
+                cold_threshold: 0.2,
+                ..base.clone()
+            },
+        ),
+        (
+            "a=0.9",
+            PaLruConfig {
+                cold_threshold: 0.9,
+                ..base.clone()
+            },
+        ),
+        (
+            "T=0 (intervals ignored)",
+            PaLruConfig {
+                interval_threshold: SimDuration::ZERO,
+                ..base
+            },
+        ),
+    ];
+    let savings = sweep::over(params, variants, |(label, config)| {
+        let r = run_replacement(&trace, &PolicySpec::PaLruWith(config.clone()), &cfg);
+        (*label, r.saving_over(&lru))
+    });
+    for (label, saving) in savings {
         t.row([label.to_owned(), format!("{saving:.1}%")]);
         out.record(label.to_owned(), saving);
-    };
-    run("paper (epoch=E, p=0.8, a=0.5)", base.clone());
-    run(
-        "epoch=E/4",
-        PaLruConfig {
-            epoch: base.epoch / 4,
-            ..base.clone()
-        },
-    );
-    run(
-        "epoch=4E",
-        PaLruConfig {
-            epoch: base.epoch * 4,
-            ..base.clone()
-        },
-    );
-    run(
-        "p=0.5",
-        PaLruConfig {
-            quantile: 0.5,
-            ..base.clone()
-        },
-    );
-    run(
-        "p=0.95",
-        PaLruConfig {
-            quantile: 0.95,
-            ..base.clone()
-        },
-    );
-    run(
-        "a=0.2",
-        PaLruConfig {
-            cold_threshold: 0.2,
-            ..base.clone()
-        },
-    );
-    run(
-        "a=0.9",
-        PaLruConfig {
-            cold_threshold: 0.9,
-            ..base.clone()
-        },
-    );
-    run(
-        "T=0 (intervals ignored)",
-        PaLruConfig {
-            interval_threshold: SimDuration::ZERO,
-            ..base
-        },
-    );
+    }
     out.text = format!(
         "Ablation: PA-LRU classifier sensitivity (OLTP, Practical DPM)\n\n{}",
         t.render()
@@ -140,12 +147,16 @@ pub fn mode_count(params: &Params) -> ExperimentOutput {
     let trace = params.oltp_trace();
     let mut t = Table::new(["disks", "policy", "energy (J)", "saving vs lru"]);
     let mut out = ExperimentOutput::default();
-    for (label, cfg) in [
+    let configs = vec![
         ("6-mode", SimConfig::default()),
         ("2-mode", SimConfig::default().with_two_mode_disks()),
-    ] {
-        let lru = run_replacement(&trace, &PolicySpec::Lru, &cfg);
-        let pa = run_replacement(&trace, &params.pa_policy(&cfg.power_model()), &cfg);
+    ];
+    let pairs = sweep::over(params, configs, |(label, cfg)| {
+        let lru = run_replacement(&trace, &PolicySpec::Lru, cfg);
+        let pa = run_replacement(&trace, &params.pa_policy(&cfg.power_model()), cfg);
+        (*label, lru, pa)
+    });
+    for (label, lru, pa) in pairs {
         for (policy, r) in [("lru", &lru), ("pa-lru", &pa)] {
             t.row([
                 label.to_owned(),
@@ -178,10 +189,9 @@ pub fn policy_zoo(params: &Params) -> ExperimentOutput {
         epoch: params.pa_epoch(),
         ..PaLruConfig::for_power_model(&power)
     };
-    let lru = run_replacement(&trace, &PolicySpec::Lru, &cfg);
     let mut t = Table::new(["policy", "energy vs lru", "hit ratio", "mean response"]);
     let mut out = ExperimentOutput::default();
-    let specs = [
+    let specs = vec![
         PolicySpec::Lru,
         params.pa_policy(&power),
         PolicySpec::Arc,
@@ -193,8 +203,10 @@ pub fn policy_zoo(params: &Params) -> ExperimentOutput {
         PolicySpec::TwoQ,
         PolicySpec::PaTwoQ(pa_config),
     ];
-    for spec in specs {
-        let r = run_replacement(&trace, &spec, &cfg);
+    let reports = sweep::over(params, specs, |spec| run_replacement(&trace, spec, &cfg));
+    // The first spec is plain LRU: it doubles as the normalization baseline.
+    let lru = reports[0].clone();
+    for r in reports {
         let ratio = r.energy_ratio(&lru);
         t.row([
             r.policy.clone(),
@@ -223,6 +235,7 @@ pub fn serve_at_speed(params: &Params) -> ExperimentOutput {
         "multi-speed option", "policy", "energy (J)", "mean response", "p99", "spin-ups",
     ]);
     let mut out = ExperimentOutput::default();
+    let mut points = Vec::new();
     for (label, cfg) in [
         ("option2 (full-speed only)", SimConfig::default()),
         ("option1 (serve at speed)", SimConfig::default().with_serve_at_speed()),
@@ -232,7 +245,14 @@ pub fn serve_at_speed(params: &Params) -> ExperimentOutput {
             ("lru", PolicySpec::Lru),
             ("pa-lru", params.pa_policy(&power)),
         ] {
-            let r = run_replacement(&trace, &spec, &cfg);
+            points.push((label, name, spec, cfg.clone()));
+        }
+    }
+    let reports = sweep::over(params, points, |(label, name, spec, cfg)| {
+        (*label, *name, run_replacement(&trace, spec, cfg))
+    });
+    {
+        for (label, name, r) in reports {
             t.row([
                 label.to_owned(),
                 name.to_owned(),
@@ -272,7 +292,7 @@ pub fn disk_type(params: &Params) -> ExperimentOutput {
         "disk type", "policy", "energy (J)", "pa saving", "mean response", "p99",
     ]);
     let mut out = ExperimentOutput::default();
-    let configs = [
+    let configs = vec![
         ("server (Ultrastar)", SimConfig::default()),
         ("laptop (Travelstar)", {
             let mut cfg = SimConfig::default()
@@ -281,9 +301,12 @@ pub fn disk_type(params: &Params) -> ExperimentOutput {
             cfg
         }),
     ];
-    for (label, cfg) in configs {
-        let lru = run_replacement(&trace, &PolicySpec::Lru, &cfg);
-        let pa = run_replacement(&trace, &params.pa_policy(&cfg.power_model()), &cfg);
+    let pairs = sweep::over(params, configs, |(label, cfg)| {
+        let lru = run_replacement(&trace, &PolicySpec::Lru, cfg);
+        let pa = run_replacement(&trace, &params.pa_policy(&cfg.power_model()), cfg);
+        (*label, lru, pa)
+    });
+    for (label, lru, pa) in pairs {
         for (policy, r) in [("lru", &lru), ("pa-lru", &pa)] {
             t.row([
                 label.to_owned(),
@@ -321,13 +344,17 @@ pub fn layout(params: &Params) -> ExperimentOutput {
     let power = cfg.power_model();
     let mut t = Table::new(["layout", "policy", "energy (J)", "pa saving", "spin-ups"]);
     let mut out = ExperimentOutput::default();
-    for lay in [
+    let layouts = vec![
         DataLayout::Partitioned,
         DataLayout::Striped { stripe_blocks: 64 },
-    ] {
+    ];
+    let pairs = sweep::over(params, layouts, |&lay| {
         let trace = lay.remap(&base, 1 << 22);
         let lru = run_replacement(&trace, &PolicySpec::Lru, &cfg);
         let pa = run_replacement(&trace, &params.pa_policy(&power), &cfg);
+        (lay, lru, pa)
+    });
+    for (lay, lru, pa) in pairs {
         for (name, r) in [("lru", &lru), ("pa-lru", &pa)] {
             t.row([
                 lay.name().to_owned(),
@@ -371,6 +398,7 @@ pub fn combo(params: &Params) -> ExperimentOutput {
     );
     let mut t = Table::new(["replacement", "write policy", "saving over lru+wt", "mean response"]);
     let mut out = ExperimentOutput::default();
+    let mut points = Vec::new();
     for (rname, rspec) in [
         ("lru", PolicySpec::Lru),
         ("pa-lru", params.pa_policy(&power)),
@@ -381,16 +409,22 @@ pub fn combo(params: &Params) -> ExperimentOutput {
             WritePolicy::Wbeu { dirty_limit: 64 },
             WritePolicy::Wtdu,
         ] {
-            let r = run_write_policy(&trace, &rspec, &cfg.clone().with_write_policy(wp));
-            let saving = r.saving_over(&baseline);
-            t.row([
-                rname.to_owned(),
-                wp.name().to_owned(),
-                format!("{saving:.1}%"),
-                r.mean_response().to_string(),
-            ]);
-            out.record(format!("{rname}_{}", wp.name()), saving);
+            points.push((rname, rspec.clone(), wp));
         }
+    }
+    let reports = sweep::over(params, points, |(rname, rspec, wp)| {
+        let r = run_write_policy(&trace, rspec, &cfg.clone().with_write_policy(*wp));
+        (*rname, *wp, r)
+    });
+    for (rname, wp, r) in reports {
+        let saving = r.saving_over(&baseline);
+        t.row([
+            rname.to_owned(),
+            wp.name().to_owned(),
+            format!("{saving:.1}%"),
+            r.mean_response().to_string(),
+        ]);
+        out.record(format!("{rname}_{}", wp.name()), saving);
     }
     out.text = format!(
         "Ablation: composing replacement and write policies (OLTP-like at 50% writes,\nPractical DPM, savings relative to LRU + write-through)\n\n{}",
@@ -435,11 +469,12 @@ pub fn scheduler(params: &Params) -> ExperimentOutput {
 
     let mut t = Table::new(["discipline", "mean response", "p99 response", "seek+xfer time", "energy (J)"]);
     let mut out = ExperimentOutput::default();
-    for discipline in [
+    let disciplines = vec![
         QueueDiscipline::Fcfs,
         QueueDiscipline::Sstf,
         QueueDiscipline::Cscan,
-    ] {
+    ];
+    let rows = sweep::over(params, disciplines, |&discipline| {
         let mut responses = pc_cache::IntervalHistogram::geometric(
             SimDuration::from_micros(100),
             24,
@@ -467,10 +502,13 @@ pub fn scheduler(params: &Params) -> ExperimentOutput {
             energy += report.total_energy().as_joules();
         }
         let mean = total_response / count.max(1) as f64;
+        (discipline, mean, responses.quantile(0.99), service_time, energy)
+    });
+    for (discipline, mean, p99, service_time, energy) in rows {
         t.row([
             discipline.name().to_owned(),
             format!("{:.1}ms", mean * 1_000.0),
-            responses.quantile(0.99).to_string(),
+            p99.to_string(),
             service_time.to_string(),
             format!("{energy:.0}"),
         ]);
@@ -506,9 +544,12 @@ pub fn prefetch_depth(params: &Params) -> ExperimentOutput {
     .generate(params.seed);
     let mut t = Table::new(["depth", "energy (J)", "hit ratio", "mean response", "prefetches"]);
     let mut out = ExperimentOutput::default();
-    for depth in [0u64, 1, 2, 4, 8, 16] {
+    let depths = vec![0u64, 1, 2, 4, 8, 16];
+    let reports = sweep::over(params, depths.clone(), |&depth| {
         let cfg = SimConfig::default().with_prefetch_depth(depth);
-        let r = run_replacement(&trace, &PolicySpec::Lru, &cfg);
+        run_replacement(&trace, &PolicySpec::Lru, &cfg)
+    });
+    for (depth, r) in depths.into_iter().zip(reports) {
         t.row([
             depth.to_string(),
             format!("{:.0}", r.total_energy().as_joules()),
@@ -545,13 +586,16 @@ pub fn wbeu_dirty_limit(params: &Params) -> ExperimentOutput {
     );
     let mut t = Table::new(["dirty limit", "saving over write-through"]);
     let mut out = ExperimentOutput::default();
-    for limit in [4usize, 16, 64, 256, 1_024, 4_096] {
-        let r = run_write_policy(
+    let limits = vec![4usize, 16, 64, 256, 1_024, 4_096];
+    let reports = sweep::over(params, limits.clone(), |&limit| {
+        run_write_policy(
             &trace,
             &PolicySpec::Lru,
             &cfg.clone()
                 .with_write_policy(WritePolicy::Wbeu { dirty_limit: limit }),
-        );
+        )
+    });
+    for (limit, r) in limits.into_iter().zip(reports) {
         let saving = r.saving_over(&wt);
         t.row([limit.to_string(), format!("{saving:.1}%")]);
         out.record(format!("saving_at_{limit}"), saving);

@@ -1,0 +1,119 @@
+//! `repro bench` — wall-clock throughput of the simulation hot path.
+//!
+//! Runs a fixed matrix of replacement policies over the two standard
+//! workloads and reports each run's wall time and request throughput,
+//! taken from the simulator's own [`pc_sim::RunTiming`] self-timing.
+//! Rows run serially (never through the sweep executor) so the numbers
+//! measure the single-threaded hot path, not scheduling luck.
+
+use pc_sim::{run_replacement, PolicySpec, SimConfig};
+use pc_units::Joules;
+
+use crate::{Params, Table, TraceKind};
+
+/// One cell of the benchmark matrix.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Replacement policy name, as reported by the simulator.
+    pub policy: String,
+    /// Workload name (`oltp` / `cello96`).
+    pub workload: String,
+    /// Requests simulated.
+    pub requests: u64,
+    /// Wall time of the `run()` call in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated requests per wall-clock second.
+    pub req_per_sec: f64,
+}
+
+/// The fixed policy column of the matrix: the cheap baseline, the
+/// paper's online policy, and the offline policy (the heaviest per
+/// request, exercising the re-pricing path).
+fn policies(params: &Params, cfg: &SimConfig) -> Vec<(&'static str, PolicySpec)> {
+    vec![
+        ("lru", PolicySpec::Lru),
+        ("pa-lru", params.pa_policy(&cfg.power_model())),
+        ("opg", PolicySpec::Opg { epsilon: Joules::ZERO }),
+    ]
+}
+
+/// Runs the benchmark matrix and returns its rows.
+#[must_use]
+pub fn run(params: &Params) -> Vec<BenchRow> {
+    let cfg = SimConfig::default();
+    let mut rows = Vec::new();
+    for kind in [TraceKind::Oltp, TraceKind::Cello] {
+        let trace = params.trace(kind);
+        for (_, spec) in policies(params, &cfg) {
+            let r = run_replacement(&trace, &spec, &cfg);
+            rows.push(BenchRow {
+                policy: r.policy.clone(),
+                workload: kind.name().to_owned(),
+                requests: r.requests,
+                wall_ms: r.timing.wall_ms(),
+                req_per_sec: r.timing.req_per_sec,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders rows as the `BENCH_repro.json` document: a stable-key-order
+/// JSON object so diffs between runs line up.
+#[must_use]
+pub fn to_json(params: &Params, rows: &[BenchRow]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scale\": {:?},\n", params.scale));
+    s.push_str(&format!("  \"seed\": {},\n", params.seed));
+    s.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_sec\": {:.1}}}{}\n",
+            row.policy,
+            row.workload,
+            row.requests,
+            row.wall_ms,
+            row.req_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders rows as a human-readable table for the CLI.
+#[must_use]
+pub fn render(rows: &[BenchRow]) -> String {
+    let mut t = Table::new(["policy", "workload", "requests", "wall (ms)", "req/s"]);
+    for row in rows {
+        t.row([
+            row.policy.clone(),
+            row.workload.clone(),
+            row.requests.to_string(),
+            format!("{:.1}", row.wall_ms),
+            format!("{:.0}", row.req_per_sec),
+        ]);
+    }
+    format!("Benchmark: simulation hot-path throughput\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_policies_times_workloads() {
+        let params = Params {
+            scale: 0.02,
+            ..Params::quick()
+        };
+        let rows = run(&params);
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.requests > 0));
+        assert!(rows.iter().all(|r| r.req_per_sec > 0.0));
+        let json = to_json(&params, &rows);
+        assert!(json.contains("\"rows\": ["));
+        assert!(json.contains("\"workload\": \"cello96\""));
+        assert_eq!(json.matches("\"policy\"").count(), 6);
+    }
+}

@@ -1,19 +1,27 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale X] [--seed N]
-//! repro all [--scale X] [--seed N]
+//! repro <experiment> [--scale X] [--seed N] [--jobs N]
+//! repro all [--scale X] [--seed N] [--jobs N]
+//! repro bench [--scale X] [--seed N]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b
 //! fig6c fig7 fig8 fig9-ratio fig9-gap`. The default scale of 1.0 runs
 //! paper-comparable trace lengths (`fig9-*` take minutes); `--scale 0.05`
 //! gives quick smoke runs.
+//!
+//! Sweeps fan out over worker threads: `--jobs N` (or the `REPRO_JOBS`
+//! environment variable when the flag is absent) pins the count, 0 or
+//! unset means one per core. Results are identical for any job count.
+//!
+//! `repro bench` times the single-threaded simulation hot path on a
+//! fixed policy × workload matrix and writes `BENCH_repro.json`.
 
 use std::env;
 use std::process::ExitCode;
 
-use pc_experiments::{ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
+use pc_experiments::{ablations, bench, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
 use pc_experiments::{table1, table2, table3, Params, TraceKind};
 
 const EXPERIMENTS: [&str; 25] = [
@@ -44,10 +52,13 @@ const EXPERIMENTS: [&str; 25] = [
     "ablation-serve-at-speed",
 ];
 
+const BENCH_PATH: &str = "BENCH_repro.json";
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut which = None;
     let mut params = Params::paper();
+    let mut jobs_flag = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -59,15 +70,31 @@ fn main() -> ExitCode {
                 Some(s) => params.seed = s,
                 None => return usage("--seed needs an integer"),
             },
+            "--jobs" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => jobs_flag = Some(n),
+                None => return usage("--jobs needs a worker count (0 = one per core)"),
+            },
             "--help" | "-h" => return usage(""),
             name if which.is_none() => which = Some(name.to_owned()),
             other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    // The flag wins; REPRO_JOBS covers scripted runs that can't pass one.
+    match jobs_flag {
+        Some(n) => params.jobs = n,
+        None => {
+            if let Some(n) = env::var("REPRO_JOBS").ok().and_then(|v| v.parse().ok()) {
+                params.jobs = n;
+            }
         }
     }
     let Some(which) = which else {
         return usage("missing experiment name");
     };
 
+    if which == "bench" {
+        return run_bench(&params);
+    }
     if which == "all" {
         for name in EXPERIMENTS {
             run_one(name, &params);
@@ -85,12 +112,12 @@ fn main() -> ExitCode {
 fn run_one(name: &str, params: &Params) {
     let started = std::time::Instant::now();
     let output = match name {
-        "table1" => table1::run(),
+        "table1" => table1::run(params),
         "table2" => table2::run(params),
         "table3" => table3::run(),
-        "fig2" => fig2::run(),
+        "fig2" => fig2::run(params),
         "fig3" => fig3::run(),
-        "fig4" => fig4::run(),
+        "fig4" => fig4::run(params),
         "fig5" => fig5::run(params),
         "fig6a" => fig6::energy(params, TraceKind::Oltp),
         "fig6b" => fig6::energy(params, TraceKind::Cello),
@@ -116,11 +143,28 @@ fn run_one(name: &str, params: &Params) {
     println!("[{name} done in {:.1?}]\n", started.elapsed());
 }
 
+fn run_bench(params: &Params) -> ExitCode {
+    let rows = bench::run(params);
+    println!("{}", bench::render(&rows));
+    let json = bench::to_json(params, &rows);
+    match std::fs::write(BENCH_PATH, &json) {
+        Ok(()) => {
+            println!("[wrote {BENCH_PATH}]");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: writing {BENCH_PATH}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
     }
-    eprintln!("usage: repro <experiment|all> [--scale X] [--seed N]");
+    eprintln!("usage: repro <experiment|all|bench> [--scale X] [--seed N] [--jobs N]");
+    eprintln!("       REPRO_JOBS=N repro ...   (used when --jobs is absent; 0 = one per core)");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     if error.is_empty() {
         ExitCode::SUCCESS

@@ -4,7 +4,7 @@
 use pc_diskmodel::{DiskPowerSpec, PowerModel};
 use pc_units::SimDuration;
 
-use crate::{ExperimentOutput, Table};
+use crate::{sweep, ExperimentOutput, Params, Table};
 
 /// Interval lengths (seconds) at which the series are sampled.
 const SAMPLES: [u64; 10] = [0, 5, 10, 15, 20, 30, 50, 75, 100, 150];
@@ -12,19 +12,21 @@ const SAMPLES: [u64; 10] = [0, 5, 10, 15, 20, 30, 50, 75, 100, 150];
 /// Prints the energy of each mode's line per sampled interval length, the
 /// lower envelope, and the envelope's breakpoints (t0…t4).
 #[must_use]
-pub fn run() -> ExperimentOutput {
+pub fn run(params: &Params) -> ExperimentOutput {
     let model = PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15());
     let mut header: Vec<String> = vec!["interval".into()];
     header.extend(model.modes().map(|(_, m)| m.name.clone()));
     header.push("envelope".into());
     let mut t = Table::new(header);
-    for s in SAMPLES {
+    for row in sweep::over(params, SAMPLES.to_vec(), |&s| {
         let gap = SimDuration::from_secs(s);
         let mut row = vec![format!("{s}s")];
         for (id, _) in model.modes() {
             row.push(format!("{:.1}", model.energy_line(id, gap).as_joules()));
         }
         row.push(format!("{:.1}", model.lower_envelope(gap).as_joules()));
+        row
+    }) {
         t.row(row);
     }
 
@@ -59,7 +61,7 @@ mod tests {
 
     #[test]
     fn all_modes_reach_the_envelope() {
-        let o = run();
+        let o = run(&Params::quick());
         assert_eq!(o.metric("breakpoints"), 5.0);
         let t0 = o.metric("first_threshold_s");
         assert!((t0 - 10.678).abs() < 0.01, "t0 {t0}");

@@ -19,8 +19,9 @@ pub fn run() -> ExperimentOutput {
 
     let mut cache = BlockCache::new(4, Box::new(Belady::new(&trace)), WritePolicy::WriteBack);
     let mut belady_misses = Vec::new();
+    let mut effects = Vec::new();
     for r in &trace {
-        if !cache.access(r, |_| false).hit {
+        if !cache.access(r, |_| false, &mut effects).hit {
             belady_misses.push(r.time);
         }
     }

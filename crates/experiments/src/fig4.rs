@@ -4,7 +4,7 @@
 use pc_diskmodel::{DiskPowerSpec, PowerModel};
 use pc_units::SimDuration;
 
-use crate::{ExperimentOutput, Table};
+use crate::{sweep, ExperimentOutput, Params, Table};
 
 /// Interval lengths (seconds) at which the series are sampled.
 const SAMPLES: [u64; 10] = [0, 5, 10, 15, 20, 30, 50, 75, 100, 150];
@@ -13,19 +13,21 @@ const SAMPLES: [u64; 10] = [0, 5, 10, 15, 20, 30, 50, 75, 100, 150];
 /// maximum (upper envelope), illustrating the super-linear growth the
 /// paper's §4 argument builds on.
 #[must_use]
-pub fn run() -> ExperimentOutput {
+pub fn run(params: &Params) -> ExperimentOutput {
     let model = PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15());
     let mut header: Vec<String> = vec!["interval".into()];
     header.extend(model.modes().skip(1).map(|(_, m)| m.name.clone()));
     header.push("max".into());
     let mut t = Table::new(header);
-    for s in SAMPLES {
+    for row in sweep::over(params, SAMPLES.to_vec(), |&s| {
         let gap = SimDuration::from_secs(s);
         let mut row = vec![format!("{s}s")];
         for (id, _) in model.modes().skip(1) {
             row.push(format!("{:.1}", model.savings_line(id, gap).as_joules()));
         }
         row.push(format!("{:.1}", model.max_savings(gap).as_joules()));
+        row
+    }) {
         t.row(row);
     }
 
@@ -55,7 +57,7 @@ mod tests {
 
     #[test]
     fn savings_rate_is_superlinear() {
-        let o = run();
+        let o = run(&Params::quick());
         assert!(o.metric("rate_at_150s") > o.metric("rate_at_20s"));
     }
 }

@@ -10,7 +10,7 @@ use pc_sim::{run_replacement, PolicySpec, SimConfig, SimReport};
 use pc_trace::Trace;
 use pc_units::Joules;
 
-use crate::{ExperimentOutput, Params, Table, TraceKind};
+use crate::{sweep, ExperimentOutput, Params, Table, TraceKind};
 
 /// The five bars of each Figure-6 group, in paper order. PA-LRU's epoch
 /// scales with the trace length (see [`Params::pa_epoch`]).
@@ -58,24 +58,37 @@ pub fn energy(params: &Params, kind: TraceKind) -> ExperimentOutput {
     let mut out = ExperimentOutput::default();
     let mut t = Table::new(["policy", "oracle dpm", "practical dpm"]);
 
-    let mut columns = Vec::new();
-    for dpm in [DpmPolicy::Oracle, DpmPolicy::Practical] {
-        let reports: Vec<(&str, SimReport)> = bars(params)
+    // All ten (DPM × policy) runs are independent: fan them out flat and
+    // regroup into the two table columns afterwards.
+    let bar_count = bars(params).len();
+    let points: Vec<(DpmPolicy, &'static str, PolicySpec, bool)> =
+        [DpmPolicy::Oracle, DpmPolicy::Practical]
             .into_iter()
-            .map(|(name, spec, inf)| (name, run_bar(&trace, kind, dpm, &spec, inf)))
+            .flat_map(|dpm| {
+                bars(params)
+                    .into_iter()
+                    .map(move |(name, spec, inf)| (dpm, name, spec, inf))
+            })
             .collect();
-        let lru_energy = reports
+    let reports: Vec<(&'static str, SimReport)> =
+        sweep::over(params, points, |(dpm, name, spec, inf)| {
+            (*name, run_bar(&trace, kind, *dpm, spec, *inf))
+        });
+
+    let mut columns = Vec::new();
+    for dpm_reports in reports.chunks(bar_count) {
+        let lru_energy = dpm_reports
             .iter()
             .find(|(n, _)| *n == "lru")
             .expect("lru bar present")
             .1
             .total_energy();
         columns.push(
-            reports
-                .into_iter()
+            dpm_reports
+                .iter()
                 .map(|(name, r)| {
                     (
-                        name,
+                        *name,
                         r.total_energy().as_joules() / lru_energy.as_joules(),
                     )
                 })
@@ -112,20 +125,32 @@ pub fn energy(params: &Params, kind: TraceKind) -> ExperimentOutput {
 pub fn response(params: &Params) -> ExperimentOutput {
     let mut out = ExperimentOutput::default();
     let mut t = Table::new(["policy", "oltp", "cello96", "oltp p99", "cello96 p99"]);
+    // Both traces are generated once up front; the eight (trace × policy)
+    // runs then fan out flat over the executor.
+    let traces: Vec<(TraceKind, pc_trace::Trace)> = [TraceKind::Oltp, TraceKind::Cello]
+        .into_iter()
+        .map(|kind| (kind, params.trace(kind)))
+        .collect();
+    let points: Vec<(usize, &'static str, PolicySpec, bool)> = (0..traces.len())
+        .flat_map(|ti| {
+            bars(params)
+                .into_iter()
+                .filter(|(name, _, _)| *name != "infinite-cache")
+                .map(move |(name, spec, inf)| (ti, name, spec, inf))
+        })
+        .collect();
+    let bar_count = points.len() / traces.len();
+    let reports: Vec<(&'static str, SimReport)> =
+        sweep::over(params, points, |(ti, name, spec, inf)| {
+            let (kind, trace) = &traces[*ti];
+            (
+                *name,
+                run_bar(trace, *kind, DpmPolicy::Practical, spec, *inf),
+            )
+        });
     let mut per_kind = Vec::new();
-    for kind in [TraceKind::Oltp, TraceKind::Cello] {
-        let trace = params.trace(kind);
-        let reports: Vec<(&str, SimReport)> = bars(params)
-            .into_iter()
-            .filter(|(name, _, _)| *name != "infinite-cache")
-            .map(|(name, spec, inf)| {
-                (
-                    name,
-                    run_bar(&trace, kind, DpmPolicy::Practical, &spec, inf),
-                )
-            })
-            .collect();
-        let lru = reports
+    for kind_reports in reports.chunks(bar_count) {
+        let lru = kind_reports
             .iter()
             .find(|(n, _)| *n == "lru")
             .expect("lru bar present")
@@ -133,11 +158,11 @@ pub fn response(params: &Params) -> ExperimentOutput {
             .mean_response()
             .as_secs_f64();
         per_kind.push(
-            reports
-                .into_iter()
+            kind_reports
+                .iter()
                 .map(|(name, r)| {
                     (
-                        name,
+                        *name,
                         r.mean_response().as_secs_f64() / lru,
                         r.response_quantile(0.99),
                     )

@@ -5,7 +5,7 @@ use pc_diskmodel::DiskPowerSpec;
 use pc_sim::{run_replacement, PolicySpec, SimConfig};
 use pc_units::Joules;
 
-use crate::{ExperimentOutput, Params, Table};
+use crate::{sweep, ExperimentOutput, Params, Table};
 
 /// The paper's sweep points (joules).
 pub const SPIN_UP_COSTS: [f64; 7] = [33.75, 67.5, 101.25, 135.0, 202.5, 270.0, 675.0];
@@ -19,12 +19,24 @@ pub fn run(params: &Params) -> ExperimentOutput {
     let trace = params.oltp_trace();
     let mut t = Table::new(["spin-up cost", "pa-lru saving over lru"]);
     let mut out = ExperimentOutput::default();
-    for cost in SPIN_UP_COSTS {
+    // Each (cost, policy) pair is an independent simulation: fan out all
+    // fourteen and pair LRU/PA-LRU back up per cost.
+    let points: Vec<(f64, bool)> = SPIN_UP_COSTS
+        .into_iter()
+        .flat_map(|cost| [(cost, false), (cost, true)])
+        .collect();
+    let reports = sweep::over(params, points, |&(cost, pa)| {
         let spec = DiskPowerSpec::ultrastar_36z15().with_spin_up_energy(Joules::new(cost));
         let cfg = SimConfig::default().with_power_spec(spec);
-        let lru = run_replacement(&trace, &PolicySpec::Lru, &cfg);
-        let pa = run_replacement(&trace, &params.pa_policy(&cfg.power_model()), &cfg);
-        let saving = pa.saving_over(&lru);
+        let policy = if pa {
+            params.pa_policy(&cfg.power_model())
+        } else {
+            PolicySpec::Lru
+        };
+        run_replacement(&trace, &policy, &cfg)
+    });
+    for (cost, pair) in SPIN_UP_COSTS.into_iter().zip(reports.chunks(2)) {
+        let saving = pair[1].saving_over(&pair[0]);
         t.row([format!("{cost}J"), format!("{saving:.1}%")]);
         out.record(format!("saving_at_{cost}"), saving);
     }

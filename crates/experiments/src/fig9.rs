@@ -9,7 +9,7 @@ use pc_sim::{run_write_policy, PolicySpec, SimConfig};
 use pc_trace::{GapDistribution, SyntheticConfig};
 use pc_units::SimDuration;
 
-use crate::{ExperimentOutput, Params, Table};
+use crate::{sweep, ExperimentOutput, Params, Table};
 
 /// Write ratios of panels (a1)/(b1)/(c1).
 pub const WRITE_RATIOS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
@@ -60,7 +60,7 @@ fn savings_for(
 
 /// Panels (a1)/(b1)/(c1): savings vs write ratio at a 250 ms mean
 /// inter-arrival time. The write-ratio points are independent
-/// simulations, so they run on parallel threads.
+/// simulations, so they fan out over the shared sweep executor.
 #[must_use]
 pub fn by_write_ratio(params: &Params) -> ExperimentOutput {
     let base = SyntheticConfig::default();
@@ -75,34 +75,22 @@ pub fn by_write_ratio(params: &Params) -> ExperimentOutput {
         "wbeu pareto",
         "wtdu pareto",
     ]);
-    let rows: Vec<SweepRow<f64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = WRITE_RATIOS
-            .into_iter()
-            .map(|ratio| {
-                let base = &base;
-                scope.spawn(move || {
-                    let exp = savings_for(
-                        base,
-                        GapDistribution::exponential(SimDuration::from_millis(250)),
-                        ratio,
-                        requests,
-                        params.seed,
-                    );
-                    let pareto = savings_for(
-                        base,
-                        GapDistribution::pareto(SimDuration::from_millis(250)),
-                        ratio,
-                        requests,
-                        params.seed,
-                    );
-                    (ratio, exp, pareto)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fig9 worker panicked"))
-            .collect()
+    let rows: Vec<SweepRow<f64>> = sweep::over(params, WRITE_RATIOS.to_vec(), |&ratio| {
+        let exp = savings_for(
+            &base,
+            GapDistribution::exponential(SimDuration::from_millis(250)),
+            ratio,
+            requests,
+            params.seed,
+        );
+        let pareto = savings_for(
+            &base,
+            GapDistribution::pareto(SimDuration::from_millis(250)),
+            ratio,
+            requests,
+            params.seed,
+        );
+        (ratio, exp, pareto)
     });
     for (ratio, exp, pareto) in rows {
         let mut row = vec![format!("{ratio:.1}")];
@@ -135,37 +123,23 @@ pub fn by_interarrival(params: &Params) -> ExperimentOutput {
         "wbeu pareto",
         "wtdu pareto",
     ]);
-    let rows: Vec<SweepRow<u64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = GAPS_MS
-            .into_iter()
-            .map(|gap_ms| {
-                let base = &base;
-                scope.spawn(move || {
-                    // Hold the *duration* of the experiment roughly
-                    // constant so slow arrival rates still produce long
-                    // idle dynamics.
-                    let requests = params
-                        .requests(1_000_000)
-                        .min(params.requests((250.0 / gap_ms as f64 * 1_000_000.0) as usize))
-                        .max(2_000);
-                    let gap = SimDuration::from_millis(gap_ms);
-                    let exp = savings_for(
-                        base,
-                        GapDistribution::exponential(gap),
-                        0.5,
-                        requests,
-                        params.seed,
-                    );
-                    let pareto =
-                        savings_for(base, GapDistribution::pareto(gap), 0.5, requests, params.seed);
-                    (gap_ms, exp, pareto)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fig9 worker panicked"))
-            .collect()
+    let rows: Vec<SweepRow<u64>> = sweep::over(params, GAPS_MS.to_vec(), |&gap_ms| {
+        // Hold the *duration* of the experiment roughly constant so slow
+        // arrival rates still produce long idle dynamics.
+        let requests = params
+            .requests(1_000_000)
+            .min(params.requests((250.0 / gap_ms as f64 * 1_000_000.0) as usize))
+            .max(2_000);
+        let gap = SimDuration::from_millis(gap_ms);
+        let exp = savings_for(
+            &base,
+            GapDistribution::exponential(gap),
+            0.5,
+            requests,
+            params.seed,
+        );
+        let pareto = savings_for(&base, GapDistribution::pareto(gap), 0.5, requests, params.seed);
+        (gap_ms, exp, pareto)
     });
     for (gap_ms, exp, pareto) in rows {
         let mut row = vec![format!("{gap_ms}ms")];

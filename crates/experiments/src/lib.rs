@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bench;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -43,6 +44,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;

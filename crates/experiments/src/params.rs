@@ -26,8 +26,8 @@ impl TraceKind {
     }
 }
 
-/// Global experiment parameters: a scale factor on trace lengths and the
-/// RNG seed.
+/// Global experiment parameters: a scale factor on trace lengths, the
+/// RNG seed, and the sweep worker count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Params {
     /// Multiplier on every experiment's default request count. 1.0 =
@@ -35,6 +35,9 @@ pub struct Params {
     pub scale: f64,
     /// Seed for all trace generation.
     pub seed: u64,
+    /// Worker threads for parameter sweeps (see [`crate::sweep`]);
+    /// 0 = one per available core. Results are identical for any value.
+    pub jobs: usize,
 }
 
 impl Params {
@@ -44,6 +47,7 @@ impl Params {
         Params {
             scale: 1.0,
             seed: 42,
+            jobs: 0,
         }
     }
 
@@ -54,6 +58,25 @@ impl Params {
         Params {
             scale: 0.05,
             seed: 42,
+            jobs: 0,
+        }
+    }
+
+    /// Sets the sweep worker count (0 = one per available core).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The effective sweep worker count: `jobs`, or the machine's
+    /// available parallelism when `jobs` is 0.
+    #[must_use]
+    pub fn resolved_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         }
     }
 
@@ -124,6 +147,7 @@ mod tests {
         let p = Params {
             scale: 0.01,
             seed: 1,
+            jobs: 0,
         };
         assert_eq!(p.requests(72_000), 720);
         assert_eq!(p.requests(1_000), 500, "floor applies");

@@ -1,0 +1,112 @@
+//! Shared parallel executor for experiment sweeps.
+//!
+//! Every figure/table/ablation driver runs its independent sweep points
+//! (cache sizes, epochs, spin-up costs, write ratios, …) through
+//! [`over`], which fans the points out over a scoped-thread worker pool
+//! and merges results **in input order**. Workers pull indices from a
+//! shared atomic counter, so scheduling is dynamic, but because each
+//! point's computation is deterministic and results are re-ordered by
+//! index before returning, the output is byte-identical for any worker
+//! count — `--jobs 1` and `--jobs 8` produce the same reports.
+//!
+//! Built on [`std::thread::scope`]: no extra dependencies, and the
+//! closure may borrow the surrounding trace/config freely.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::Params;
+
+/// Runs `f` over every item with the worker count from `params`
+/// (see [`Params::resolved_jobs`]), returning results in item order.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the whole sweep fails, like the
+/// serial loop would).
+pub fn over<T, R, F>(params: &Params, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run(params.resolved_jobs(), items, f)
+}
+
+/// Runs `f` over every item on exactly `jobs` worker threads (clamped to
+/// the item count; `jobs <= 1` runs inline with no threads), returning
+/// results in item order regardless of completion order.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    // Completion order depends on scheduling; the caller's does not.
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_job_count() {
+        let items: Vec<u64> = (0..57).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            assert_eq!(run(jobs, items.clone(), |&x| x * x), expect, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps_work() {
+        assert_eq!(run(8, Vec::<u32>::new(), |&x| x), Vec::<u32>::new());
+        assert_eq!(run(8, vec![7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn closures_may_borrow_the_environment() {
+        let base = [10u64, 20, 30];
+        let out = run(2, vec![0usize, 1, 2], |&i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panics_propagate() {
+        let _ = run(2, vec![0u32, 1], |&x| {
+            assert!(x != 1, "boom");
+            x
+        });
+    }
+}

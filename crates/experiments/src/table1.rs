@@ -2,11 +2,11 @@
 
 use pc_diskmodel::{DiskPowerSpec, PowerModel};
 
-use crate::{ExperimentOutput, Table};
+use crate::{sweep, ExperimentOutput, Params, Table};
 
 /// Prints the Table-1 rows plus the derived multi-speed mode table.
 #[must_use]
-pub fn run() -> ExperimentOutput {
+pub fn run(params: &Params) -> ExperimentOutput {
     let spec = DiskPowerSpec::ultrastar_36z15();
     let mut t = Table::new(["parameter", "value"]);
     t.row(["Individual Disk Capacity", "18.4 GB"]);
@@ -24,8 +24,10 @@ pub fn run() -> ExperimentOutput {
 
     let model = PowerModel::multi_speed(&spec);
     let mut modes = Table::new(["mode", "rpm", "power", "spin-down", "spin-up", "break-even"]);
-    for (id, m) in model.modes() {
-        modes.row([
+    let mode_ids: Vec<_> = model.modes().map(|(id, _)| id).collect();
+    for row in sweep::over(params, mode_ids, |&id| {
+        let m = model.mode(id);
+        [
             m.name.clone(),
             m.rpm.to_string(),
             m.power.to_string(),
@@ -36,7 +38,9 @@ pub fn run() -> ExperimentOutput {
             } else {
                 model.break_even(id).to_string()
             },
-        ]);
+        ]
+    }) {
+        modes.row(row);
     }
 
     let mut out = ExperimentOutput {
@@ -58,7 +62,7 @@ mod tests {
 
     #[test]
     fn reports_the_datasheet_numbers() {
-        let o = run();
+        let o = run(&Params::quick());
         assert!(o.text.contains("15000 RPM"));
         assert!(o.text.contains("10.200W"));
         assert!(o.text.contains("135.000J"));

@@ -2,7 +2,7 @@
 
 use pc_trace::TraceStats;
 
-use crate::{ExperimentOutput, Params, Table, TraceKind};
+use crate::{sweep, ExperimentOutput, Params, Table, TraceKind};
 
 /// Prints the Table-2 columns (disks, write fraction, mean inter-arrival)
 /// for the generated OLTP-like and Cello-like traces, plus the cold-miss
@@ -18,8 +18,11 @@ pub fn run(params: &Params) -> ExperimentOutput {
         "cold fraction",
     ]);
     let mut out = ExperimentOutput::default();
-    for kind in [TraceKind::Oltp, TraceKind::Cello] {
-        let stats = TraceStats::of(&params.trace(kind));
+    let kinds = vec![TraceKind::Oltp, TraceKind::Cello];
+    let stats_per_kind = sweep::over(params, kinds.clone(), |&kind| {
+        TraceStats::of(&params.trace(kind))
+    });
+    for (kind, stats) in kinds.into_iter().zip(stats_per_kind) {
         t.row([
             kind.name().to_owned(),
             stats.requests.to_string(),

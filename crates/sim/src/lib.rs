@@ -35,5 +35,5 @@ mod report;
 mod runner;
 
 pub use config::{PolicySpec, SimConfig};
-pub use report::SimReport;
+pub use report::{RunTiming, SimReport};
 pub use runner::{run_replacement, run_write_policy};

@@ -1,15 +1,52 @@
 //! Whole-simulation reports.
 
-use serde::{Deserialize, Serialize};
-
 use pc_cache::{CacheStats, IntervalHistogram};
 use pc_disksim::DiskReport;
 use pc_units::{Joules, SimDuration, SimTime};
 
+/// Wall-clock self-timing of one simulation run (host time, not
+/// simulated time).
+///
+/// Timing is observational: it is excluded from [`SimReport`] equality
+/// and from [`SimReport::to_json`], so reports stay byte-identical across
+/// machines and `--jobs` settings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTiming {
+    /// Wall-clock time the run took.
+    pub wall: std::time::Duration,
+    /// Trace requests simulated per wall-clock second.
+    pub req_per_sec: f64,
+}
+
+impl RunTiming {
+    /// Builds timing from a measured wall time and the request count.
+    #[must_use]
+    pub fn from_wall(wall: std::time::Duration, requests: u64) -> Self {
+        let secs = wall.as_secs_f64();
+        RunTiming {
+            wall,
+            req_per_sec: if secs > 0.0 {
+                requests as f64 / secs
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Wall time in milliseconds.
+    #[must_use]
+    pub fn wall_ms(&self) -> f64 {
+        self.wall.as_secs_f64() * 1e3
+    }
+}
+
 /// Everything one simulation run produces: cache counters, per-disk
 /// energy/time accounting, log-device accounting (WTDU), and the
 /// client-visible response-time aggregate.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// Equality ignores [`timing`](SimReport::timing): two runs of the same
+/// experiment compare equal however long they took.
+#[derive(Debug, Clone, Default)]
 pub struct SimReport {
     /// Replacement policy name.
     pub policy: String,
@@ -32,6 +69,23 @@ pub struct SimReport {
     pub requests: u64,
     /// Simulation horizon (energy is accounted up to this instant).
     pub horizon: SimTime,
+    /// Wall-clock self-timing (excluded from equality and JSON).
+    pub timing: RunTiming,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Every field except `timing`, which is host noise.
+        self.policy == other.policy
+            && self.write_policy == other.write_policy
+            && self.cache == other.cache
+            && self.disks == other.disks
+            && self.log == other.log
+            && self.response_total == other.response_total
+            && self.response_hist == other.response_hist
+            && self.requests == other.requests
+            && self.horizon == other.horizon
+    }
 }
 
 impl SimReport {
@@ -93,6 +147,141 @@ impl SimReport {
     pub fn total_spin_ups(&self) -> u64 {
         self.disks.iter().map(|d| d.spin_ups).sum()
     }
+
+    /// Serializes the report as a deterministic JSON document.
+    ///
+    /// Hand-rolled (the workspace is fully self-contained, no serde):
+    /// fixed key order, durations as integer microseconds, energies as
+    /// joules. [`timing`](SimReport::timing) is deliberately omitted so
+    /// identical simulations serialize byte-identically regardless of
+    /// host speed or `--jobs`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        push_str_field(&mut out, "policy", &self.policy);
+        out.push(',');
+        push_str_field(&mut out, "write_policy", &self.write_policy);
+        out.push_str(",\"cache\":");
+        push_cache_json(&mut out, &self.cache);
+        out.push_str(",\"disks\":[");
+        for (i, d) in self.disks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_disk_json(&mut out, d);
+        }
+        out.push_str("],\"log\":");
+        match &self.log {
+            Some(l) => push_disk_json(&mut out, l),
+            None => out.push_str("null"),
+        }
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            ",\"response_total_us\":{},\"response_hist\":",
+            self.response_total.as_micros()
+        );
+        push_hist_json(&mut out, &self.response_hist);
+        let _ = write!(
+            out,
+            ",\"requests\":{},\"horizon_us\":{}}}",
+            self.requests,
+            self.horizon.as_micros()
+        );
+        out
+    }
+}
+
+/// Appends `"key":"value"` with minimal string escaping (policy names are
+/// plain ASCII, but quote/backslash are escaped defensively).
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_cache_json(out: &mut String, c: &CacheStats) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"accesses\":{},\"hits\":{},\"reads\":{},\"writes\":{},\
+         \"evictions\":{},\"dirty_evictions\":{},\"disk_reads\":{},\
+         \"disk_writes\":{},\"log_writes\":{},\"prefetch_reads\":{}}}",
+        c.accesses,
+        c.hits,
+        c.reads,
+        c.writes,
+        c.evictions,
+        c.dirty_evictions,
+        c.disk_reads,
+        c.disk_writes,
+        c.log_writes,
+        c.prefetch_reads
+    );
+}
+
+fn push_disk_json(out: &mut String, d: &DiskReport) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"service_time_us\":{}", d.service_time.as_micros());
+    out.push_str(",\"mode_time_us\":[");
+    for (i, t) in d.mode_time.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", t.as_micros());
+    }
+    let _ = write!(
+        out,
+        "],\"spin_down_time_us\":{},\"spin_up_time_us\":{},\
+         \"service_energy_j\":{:?}",
+        d.spin_down_time.as_micros(),
+        d.spin_up_time.as_micros(),
+        d.service_energy.as_joules()
+    );
+    out.push_str(",\"mode_energy_j\":[");
+    for (i, e) in d.mode_energy.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{:?}", e.as_joules());
+    }
+    let _ = write!(
+        out,
+        "],\"spin_down_energy_j\":{:?},\"spin_up_energy_j\":{:?},\
+         \"requests\":{},\"spin_downs\":{},\"spin_ups\":{},\
+         \"response_total_us\":{},\"response_max_us\":{},\
+         \"interarrival_total_us\":{},\"interarrival_count\":{}}}",
+        d.spin_down_energy.as_joules(),
+        d.spin_up_energy.as_joules(),
+        d.requests,
+        d.spin_downs,
+        d.spin_ups,
+        d.response_total.as_micros(),
+        d.response_max.as_micros(),
+        d.interarrival_total.as_micros(),
+        d.interarrival_count
+    );
+}
+
+fn push_hist_json(out: &mut String, h: &IntervalHistogram) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"total\":{},\"cdf\":[", h.total());
+    for (i, (edge, frac)) in h.cdf().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{:?}]", edge.as_micros(), frac);
+    }
+    out.push_str("]}");
 }
 
 #[cfg(test)]

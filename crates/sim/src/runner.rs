@@ -45,6 +45,7 @@ pub fn run_write_policy(trace: &Trace, policy: &PolicySpec, config: &SimConfig) 
 /// account idle periods, which is what lets Oracle DPM make clairvoyant
 /// per-gap decisions in the same pass.
 fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
+    let wall_start = std::time::Instant::now();
     let power = config.power_model();
     let power_aware_writes = matches!(
         config.write_policy,
@@ -82,9 +83,18 @@ fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
     let mut response_hist = SimReport::response_histogram();
     let mut horizon = SimTime::ZERO;
 
+    // One scratch buffer for the whole run: the cache fills it on each
+    // access and `coalesce` walks it in place, so the steady-state
+    // per-request path performs no heap allocation.
+    let mut effects: Vec<Effect> = Vec::new();
+
     for record in trace {
         horizon = horizon.max(record.time);
-        let result = cache.access(record, |d| array.disk(d).is_sleeping(record.time));
+        let _ = cache.access(
+            record,
+            |d| array.disk(d).is_sleeping(record.time),
+            &mut effects,
+        );
 
         // Service the disk-side work in order, coalescing contiguous
         // single-block effects into multi-block transfers (a 16-block
@@ -92,7 +102,7 @@ fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
         // the response of the transfer that carries the client's own I/O.
         let mut own_read = None;
         let mut own_write = None;
-        for run in coalesce(&result.effects) {
+        for run in coalesce(&effects) {
             match run {
                 EffectRun::Disk { first, blocks, read } => {
                     let served = array.service(
@@ -171,6 +181,7 @@ fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
         response_hist,
         requests: trace.len() as u64,
         horizon: end,
+        timing: crate::RunTiming::from_wall(wall_start.elapsed(), trace.len() as u64),
     }
 }
 
@@ -189,42 +200,61 @@ enum EffectRun {
 }
 
 /// Merges per-block effects into multi-block transfers where contiguous.
-fn coalesce(effects: &[Effect]) -> Vec<EffectRun> {
-    let mut runs: Vec<EffectRun> = Vec::new();
-    for e in effects {
-        match *e {
+///
+/// Returns a lazy iterator over the effect slice, so coalescing allocates
+/// nothing: each [`EffectRun`] is produced on demand by advancing a cursor
+/// through the slice.
+fn coalesce(effects: &[Effect]) -> Coalesce<'_> {
+    Coalesce { effects, pos: 0 }
+}
+
+/// Iterator state for [`coalesce`]: a cursor over the effect slice.
+struct Coalesce<'a> {
+    effects: &'a [Effect],
+    pos: usize,
+}
+
+impl Iterator for Coalesce<'_> {
+    type Item = EffectRun;
+
+    fn next(&mut self) -> Option<EffectRun> {
+        let first = *self.effects.get(self.pos)?;
+        self.pos += 1;
+        match first {
             Effect::ReadDisk(b) | Effect::WriteDisk(b) => {
-                let is_read = matches!(e, Effect::ReadDisk(_));
-                if let Some(EffectRun::Disk {
-                    first,
+                let read = matches!(first, Effect::ReadDisk(_));
+                let mut blocks = 1u64;
+                while let Some(&next) = self.effects.get(self.pos) {
+                    let (nb, next_read) = match next {
+                        Effect::ReadDisk(n) => (n, true),
+                        Effect::WriteDisk(n) => (n, false),
+                        Effect::WriteLog(_) => break,
+                    };
+                    if next_read != read
+                        || nb.disk() != b.disk()
+                        || nb.block().number() != b.block().number() + blocks
+                    {
+                        break;
+                    }
+                    blocks += 1;
+                    self.pos += 1;
+                }
+                Some(EffectRun::Disk {
+                    first: b,
                     blocks,
                     read,
-                }) = runs.last_mut()
-                {
-                    if *read == is_read
-                        && first.disk() == b.disk()
-                        && first.block().number() + *blocks == b.block().number()
-                    {
-                        *blocks += 1;
-                        continue;
-                    }
-                }
-                runs.push(EffectRun::Disk {
-                    first: b,
-                    blocks: 1,
-                    read: is_read,
-                });
+                })
             }
             Effect::WriteLog(_) => {
-                if let Some(EffectRun::Log { blocks }) = runs.last_mut() {
-                    *blocks += 1;
-                    continue;
+                let mut blocks = 1u64;
+                while matches!(self.effects.get(self.pos), Some(Effect::WriteLog(_))) {
+                    blocks += 1;
+                    self.pos += 1;
                 }
-                runs.push(EffectRun::Log { blocks: 1 });
+                Some(EffectRun::Log { blocks })
             }
         }
     }
-    runs
 }
 
 #[cfg(test)]
@@ -381,7 +411,7 @@ mod tests {
             Effect::WriteLog(b(1)),
             Effect::WriteLog(b(7)), // log runs merge regardless of blocks
         ];
-        let runs = coalesce(&effects);
+        let runs: Vec<EffectRun> = coalesce(&effects).collect();
         assert_eq!(
             runs,
             vec![
@@ -392,6 +422,128 @@ mod tests {
                 EffectRun::Log { blocks: 2 },
             ]
         );
+    }
+
+    #[test]
+    fn coalesce_empty_yields_nothing() {
+        assert_eq!(coalesce(&[]).next(), None);
+    }
+
+    #[test]
+    fn coalesce_single_effect_is_a_unit_run() {
+        use pc_units::{BlockId, BlockNo};
+        let b = BlockId::new(DiskId::new(3), BlockNo::new(9));
+        let runs: Vec<EffectRun> = coalesce(&[Effect::WriteDisk(b)]).collect();
+        assert_eq!(
+            runs,
+            vec![EffectRun::Disk {
+                first: b,
+                blocks: 1,
+                read: false
+            }]
+        );
+        let runs: Vec<EffectRun> = coalesce(&[Effect::WriteLog(b)]).collect();
+        assert_eq!(runs, vec![EffectRun::Log { blocks: 1 }]);
+    }
+
+    #[test]
+    fn coalesce_alternating_directions_never_merge() {
+        use pc_units::{BlockId, BlockNo};
+        let b = |n: u64| BlockId::new(DiskId::new(0), BlockNo::new(n));
+        // Contiguous block numbers, but the direction flips each time.
+        let effects = [
+            Effect::ReadDisk(b(1)),
+            Effect::WriteDisk(b(2)),
+            Effect::ReadDisk(b(3)),
+            Effect::WriteDisk(b(4)),
+        ];
+        let runs: Vec<EffectRun> = coalesce(&effects).collect();
+        assert_eq!(runs.len(), 4);
+        assert!(runs.iter().all(|r| matches!(
+            r,
+            EffectRun::Disk { blocks: 1, .. }
+        )));
+    }
+
+    #[test]
+    fn coalesce_log_runs_split_only_on_disk_effects() {
+        use pc_units::{BlockId, BlockNo};
+        let b = |n: u64| BlockId::new(DiskId::new(0), BlockNo::new(n));
+        let effects = [
+            Effect::WriteLog(b(5)),
+            Effect::WriteLog(b(90)), // non-contiguous blocks still merge
+            Effect::WriteLog(b(2)),
+            Effect::ReadDisk(b(10)),
+            Effect::WriteLog(b(11)),
+        ];
+        let runs: Vec<EffectRun> = coalesce(&effects).collect();
+        assert_eq!(
+            runs,
+            vec![
+                EffectRun::Log { blocks: 3 },
+                EffectRun::Disk {
+                    first: b(10),
+                    blocks: 1,
+                    read: true
+                },
+                EffectRun::Log { blocks: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn coalesce_matches_eager_reference_on_random_sequences() {
+        // Cross-check the lazy iterator against a straightforward eager
+        // fold over a few hundred random effect sequences.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use pc_units::{BlockId, BlockNo};
+        fn eager(effects: &[Effect]) -> Vec<EffectRun> {
+            let mut runs: Vec<EffectRun> = Vec::new();
+            for e in effects {
+                match *e {
+                    Effect::ReadDisk(b) | Effect::WriteDisk(b) => {
+                        let is_read = matches!(e, Effect::ReadDisk(_));
+                        if let Some(EffectRun::Disk { first, blocks, read }) = runs.last_mut() {
+                            if *read == is_read
+                                && first.disk() == b.disk()
+                                && first.block().number() + *blocks == b.block().number()
+                            {
+                                *blocks += 1;
+                                continue;
+                            }
+                        }
+                        runs.push(EffectRun::Disk { first: b, blocks: 1, read: is_read });
+                    }
+                    Effect::WriteLog(_) => {
+                        if let Some(EffectRun::Log { blocks }) = runs.last_mut() {
+                            *blocks += 1;
+                            continue;
+                        }
+                        runs.push(EffectRun::Log { blocks: 1 });
+                    }
+                }
+            }
+            runs
+        }
+        let mut rng = StdRng::seed_from_u64(0xC0A1E5CE);
+        for _ in 0..300 {
+            let len = rng.gen_range(0..12usize);
+            let effects: Vec<Effect> = (0..len)
+                .map(|_| {
+                    let b = BlockId::new(
+                        DiskId::new(rng.gen_range(0..2u32)),
+                        BlockNo::new(rng.gen_range(0..6u64)),
+                    );
+                    match rng.gen_range(0..3u32) {
+                        0 => Effect::ReadDisk(b),
+                        1 => Effect::WriteDisk(b),
+                        _ => Effect::WriteLog(b),
+                    }
+                })
+                .collect();
+            let lazy: Vec<EffectRun> = coalesce(&effects).collect();
+            assert_eq!(lazy, eager(&effects), "effects {effects:?}");
+        }
     }
 
     #[test]

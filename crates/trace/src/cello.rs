@@ -9,8 +9,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
 use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 
 use crate::{GapDistribution, IoOp, Record, Trace, ZipfSampler};
@@ -33,7 +31,7 @@ use crate::{GapDistribution, IoOp, Record, Trace, ZipfSampler};
 /// assert_eq!(stats.disks, 19);
 /// assert!(stats.write_fraction > 0.3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CelloConfig {
     /// Total number of requests.
     pub requests: usize,

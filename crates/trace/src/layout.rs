@@ -9,15 +9,13 @@
 //! the same trace be replayed under either layout (the
 //! `ablation-layout` experiment quantifies the difference).
 
-use serde::{Deserialize, Serialize};
-
 use pc_units::{BlockId, BlockNo, DiskId};
 
 use crate::{Record, Trace};
 
 /// A mapping from logical (volume, block) addresses to physical
 /// (disk, block) addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataLayout {
     /// Volume `v` lives wholly on disk `v` (the paper's layout).
     Partitioned,

@@ -24,8 +24,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
 use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 
 use crate::{GapDistribution, IoOp, Record, Trace, ZipfSampler};
@@ -44,7 +42,7 @@ use crate::{GapDistribution, IoOp, Record, Trace, ZipfSampler};
 /// let trace = OltpConfig::default().with_requests(3_000).generate(1);
 /// assert_eq!(TraceStats::of(&trace).disks, 21);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OltpConfig {
     /// Total number of requests.
     pub requests: usize,

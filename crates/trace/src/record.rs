@@ -3,12 +3,10 @@
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-use serde::{Deserialize, Serialize};
-
 use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 
 /// The direction of one I/O request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoOp {
     /// A read request.
     Read,
@@ -34,7 +32,7 @@ impl fmt::Display for IoOp {
 }
 
 /// One I/O request of a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Record {
     /// Arrival time of the request.
     pub time: SimTime,
@@ -79,7 +77,7 @@ impl Record {
 /// ));
 /// assert_eq!(trace.len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     disk_count: u32,
     records: Vec<Record>,

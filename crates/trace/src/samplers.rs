@@ -6,12 +6,10 @@
 //! distances for temporal locality.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
-
 use pc_units::SimDuration;
 
 /// An inter-arrival time distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GapDistribution {
     /// Exponential gaps (a Poisson arrival process; no burstiness).
     Exponential {

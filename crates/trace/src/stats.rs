@@ -2,14 +2,12 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
-
 use pc_units::SimDuration;
 
 use crate::{IoOp, Trace};
 
 /// Per-disk request statistics.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DiskStats {
     /// Requests addressed to this disk.
     pub requests: usize,
@@ -32,7 +30,7 @@ pub struct DiskStats {
 /// assert_eq!(stats.disks, 19);
 /// assert!(stats.cold_fraction > 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TraceStats {
     /// Number of disks the trace addresses.
     pub disks: u32,

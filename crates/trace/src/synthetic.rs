@@ -7,8 +7,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
 use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 
 use crate::{GapDistribution, IoOp, Record, Trace, ZipfSampler};
@@ -34,7 +32,7 @@ use crate::{GapDistribution, IoOp, Record, Trace, ZipfSampler};
 /// let stats = TraceStats::of(&trace);
 /// assert!(stats.write_fraction > 0.75 && stats.write_fraction < 0.85);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticConfig {
     /// Number of requests to generate.
     pub requests: usize,

@@ -8,8 +8,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::SimDuration;
 
 /// An amount of energy, in joules.
@@ -23,7 +21,7 @@ use crate::SimDuration;
 /// let idle = Watts::new(10.2) * SimDuration::from_secs(10);
 /// assert!((spin_up + idle).as_joules() > 235.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Joules(f64);
 
 /// A rate of energy consumption, in watts.
@@ -36,7 +34,7 @@ pub struct Joules(f64);
 /// let energy = Watts::new(2.5) * SimDuration::from_secs(4);
 /// assert!((energy.as_joules() - 10.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Watts(f64);
 
 impl Joules {

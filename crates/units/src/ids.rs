@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The index of a disk within the storage system's disk array.
 ///
 /// # Examples
@@ -21,13 +19,13 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(d.to_string(), "disk14");
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct DiskId(u32);
 
 /// The index of a block within one disk.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct BlockNo(u64);
 
@@ -43,7 +41,7 @@ pub struct BlockNo(u64);
 /// assert_eq!(id.block(), BlockNo::new(4096));
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct BlockId {
     disk: DiskId,

@@ -10,8 +10,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Number of microseconds in one second.
 const MICROS_PER_SEC: u64 = 1_000_000;
 
@@ -27,7 +25,7 @@ const MICROS_PER_SEC: u64 = 1_000_000;
 /// assert_eq!(t + SimDuration::from_millis(750), SimTime::from_secs(1));
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(u64);
 
@@ -42,7 +40,7 @@ pub struct SimTime(u64);
 /// assert!((gap.as_secs_f64() - 2.5).abs() < 1e-12);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(u64);
 

@@ -94,9 +94,10 @@ fn main() {
             sim.service.clone(),
             DpmPolicy::Practical,
         );
+        let mut effects = Vec::new();
         for r in &trace {
-            let result = cache.access(r, |d| disks.disk(d).is_sleeping(r.time));
-            for effect in result.effects {
+            cache.access(r, |d| disks.disk(d).is_sleeping(r.time), &mut effects);
+            for effect in &effects {
                 let b = effect.block();
                 disks.service(b.disk(), r.time, ServiceRequest::single(b.block()));
             }

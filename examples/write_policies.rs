@@ -52,7 +52,7 @@ fn main() {
 
     // Disk 3 is asleep; three client writes are logged instead of waking it.
     for (i, b) in [(0u64, 10u64), (1, 11), (2, 10)] {
-        cache.access(
+        cache.access_alloc(
             &Record::new(SimTime::from_millis(i), block(3, b), IoOp::Write),
             |_| true, // every disk asleep
         );
@@ -73,7 +73,7 @@ fn main() {
 
     // Alternative history: the disk wakes for a read before any crash;
     // the region is flushed and retired, so a later crash replays nothing.
-    cache.access(
+    cache.access_alloc(
         &Record::new(SimTime::from_millis(9), block(3, 99), IoOp::Read),
         |_| true,
     );

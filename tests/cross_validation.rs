@@ -145,8 +145,9 @@ fn exhaustive_optimum_lower_bounds_every_policy() {
             let name = policy.name();
             let mut cache = BlockCache::new(capacity, policy, WritePolicy::WriteBack);
             let mut miss_times: Vec<Vec<SimTime>> = vec![Vec::new(), Vec::new()];
+            let mut effects = Vec::new();
             for r in &t {
-                if !cache.access(r, |_| false).hit {
+                if !cache.access(r, |_| false, &mut effects).hit {
                     miss_times[r.block.disk().as_usize()].push(r.time);
                 }
             }

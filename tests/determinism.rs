@@ -34,6 +34,31 @@ fn different_seeds_change_the_workload_but_not_the_shape() {
     assert!(max / min < 1.5, "energies vary too wildly: {energies:?}");
 }
 
+/// The sweep executor's contract: the worker count is invisible in the
+/// results. Serialized reports (which exclude self-timing) from a
+/// `--jobs 1` run must be byte-identical to a `--jobs 8` run.
+#[test]
+fn sweep_results_are_identical_for_any_job_count() {
+    use pc_experiments::{sweep, Params};
+
+    let trace = OltpConfig::default().with_requests(4_000).generate(42);
+    let specs = vec![
+        PolicySpec::Lru,
+        PolicySpec::PaLru,
+        PolicySpec::Fifo,
+        PolicySpec::Belady,
+    ];
+    let reports_at = |jobs: usize| {
+        let params = Params::quick().with_jobs(jobs);
+        sweep::over(&params, specs.clone(), |spec| {
+            run_replacement(&trace, spec, &SimConfig::default()).to_json()
+        })
+    };
+    let serial: Vec<String> = reports_at(1);
+    let parallel: Vec<String> = reports_at(8);
+    assert_eq!(serial, parallel, "jobs=1 and jobs=8 must serialize identically");
+}
+
 #[test]
 fn all_generators_are_seed_deterministic() {
     assert_eq!(

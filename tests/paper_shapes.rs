@@ -9,6 +9,7 @@ fn params() -> Params {
     Params {
         scale: 0.35,
         seed: 42,
+        jobs: 0,
     }
 }
 
@@ -74,6 +75,7 @@ fn figure9_write_policy_shape() {
     let p = Params {
         scale: 0.05,
         seed: 42,
+        jobs: 0,
     };
     let o = fig9::by_write_ratio(&p);
     for dist in ["exp", "pareto"] {

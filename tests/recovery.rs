@@ -52,7 +52,7 @@ fn wtdu_recovery_restores_every_acknowledged_write() {
                 generation += 1;
                 acknowledged.insert(block, generation);
             }
-            let result = cache.access(&record, |_| asleep);
+            let result = cache.access_alloc(&record, |_| asleep);
             for effect in result.effects {
                 if let Effect::WriteDisk(b) = effect {
                     // The disk now holds the latest cached value of b.
@@ -90,7 +90,7 @@ fn wtdu_recovery_restores_every_acknowledged_write() {
 fn write_back_can_lose_dirty_data_on_crash() {
     let mut cache = BlockCache::new(32, Box::new(Lru::new()), WritePolicy::WriteBack);
     let block = BlockId::new(DiskId::new(0), BlockNo::new(1));
-    let result = cache.access(
+    let result = cache.access_alloc(
         &Record::new(SimTime::from_millis(0), block, IoOp::Write),
         |_| true,
     );
