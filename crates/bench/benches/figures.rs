@@ -20,11 +20,12 @@ fn params() -> Params {
 }
 
 fn bench_static_artifacts(c: &mut Criterion) {
+    let p = params();
     let mut g = c.benchmark_group("static");
-    g.bench_function("table1", |b| b.iter(|| black_box(table1::run())));
+    g.bench_function("table1", |b| b.iter(|| black_box(table1::run(&p))));
     g.bench_function("table3", |b| b.iter(|| black_box(table3::run())));
-    g.bench_function("fig2_envelope", |b| b.iter(|| black_box(fig2::run())));
-    g.bench_function("fig4_savings", |b| b.iter(|| black_box(fig4::run())));
+    g.bench_function("fig2_envelope", |b| b.iter(|| black_box(fig2::run(&p))));
+    g.bench_function("fig4_savings", |b| b.iter(|| black_box(fig4::run(&p))));
     g.finish();
 }
 
@@ -68,7 +69,7 @@ fn bench_replacement_experiments(c: &mut Criterion) {
 fn bench_write_policy_experiments(c: &mut Criterion) {
     let p = Params {
         scale: 0.01,
-        seed: 42,
+        ..params()
     };
     let mut g = c.benchmark_group("write-policies");
     g.sample_size(10);

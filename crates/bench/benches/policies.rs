@@ -93,9 +93,7 @@ fn bench_opg_engines(c: &mut Criterion) {
         b.iter(|| {
             black_box(drive(
                 &t,
-                Box::new(
-                    Opg::new(&t, power(), OpgDpm::Oracle, Joules::ZERO).with_naive_eviction(),
-                ),
+                Box::new(Opg::new(&t, power(), OpgDpm::Oracle, Joules::ZERO).with_naive_eviction()),
             ))
         })
     });

@@ -1,11 +1,12 @@
 //! The storage block cache.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeMap;
 
 use pc_trace::{IoOp, Record};
-use pc_units::{BlockId, DiskId};
+use pc_units::{BlockId, BlockNo, DiskId};
 
 use crate::policy::ReplacementPolicy;
+use crate::table::{BlockTable, Slot};
 use crate::wtdu::LogSpace;
 use crate::{AccessOutcome, AccessResult, Effect, WritePolicy};
 
@@ -53,15 +54,25 @@ impl CacheStats {
     }
 }
 
-/// Per-resident-block flags.
+/// Per-slot block flags.
 #[derive(Debug, Clone, Copy, Default)]
 struct BlockState {
     dirty: bool,
     logged: bool,
 }
 
+/// Per-disk index of flagged blocks: block number → cache slot, ordered
+/// by block number so flushes are deterministic (and roughly sequential
+/// on the platter).
+type DiskSet = BTreeMap<u64, u32>;
+
 /// A storage (second-level) block cache with pluggable replacement and
 /// write policies.
+///
+/// Residency is tracked by a [`BlockTable`] that interns each admitted
+/// block at a dense [`Slot`]; per-block flags live in a flat slot-indexed
+/// vector and the replacement policy is driven entirely in slot space, so
+/// a hit costs exactly one hash lookup.
 ///
 /// The cache performs **write allocation** under every write policy, so
 /// the resident set — and therefore the read-miss stream — depends only on
@@ -88,11 +99,14 @@ pub struct BlockCache {
     capacity: usize,
     policy: Box<dyn ReplacementPolicy>,
     write_policy: WritePolicy,
-    resident: HashMap<BlockId, BlockState>,
-    /// Dirty blocks per disk, ordered for deterministic flush order.
-    dirty: HashMap<DiskId, BTreeSet<BlockId>>,
-    /// Logged (WTDU) blocks per disk.
-    logged: HashMap<DiskId, BTreeSet<BlockId>>,
+    /// Block ↔ slot interning for the resident set.
+    table: BlockTable,
+    /// Flags per cache slot.
+    state: Vec<BlockState>,
+    /// Dirty blocks, indexed by disk.
+    dirty: Vec<DiskSet>,
+    /// Logged (WTDU) blocks, indexed by disk.
+    logged: Vec<DiskSet>,
     log: LogSpace,
     stats: CacheStats,
     /// Monotone counter used as the "value" written to the WTDU log so
@@ -108,7 +122,7 @@ impl std::fmt::Debug for BlockCache {
             .field("capacity", &self.capacity)
             .field("policy", &self.policy.name())
             .field("write_policy", &self.write_policy.name())
-            .field("resident", &self.resident.len())
+            .field("resident", &self.table.len())
             .field("stats", &self.stats)
             .finish()
     }
@@ -133,9 +147,10 @@ impl BlockCache {
             capacity,
             policy,
             write_policy,
-            resident: HashMap::new(),
-            dirty: HashMap::new(),
-            logged: HashMap::new(),
+            table: BlockTable::new(),
+            state: Vec::new(),
+            dirty: Vec::new(),
+            logged: Vec::new(),
             log: LogSpace::new(64), // grown on demand in `append_log`
             stats: CacheStats::default(),
             write_seq: 0,
@@ -177,19 +192,19 @@ impl BlockCache {
     /// Number of blocks currently resident.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.resident.len()
+        self.table.len()
     }
 
     /// Returns `true` if no block is resident.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.resident.is_empty()
+        self.table.is_empty()
     }
 
     /// Returns `true` if `block` is resident.
     #[must_use]
     pub fn contains(&self, block: BlockId) -> bool {
-        self.resident.contains_key(&block)
+        self.table.lookup(block).is_some()
     }
 
     /// The WTDU log contents (for persistence inspection and recovery
@@ -197,6 +212,26 @@ impl BlockCache {
     #[must_use]
     pub fn log(&self) -> &LogSpace {
         &self.log
+    }
+
+    /// Interns a freshly admitted block, priming its per-slot state.
+    fn admit(&mut self, block: BlockId) -> Slot {
+        let slot = self.table.intern(block);
+        if slot.index() >= self.state.len() {
+            self.state.resize(slot.index() + 1, BlockState::default());
+        } else {
+            self.state[slot.index()] = BlockState::default();
+        }
+        slot
+    }
+
+    /// The per-disk map of `sets` for `disk`, grown on demand.
+    fn disk_set(sets: &mut Vec<DiskSet>, disk: DiskId) -> &mut DiskSet {
+        let i = disk.as_usize();
+        if i >= sets.len() {
+            sets.resize_with(i + 1, DiskSet::new);
+        }
+        &mut sets[i]
     }
 
     /// Processes one access (of `record.blocks` consecutive blocks).
@@ -235,37 +270,38 @@ impl BlockCache {
         let mut read_missed = false;
 
         for offset in 0..record.blocks {
-            let block = BlockId::new(
-                disk,
-                pc_units::BlockNo::new(record.block.block().number() + offset),
-            );
-            let hit = self.resident.contains_key(&block);
-            self.policy.on_access(block, record.time, hit);
-            if !hit {
-                all_hit = false;
-                // A read miss must fetch from the disk, waking it if
-                // needed; both power-aware write policies piggyback their
-                // deferred work on that activation.
-                if record.op == IoOp::Read {
-                    if asleep && !activated {
-                        self.on_activation(disk, effects);
-                        activated = true;
+            let block = BlockId::new(disk, BlockNo::new(record.block.block().number() + offset));
+            let found = self.table.lookup(block);
+            self.policy.on_access(found, block, record.time);
+            let slot = match found {
+                Some(slot) => slot,
+                None => {
+                    all_hit = false;
+                    // A read miss must fetch from the disk, waking it if
+                    // needed; both power-aware write policies piggyback
+                    // their deferred work on that activation.
+                    if record.op == IoOp::Read {
+                        if asleep && !activated {
+                            self.on_activation(disk, effects);
+                            activated = true;
+                        }
+                        effects.push(Effect::ReadDisk(block));
+                        self.stats.disk_reads += 1;
+                        read_missed = true;
                     }
-                    effects.push(Effect::ReadDisk(block));
-                    self.stats.disk_reads += 1;
-                    read_missed = true;
-                }
-                if self.resident.len() >= self.capacity {
-                    let victim = self.evict_one(effects);
-                    if evicted.is_none() {
-                        evicted = Some(victim);
+                    if self.table.len() >= self.capacity {
+                        let victim = self.evict_one(effects);
+                        if evicted.is_none() {
+                            evicted = Some(victim);
+                        }
                     }
+                    let slot = self.admit(block);
+                    self.policy.on_insert(slot, block, record.time);
+                    slot
                 }
-                self.policy.on_insert(block, record.time);
-                self.resident.insert(block, BlockState::default());
-            }
+            };
             if record.op == IoOp::Write {
-                self.handle_write(block, asleep, effects);
+                self.handle_write(slot, block, asleep, effects);
             }
         }
 
@@ -275,9 +311,7 @@ impl BlockCache {
         if read_missed && self.prefetch_depth > 0 {
             let last = BlockId::new(
                 disk,
-                pc_units::BlockNo::new(
-                    record.block.block().number() + record.blocks.saturating_sub(1),
-                ),
+                BlockNo::new(record.block.block().number() + record.blocks.saturating_sub(1)),
             );
             self.prefetch_after(last, record.time, effects);
         }
@@ -315,18 +349,15 @@ impl BlockCache {
         effects: &mut Vec<Effect>,
     ) {
         for i in 1..=self.prefetch_depth {
-            let next = BlockId::new(
-                block.disk(),
-                pc_units::BlockNo::new(block.block().number() + i),
-            );
-            if self.resident.contains_key(&next) {
+            let next = BlockId::new(block.disk(), BlockNo::new(block.block().number() + i));
+            if self.table.lookup(next).is_some() {
                 continue;
             }
-            if self.resident.len() >= self.capacity {
+            if self.table.len() >= self.capacity {
                 self.evict_one(effects);
             }
-            self.policy.on_prefetch_insert(next, time);
-            self.resident.insert(next, BlockState::default());
+            let slot = self.admit(next);
+            self.policy.on_prefetch_insert(slot, next, time);
             effects.push(Effect::ReadDisk(next));
             self.stats.disk_reads += 1;
             self.stats.prefetch_reads += 1;
@@ -339,16 +370,15 @@ impl BlockCache {
     /// data disk ends up current — see the module docs of
     /// [`wtdu`](crate::wtdu).
     fn evict_one(&mut self, effects: &mut Vec<Effect>) -> BlockId {
-        let victim = self.policy.evict();
-        let state = self
-            .resident
-            .remove(&victim)
-            .expect("policy evicted a non-resident block");
+        let slot = self.policy.evict();
+        let victim = self.table.block_of(slot);
+        let state = self.state[slot.index()];
+        self.table.release(slot);
         self.stats.evictions += 1;
         if state.logged {
             // Must not lose the newest value: flush the whole region (the
-            // victim's newest value is still in `self.resident`… it was
-            // just removed, so emit its write explicitly first).
+            // victim's newest value is still in the cache… its slot was
+            // just released, so emit its write explicitly first).
             effects.push(Effect::WriteDisk(victim));
             self.stats.disk_writes += 1;
             self.unlog(victim);
@@ -359,17 +389,23 @@ impl BlockCache {
             self.stats.dirty_evictions += 1;
             self.stats.disk_writes += 1;
             effects.push(Effect::WriteDisk(victim));
-            if let Some(set) = self.dirty.get_mut(&victim.disk()) {
-                set.remove(&victim);
+            if let Some(set) = self.dirty.get_mut(victim.disk().as_usize()) {
+                set.remove(&victim.block().number());
             }
         }
         victim
     }
 
-    /// Applies the write policy for a write access to `block` (which is
-    /// resident by now). `asleep` is the target disk's power state at the
+    /// Applies the write policy for a write access to the resident block
+    /// at `slot`. `asleep` is the target disk's power state at the
     /// request's arrival.
-    fn handle_write(&mut self, block: BlockId, asleep: bool, effects: &mut Vec<Effect>) {
+    fn handle_write(
+        &mut self,
+        slot: Slot,
+        block: BlockId,
+        asleep: bool,
+        effects: &mut Vec<Effect>,
+    ) {
         self.write_seq += 1;
         let disk = block.disk();
         match self.write_policy {
@@ -378,11 +414,11 @@ impl BlockCache {
                 self.stats.disk_writes += 1;
             }
             WritePolicy::WriteBack => {
-                self.mark_dirty(block);
+                self.mark_dirty(slot, block);
             }
             WritePolicy::Wbeu { dirty_limit } => {
-                self.mark_dirty(block);
-                let count = self.dirty.get(&disk).map_or(0, BTreeSet::len);
+                self.mark_dirty(slot, block);
+                let count = self.dirty.get(disk.as_usize()).map_or(0, DiskSet::len);
                 if count > dirty_limit {
                     // Forced flush: wake the disk to drain its dirty set.
                     self.flush_dirty(disk, effects);
@@ -390,7 +426,7 @@ impl BlockCache {
             }
             WritePolicy::Wtdu => {
                 if asleep {
-                    self.append_log(block, effects);
+                    self.append_log(slot, block, effects);
                 } else {
                     // A direct write must not leave a *pending* log entry
                     // for this block behind: a crash would replay the
@@ -398,7 +434,7 @@ impl BlockCache {
                     // Retire the region first (the disk is active, so the
                     // flush is cheap and matches the paper's
                     // flush-on-activation protocol).
-                    if self.resident.get(&block).is_some_and(|s| s.logged) {
+                    if self.state[slot.index()].logged {
                         self.flush_logged(disk, effects);
                     }
                     effects.push(Effect::WriteDisk(block));
@@ -419,30 +455,27 @@ impl BlockCache {
         }
     }
 
-    fn mark_dirty(&mut self, block: BlockId) {
-        let state = self
-            .resident
-            .get_mut(&block)
-            .expect("written block is resident");
+    fn mark_dirty(&mut self, slot: Slot, block: BlockId) {
+        let state = &mut self.state[slot.index()];
         if !state.dirty {
             state.dirty = true;
-            self.dirty.entry(block.disk()).or_default().insert(block);
+            Self::disk_set(&mut self.dirty, block.disk())
+                .insert(block.block().number(), slot.index() as u32);
         }
     }
 
     fn flush_dirty(&mut self, disk: DiskId, effects: &mut Vec<Effect>) {
-        if let Some(set) = self.dirty.remove(&disk) {
-            for b in set {
-                effects.push(Effect::WriteDisk(b));
-                self.stats.disk_writes += 1;
-                if let Some(s) = self.resident.get_mut(&b) {
-                    s.dirty = false;
-                }
-            }
+        let Some(set) = self.dirty.get_mut(disk.as_usize()) else {
+            return;
+        };
+        for (no, slot) in std::mem::take(set) {
+            effects.push(Effect::WriteDisk(BlockId::new(disk, BlockNo::new(no))));
+            self.stats.disk_writes += 1;
+            self.state[slot as usize].dirty = false;
         }
     }
 
-    fn append_log(&mut self, block: BlockId, effects: &mut Vec<Effect>) {
+    fn append_log(&mut self, slot: Slot, block: BlockId, effects: &mut Vec<Effect>) {
         let disk = block.disk();
         while self.log.disk_count() <= disk.index() {
             self.log = grow_log(&self.log);
@@ -450,24 +483,20 @@ impl BlockCache {
         self.log.append(disk, block.block(), self.write_seq);
         self.stats.log_writes += 1;
         effects.push(Effect::WriteLog(block));
-        let state = self
-            .resident
-            .get_mut(&block)
-            .expect("logged block is resident");
+        let state = &mut self.state[slot.index()];
         if !state.logged {
             state.logged = true;
-            self.logged.entry(disk).or_default().insert(block);
+            Self::disk_set(&mut self.logged, disk)
+                .insert(block.block().number(), slot.index() as u32);
         }
     }
 
     fn flush_logged(&mut self, disk: DiskId, effects: &mut Vec<Effect>) {
-        if let Some(set) = self.logged.remove(&disk) {
-            for b in set {
-                effects.push(Effect::WriteDisk(b));
+        if let Some(set) = self.logged.get_mut(disk.as_usize()) {
+            for (no, slot) in std::mem::take(set) {
+                effects.push(Effect::WriteDisk(BlockId::new(disk, BlockNo::new(no))));
                 self.stats.disk_writes += 1;
-                if let Some(s) = self.resident.get_mut(&b) {
-                    s.logged = false;
-                }
+                self.state[slot as usize].logged = false;
             }
         }
         if disk.index() < self.log.disk_count() {
@@ -476,8 +505,8 @@ impl BlockCache {
     }
 
     fn unlog(&mut self, block: BlockId) {
-        if let Some(set) = self.logged.get_mut(&block.disk()) {
-            set.remove(&block);
+        if let Some(set) = self.logged.get_mut(block.disk().as_usize()) {
+            set.remove(&block.block().number());
         }
     }
 }
@@ -499,7 +528,7 @@ fn grow_log(old: &LogSpace) -> LogSpace {
 mod tests {
     use super::*;
     use crate::policy::Lru;
-    use pc_units::{BlockNo, SimTime};
+    use pc_units::SimTime;
 
     fn blk(disk: u32, no: u64) -> BlockId {
         BlockId::new(DiskId::new(disk), BlockNo::new(no))
@@ -642,7 +671,7 @@ mod tests {
         let b = blk(0, 1);
         c.access_alloc(&rec(0, b, IoOp::Write), |_| true); // logged
         c.access_alloc(&rec(1, b, IoOp::Write), |_| false); // direct while active
-        // Waking the disk later flushes nothing (the logged mark cleared).
+                                                            // Waking the disk later flushes nothing (the logged mark cleared).
         let r = c.access_alloc(&rec(2, blk(0, 2), IoOp::Read), |_| true);
         assert_eq!(
             r.effects
@@ -661,6 +690,23 @@ mod tests {
             assert!(c.len() <= 3);
         }
         assert_eq!(c.stats().accesses, 50);
+    }
+
+    #[test]
+    fn slot_space_stays_dense_under_churn() {
+        // A bounded cache must recycle slots rather than grow its state
+        // vector without bound: after heavy churn the per-slot state is
+        // still no larger than the capacity.
+        let mut c = cache(4, WritePolicy::WriteBack);
+        for i in 0..1_000u64 {
+            c.access_alloc(&rec(i, blk(0, i % 97), IoOp::Read), |_| false);
+        }
+        assert!(c.len() <= 4);
+        assert!(
+            c.state.len() <= 4,
+            "state grew to {} slots for a 4-block cache",
+            c.state.len()
+        );
     }
 
     #[test]
@@ -706,8 +752,14 @@ mod tests {
         );
         assert_eq!(c.stats().prefetch_reads, 2);
         // The prefetched blocks now hit without any disk work.
-        assert!(c.access_alloc(&rec(1, blk(0, 11), IoOp::Read), |_| false).hit);
-        assert!(c.access_alloc(&rec(2, blk(0, 12), IoOp::Read), |_| false).hit);
+        assert!(
+            c.access_alloc(&rec(1, blk(0, 11), IoOp::Read), |_| false)
+                .hit
+        );
+        assert!(
+            c.access_alloc(&rec(2, blk(0, 12), IoOp::Read), |_| false)
+                .hit
+        );
     }
 
     #[test]

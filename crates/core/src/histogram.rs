@@ -82,9 +82,7 @@ impl IntervalHistogram {
 
     /// Records one interval.
     pub fn record(&mut self, interval: SimDuration) {
-        let bin = self
-            .edges
-            .partition_point(|&edge| edge < interval);
+        let bin = self.edges.partition_point(|&edge| edge < interval);
         self.counts[bin] += 1;
         self.total += 1;
     }
@@ -114,11 +112,7 @@ impl IntervalHistogram {
         for (bin, &count) in self.counts.iter().enumerate() {
             cumulative += count;
             if cumulative >= target {
-                return self
-                    .edges
-                    .get(bin)
-                    .copied()
-                    .unwrap_or(SimDuration::MAX);
+                return self.edges.get(bin).copied().unwrap_or(SimDuration::MAX);
             }
         }
         SimDuration::MAX
@@ -161,10 +155,8 @@ mod tests {
 
     #[test]
     fn records_into_the_right_bins() {
-        let mut h = IntervalHistogram::new(vec![
-            SimDuration::from_secs(1),
-            SimDuration::from_secs(10),
-        ]);
+        let mut h =
+            IntervalHistogram::new(vec![SimDuration::from_secs(1), SimDuration::from_secs(10)]);
         h.record(SimDuration::from_millis(500)); // bin 0 (≤ 1 s)
         h.record(SimDuration::from_secs(1)); // bin 0 (edge inclusive)
         h.record(SimDuration::from_secs(5)); // bin 1
@@ -230,9 +222,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_edges() {
-        let _ = IntervalHistogram::new(vec![
-            SimDuration::from_secs(2),
-            SimDuration::from_secs(1),
-        ]);
+        let _ = IntervalHistogram::new(vec![SimDuration::from_secs(2), SimDuration::from_secs(1)]);
     }
 }

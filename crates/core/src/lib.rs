@@ -63,6 +63,7 @@ mod histogram;
 mod offline;
 pub mod optimal;
 pub mod policy;
+mod table;
 pub mod wtdu;
 
 pub use bloom::BloomFilter;
@@ -71,3 +72,4 @@ pub use effects::{AccessOutcome, AccessResult, Effect, WritePolicy};
 pub use histogram::IntervalHistogram;
 pub use offline::OfflineIndex;
 pub use policy::ReplacementPolicy;
+pub use table::{BlockTable, Slot};

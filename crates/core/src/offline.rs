@@ -1,6 +1,6 @@
 //! Pre-computed future knowledge for off-line policies (Belady, OPG).
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use pc_trace::Trace;
 use pc_units::{BlockId, SimTime};
@@ -59,7 +59,7 @@ impl OfflineIndex {
         let mut next = vec![NO_NEXT; n];
         let mut times = Vec::with_capacity(n);
         let mut first = vec![false; n];
-        let mut last_seen: HashMap<BlockId, u32> = HashMap::new();
+        let mut last_seen: FxHashMap<BlockId, u32> = FxHashMap::default();
         let mut i = 0u32;
         for r in trace {
             for offset in 0..r.blocks {

@@ -139,9 +139,7 @@ fn search<F: Fn(SimDuration) -> Joules>(
         // Trailing idle on every disk.
         let trailing: f64 = last_active
             .iter()
-            .map(|&t| {
-                idle_energy(end.saturating_since(SimTime::from_micros(t))).as_joules()
-            })
+            .map(|&t| idle_energy(end.saturating_since(SimTime::from_micros(t))).as_joules())
             .sum();
         return (trailing, 0);
     }
@@ -241,15 +239,15 @@ pub fn figure3_trace() -> Trace {
     use pc_units::{BlockNo, DiskId};
     let blk = |n: u64| BlockId::new(DiskId::new(0), BlockNo::new(n));
     let seq: [(u64, u64); 10] = [
-        (0, 1), // A
-        (1, 2), // B
-        (2, 3), // C
-        (3, 4), // D
-        (4, 5), // E
-        (5, 2), // B
-        (6, 5), // E
-        (7, 3), // C
-        (8, 4), // D
+        (0, 1),  // A
+        (1, 2),  // B
+        (2, 3),  // C
+        (3, 4),  // D
+        (4, 5),  // E
+        (5, 2),  // B
+        (6, 5),  // E
+        (7, 3),  // C
+        (8, 4),  // D
         (16, 1), // A
     ];
     let mut t = Trace::new(1);
@@ -365,7 +363,13 @@ mod tests {
         use pc_units::{BlockNo, DiskId};
         let blk = |d: u32, n: u64| BlockId::new(DiskId::new(d), BlockNo::new(n));
         let mut t = Trace::new(2);
-        for (s, d, b) in [(0u64, 0u32, 1u64), (1, 1, 9), (2, 0, 2), (3, 0, 1), (20, 1, 9)] {
+        for (s, d, b) in [
+            (0u64, 0u32, 1u64),
+            (1, 1, 9),
+            (2, 0, 2),
+            (3, 0, 1),
+            (20, 1, 9),
+        ] {
             t.push(Record::new(SimTime::from_secs(s), blk(d, b), IoOp::Read));
         }
         let r = min_energy(&t, 2, SimTime::from_secs(40), Joules::ZERO, &fig3_energy());

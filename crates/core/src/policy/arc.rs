@@ -6,12 +6,10 @@
 //! recently-evicted block ids: a hit in B1 says "recency deserved more
 //! space", a hit in B2 the opposite.
 
-use std::collections::HashMap;
-
 use pc_units::{BlockId, SimTime};
 
-use crate::policy::pa_lru::Stack;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{IndexList, ReplacementPolicy};
+use crate::table::{BlockTable, Slot};
 
 /// Where the pending (missed) block came from, deciding its insertion
 /// list and the REPLACE tie-break.
@@ -28,6 +26,10 @@ enum Pending {
 /// [`BlockCache`](crate::BlockCache)'s capacity: ARC sizes its ghost
 /// lists and its adaptation against it.
 ///
+/// T1/T2 are intrusive lists over cache slots; B1/B2 share a private
+/// ghost [`BlockTable`], so every list operation — including the former
+/// O(n) ghost membership probes — is O(1).
+///
 /// # Examples
 ///
 /// ```
@@ -42,13 +44,15 @@ pub struct ArcPolicy {
     capacity: usize,
     /// Adaptive target size of T1.
     p: f64,
-    t1: Stack,
-    t2: Stack,
-    b1: Stack,
-    b2: Stack,
-    /// Resident membership: `true` = T2.
-    in_t2: HashMap<BlockId, bool>,
-    next_seq: u64,
+    /// Resident recency / frequency lists (cache slots, front = MRU).
+    t1: IndexList,
+    t2: IndexList,
+    /// Block ids per cache slot, for ghosting evicted victims.
+    blocks: Vec<BlockId>,
+    /// Ghost directory shared by B1 and B2 (ghost slots, front = MRU).
+    ghosts: BlockTable,
+    b1: IndexList,
+    b2: IndexList,
     pending: Pending,
     /// Set when the DBL invariant requires the next T1 eviction to be
     /// dropped instead of ghosted (|T1| = c with B1 empty).
@@ -67,12 +71,12 @@ impl ArcPolicy {
         ArcPolicy {
             capacity,
             p: 0.0,
-            t1: Stack::default(),
-            t2: Stack::default(),
-            b1: Stack::default(),
-            b2: Stack::default(),
-            in_t2: HashMap::new(),
-            next_seq: 0,
+            t1: IndexList::new(),
+            t2: IndexList::new(),
+            blocks: Vec::new(),
+            ghosts: BlockTable::new(),
+            b1: IndexList::new(),
+            b2: IndexList::new(),
             pending: Pending::Fresh,
             suppress_ghost: false,
         }
@@ -90,9 +94,11 @@ impl ArcPolicy {
         (self.t1.len(), self.t2.len(), self.b1.len(), self.b2.len())
     }
 
-    fn seq(&mut self) -> u64 {
-        self.next_seq += 1;
-        self.next_seq
+    /// Drops the oldest ghost of `list`, forgetting its id.
+    fn pop_ghost(ghosts: &mut BlockTable, list: &mut IndexList) {
+        if let Some(g) = list.pop_back() {
+            ghosts.release(g);
+        }
     }
 }
 
@@ -101,32 +107,29 @@ impl ReplacementPolicy for ArcPolicy {
         "arc".to_owned()
     }
 
-    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
-        if hit {
+    fn on_access(&mut self, slot: Option<Slot>, block: BlockId, _time: SimTime) {
+        if let Some(slot) = slot {
             // Case I: promote to T2's MRU position.
-            if let Some(was_t2) = self.in_t2.insert(block, true) {
-                if was_t2 {
-                    self.t2.remove(block);
-                } else {
-                    self.t1.remove(block);
-                }
-            }
-            let seq = self.seq();
-            self.t2.touch(block, seq);
+            self.t1.remove(slot);
+            self.t2.remove(slot);
+            self.t2.push_front(slot);
             return;
         }
         let c = self.capacity as f64;
-        if self.b1.contains(block) {
+        let ghost = self.ghosts.lookup(block);
+        if let Some(g) = ghost.filter(|&g| self.b1.contains(g)) {
             // Case II: ghost hit in B1 — recency deserved more room.
             let delta = (self.b2.len() as f64 / self.b1.len() as f64).max(1.0);
             self.p = (self.p + delta).min(c);
-            self.b1.remove(block);
+            self.b1.remove(g);
+            self.ghosts.release(g);
             self.pending = Pending::GhostRecency;
-        } else if self.b2.contains(block) {
+        } else if let Some(g) = ghost {
             // Case III: ghost hit in B2 — frequency deserved more room.
             let delta = (self.b1.len() as f64 / self.b2.len() as f64).max(1.0);
             self.p = (self.p - delta).max(0.0);
-            self.b2.remove(block);
+            self.b2.remove(g);
+            self.ghosts.release(g);
             self.pending = Pending::GhostFrequency;
         } else {
             // Case IV: brand-new block. Maintain the DBL(2c) invariants.
@@ -134,8 +137,8 @@ impl ReplacementPolicy for ArcPolicy {
             self.suppress_ghost = false;
             let l1 = self.t1.len() + self.b1.len();
             if l1 >= self.capacity {
-                if self.b1.len() > 0 {
-                    let _ = self.b1.pop_bottom();
+                if !self.b1.is_empty() {
+                    Self::pop_ghost(&mut self.ghosts, &mut self.b1);
                 } else {
                     // |T1| = c: the coming eviction must drop, not ghost.
                     self.suppress_ghost = true;
@@ -143,57 +146,52 @@ impl ReplacementPolicy for ArcPolicy {
             } else if self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len()
                 >= 2 * self.capacity
             {
-                let _ = self.b2.pop_bottom();
+                Self::pop_ghost(&mut self.ghosts, &mut self.b2);
             }
         }
     }
 
-    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
-        let seq = self.seq();
+    fn on_insert(&mut self, slot: Slot, block: BlockId, _time: SimTime) {
+        if slot.index() >= self.blocks.len() {
+            self.blocks.resize(slot.index() + 1, BlockId::default());
+        }
+        self.blocks[slot.index()] = block;
         match self.pending {
-            Pending::Fresh => {
-                self.t1.touch(block, seq);
-                self.in_t2.insert(block, false);
-            }
-            Pending::GhostRecency | Pending::GhostFrequency => {
-                self.t2.touch(block, seq);
-                self.in_t2.insert(block, true);
-            }
+            Pending::Fresh => self.t1.push_front(slot),
+            Pending::GhostRecency | Pending::GhostFrequency => self.t2.push_front(slot),
         }
         self.pending = Pending::Fresh;
     }
 
-    fn evict(&mut self) -> BlockId {
+    fn evict(&mut self) -> Slot {
         // REPLACE(x, p): prefer T1 when it exceeds its target (or exactly
         // meets it on a B2 ghost hit).
         let ghost_frequency_hit = self.pending == Pending::GhostFrequency;
         let t1_len = self.t1.len() as f64;
-        let from_t1 = self.t1.len() > 0
+        let from_t1 = !self.t1.is_empty()
             && (t1_len > self.p || (ghost_frequency_hit && (t1_len - self.p).abs() < 0.5));
-        let victim = if from_t1 || self.t2.len() == 0 {
-            let v = self.t1.pop_bottom().expect("no block to evict");
+        if from_t1 || self.t2.is_empty() {
+            let v = self.t1.pop_back().expect("no block to evict");
             if self.suppress_ghost {
                 self.suppress_ghost = false;
             } else {
-                let seq = self.seq();
-                self.b1.touch(v, seq);
+                let g = self.ghosts.intern(self.blocks[v.index()]);
+                self.b1.push_front(g);
             }
             v
         } else {
-            let v = self.t2.pop_bottom().expect("no block to evict");
-            let seq = self.seq();
-            self.b2.touch(v, seq);
+            let v = self.t2.pop_back().expect("no block to evict");
+            let g = self.ghosts.intern(self.blocks[v.index()]);
+            self.b2.push_front(g);
             v
-        };
-        self.in_t2.remove(&victim);
-        victim
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::{blk, count_misses, seq_trace};
+    use crate::policy::testutil::{blk, count_misses, seq_trace, Feeder};
     use crate::policy::Lru;
 
     #[test]
@@ -206,10 +204,10 @@ mod tests {
     #[test]
     fn frequency_hits_promote_to_t2() {
         let mut arc = ArcPolicy::new(4);
-        arc.on_access(blk(0, 1), SimTime::ZERO, false);
-        arc.on_insert(blk(0, 1), SimTime::ZERO);
+        let mut f = Feeder::new();
+        f.access(&mut arc, blk(0, 1), SimTime::ZERO);
         assert_eq!(arc.list_sizes().0, 1, "first touch lands in T1");
-        arc.on_access(blk(0, 1), SimTime::ZERO, true);
+        f.access(&mut arc, blk(0, 1), SimTime::ZERO);
         let (t1, t2, _, _) = arc.list_sizes();
         assert_eq!((t1, t2), (0, 1), "second touch promotes to T2");
     }
@@ -217,29 +215,18 @@ mod tests {
     #[test]
     fn ghost_hits_adapt_the_recency_target() {
         let mut arc = ArcPolicy::new(2);
-        let mut resident = std::collections::HashSet::new();
-        let feed = |arc: &mut ArcPolicy, resident: &mut std::collections::HashSet<_>, b| {
-            let hit = resident.contains(&b);
-            arc.on_access(b, SimTime::ZERO, hit);
-            if !hit {
-                if resident.len() >= 2 {
-                    let v = arc.evict();
-                    resident.remove(&v);
-                }
-                arc.on_insert(b, SimTime::ZERO);
-                resident.insert(b);
-            }
-        };
+        let mut f = Feeder::new();
+        let mut feed = |arc: &mut ArcPolicy, b| f.access_bounded(arc, 2, b, SimTime::ZERO);
         // Promote block 1 into T2 so T1 stays below capacity and later
         // T1 evictions are ghosted into B1 (with T1 full and B1 empty,
         // real ARC drops victims un-ghosted).
-        feed(&mut arc, &mut resident, blk(0, 1));
-        feed(&mut arc, &mut resident, blk(0, 1)); // hit → T2
-        feed(&mut arc, &mut resident, blk(0, 2)); // T1:[2]
-        feed(&mut arc, &mut resident, blk(0, 3)); // evicts 2 → B1
+        feed(&mut arc, blk(0, 1));
+        feed(&mut arc, blk(0, 1)); // hit → T2
+        feed(&mut arc, blk(0, 2)); // T1:[2]
+        feed(&mut arc, blk(0, 3)); // evicts 2 → B1
         assert_eq!(arc.list_sizes().2, 1, "B1 holds the ghost of block 2");
         let p_before = arc.recency_target();
-        feed(&mut arc, &mut resident, blk(0, 2)); // B1 ghost hit
+        feed(&mut arc, blk(0, 2)); // B1 ghost hit
         assert!(arc.recency_target() > p_before, "B1 hit must grow p");
     }
 

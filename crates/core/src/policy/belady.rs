@@ -1,12 +1,14 @@
 //! Belady's off-line MIN algorithm.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use pc_trace::Trace;
 use pc_units::{BlockId, SimTime};
+use rustc_hash::FxHashMap;
 
 use crate::offline::OfflineIndex;
 use crate::policy::ReplacementPolicy;
+use crate::table::Slot;
 
 /// Belady's MIN: evicts the resident block whose next reference lies
 /// furthest in the future. Minimizes the miss count — but, as the paper's
@@ -42,7 +44,7 @@ pub struct Belady {
     /// Resident blocks ordered by next reference (`NO_NEXT` = ∞ last);
     /// ties broken by block id for determinism.
     by_next: BTreeSet<(u32, BlockId)>,
-    next_of: HashMap<BlockId, u32>,
+    next_of: FxHashMap<BlockId, (u32, Slot)>,
 }
 
 impl Belady {
@@ -53,12 +55,12 @@ impl Belady {
             index: OfflineIndex::build(trace),
             cursor: 0,
             by_next: BTreeSet::new(),
-            next_of: HashMap::new(),
+            next_of: FxHashMap::default(),
         }
     }
 
-    fn reposition(&mut self, block: BlockId, next: u32) {
-        if let Some(old) = self.next_of.insert(block, next) {
+    fn reposition(&mut self, slot: Slot, block: BlockId, next: u32) {
+        if let Some((old, _)) = self.next_of.insert(block, (next, slot)) {
             self.by_next.remove(&(old, block));
         }
         self.by_next.insert((next, block));
@@ -70,37 +72,36 @@ impl ReplacementPolicy for Belady {
         "belady".to_owned()
     }
 
-    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
+    fn on_access(&mut self, slot: Option<Slot>, block: BlockId, _time: SimTime) {
         assert!(
             self.cursor < self.index.len(),
             "access beyond the indexed trace"
         );
         let next = self.index.next_raw(self.cursor);
         self.cursor += 1;
-        if hit {
-            self.reposition(block, next);
+        if let Some(slot) = slot {
+            self.reposition(slot, block, next);
         }
     }
 
-    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
+    fn on_insert(&mut self, slot: Slot, block: BlockId, _time: SimTime) {
         // The insert follows the on_access that advanced the cursor past
         // the current access; its next-occurrence is that access's link.
         let next = self.index.next_raw(self.cursor - 1);
-        self.reposition(block, next);
+        self.reposition(slot, block, next);
     }
 
-    fn evict(&mut self) -> BlockId {
-        let &(next, block) = self
-            .by_next
-            .iter()
-            .next_back()
-            .expect("no block to evict");
+    fn evict(&mut self) -> Slot {
+        let &(next, block) = self.by_next.iter().next_back().expect("no block to evict");
         self.by_next.remove(&(next, block));
-        self.next_of.remove(&block);
-        block
+        let (_, slot) = self
+            .next_of
+            .remove(&block)
+            .expect("victim has a next-reference entry");
+        slot
     }
 
-    fn on_prefetch_insert(&mut self, _block: BlockId, _time: SimTime) {
+    fn on_prefetch_insert(&mut self, _slot: Slot, _block: BlockId, _time: SimTime) {
         panic!("Belady is an off-line policy and does not support prefetching");
     }
 }
@@ -125,7 +126,7 @@ pub fn min_misses(trace: &Trace, capacity: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::{count_misses, seq_trace};
+    use crate::policy::testutil::{count_misses, seq_trace, Feeder};
     use crate::policy::{Fifo, Lru};
 
     #[test]
@@ -164,15 +165,20 @@ mod tests {
     #[test]
     fn min_misses_helper_agrees() {
         let t = seq_trace(&[1, 2, 3, 1, 2, 3]);
-        assert_eq!(min_misses(&t, 2), count_misses(&t, 2, Box::new(Belady::new(&t))));
+        assert_eq!(
+            min_misses(&t, 2),
+            count_misses(&t, 2, Box::new(Belady::new(&t)))
+        );
     }
 
     #[test]
     #[should_panic(expected = "beyond the indexed trace")]
     fn rejects_extra_accesses() {
         let t = seq_trace(&[1]);
+        let b1 = crate::policy::testutil::blk(0, 1);
         let mut b = Belady::new(&t);
-        b.on_access(crate::policy::testutil::blk(0, 1), SimTime::ZERO, false);
-        b.on_access(crate::policy::testutil::blk(0, 1), SimTime::ZERO, true);
+        let mut f = Feeder::new();
+        f.access(&mut b, b1, SimTime::ZERO);
+        b.on_access(Some(f.slot_of(b1)), b1, SimTime::ZERO);
     }
 }

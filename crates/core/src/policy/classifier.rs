@@ -7,7 +7,7 @@
 //! (histogram), and classifies each disk as *priority* (few cold
 //! accesses **and** long intervals with high probability) or *regular*.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use pc_units::{DiskId, SimDuration, SimTime};
 
@@ -47,8 +47,8 @@ struct DiskTracker {
 pub struct DiskClassifier {
     config: PaLruConfig,
     bloom: BloomFilter,
-    trackers: HashMap<DiskId, DiskTracker>,
-    priority: HashMap<DiskId, bool>,
+    trackers: FxHashMap<DiskId, DiskTracker>,
+    priority: FxHashMap<DiskId, bool>,
     epoch_end: Option<SimTime>,
     epochs_completed: u64,
 }
@@ -61,8 +61,8 @@ impl DiskClassifier {
         DiskClassifier {
             config,
             bloom,
-            trackers: HashMap::new(),
-            priority: HashMap::new(),
+            trackers: FxHashMap::default(),
+            priority: FxHashMap::default(),
             epoch_end: None,
             epochs_completed: 0,
         }
@@ -196,7 +196,7 @@ mod tests {
         for i in 0..300u64 {
             c.observe(blk(0, i), SimTime::from_secs(i), true); // cold stream
             if i % 20 == 0 {
-                c.observe(blk(1, (i / 20) % 3, ), SimTime::from_secs(i), true);
+                c.observe(blk(1, (i / 20) % 3), SimTime::from_secs(i), true);
             }
         }
         assert!(!c.is_priority(DiskId::new(0)));

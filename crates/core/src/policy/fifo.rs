@@ -1,10 +1,9 @@
 //! First-in-first-out replacement (a simple non-recency baseline).
 
-use std::collections::VecDeque;
-
 use pc_units::{BlockId, SimTime};
 
-use crate::policy::ReplacementPolicy;
+use crate::policy::{IndexList, ReplacementPolicy};
+use crate::table::Slot;
 
 /// FIFO: evicts the block resident the longest, regardless of use.
 ///
@@ -12,18 +11,19 @@ use crate::policy::ReplacementPolicy;
 ///
 /// ```
 /// use pc_cache::policy::{Fifo, ReplacementPolicy};
+/// use pc_cache::Slot;
 /// use pc_units::{BlockId, BlockNo, DiskId, SimTime};
 ///
 /// let blk = |n| BlockId::new(DiskId::new(0), BlockNo::new(n));
 /// let mut fifo = Fifo::new();
-/// fifo.on_insert(blk(1), SimTime::ZERO);
-/// fifo.on_insert(blk(2), SimTime::ZERO);
-/// fifo.on_access(blk(1), SimTime::from_secs(1), true); // hits don't reorder
-/// assert_eq!(fifo.evict(), blk(1));
+/// fifo.on_insert(Slot::new(0), blk(1), SimTime::ZERO);
+/// fifo.on_insert(Slot::new(1), blk(2), SimTime::ZERO);
+/// fifo.on_access(Some(Slot::new(0)), blk(1), SimTime::from_secs(1)); // hits don't reorder
+/// assert_eq!(fifo.evict(), Slot::new(0));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Fifo {
-    queue: VecDeque<BlockId>,
+    queue: IndexList,
 }
 
 impl Fifo {
@@ -39,13 +39,13 @@ impl ReplacementPolicy for Fifo {
         "fifo".to_owned()
     }
 
-    fn on_access(&mut self, _block: BlockId, _time: SimTime, _hit: bool) {}
+    fn on_access(&mut self, _slot: Option<Slot>, _block: BlockId, _time: SimTime) {}
 
-    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
-        self.queue.push_back(block);
+    fn on_insert(&mut self, slot: Slot, _block: BlockId, _time: SimTime) {
+        self.queue.push_back(slot);
     }
 
-    fn evict(&mut self) -> BlockId {
+    fn evict(&mut self) -> Slot {
         self.queue.pop_front().expect("no block to evict")
     }
 }
@@ -53,19 +53,17 @@ impl ReplacementPolicy for Fifo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::{count_misses, seq_trace};
+    use crate::policy::testutil::{blk, count_misses, seq_trace, Feeder};
 
     #[test]
     fn insertion_order_drives_eviction() {
         let mut f = Fifo::new();
+        let mut feeder = Feeder::new();
         for n in 1..=3u64 {
-            f.on_insert(
-                BlockId::new(pc_units::DiskId::new(0), pc_units::BlockNo::new(n)),
-                SimTime::ZERO,
-            );
+            feeder.access(&mut f, blk(0, n), SimTime::ZERO);
         }
-        assert_eq!(f.evict().block().number(), 1);
-        assert_eq!(f.evict().block().number(), 2);
+        assert_eq!(feeder.evict(&mut f).block().number(), 1);
+        assert_eq!(feeder.evict(&mut f).block().number(), 2);
     }
 
     #[test]

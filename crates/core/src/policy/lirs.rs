@@ -15,18 +15,25 @@
 //! and is promoted to LIR, demoting the bottom LIR block. `S` is bounded
 //! at a small multiple of the cache size by discarding its oldest
 //! non-resident entries.
-
-use std::collections::HashMap;
+//!
+//! Because `S` must remember *evicted* blocks, LIRS keeps a private
+//! [`BlockTable`] over everything it tracks ("directory slots"); `S` and
+//! `Q` are intrusive [`IndexList`]s over those, and two flat vectors map
+//! directory slots to and from the hosting cache's slots.
 
 use pc_units::{BlockId, SimTime};
 
-use crate::policy::pa_lru::Stack;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{IndexList, ReplacementPolicy};
+use crate::table::{BlockTable, Slot};
+
+/// "No cache slot" marker for non-resident directory entries.
+const NO_SLOT: u32 = u32::MAX;
 
 /// A block's standing in LIRS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 enum Status {
     /// Low inter-reference recency: owns the main cache region.
+    #[default]
     Lir,
     /// High IRR, resident in the probationary region (in `Q`).
     HirResident,
@@ -54,13 +61,19 @@ pub struct Lirs {
     lir_capacity: usize,
     /// Bound on `S` (ghost memory), in entries.
     stack_bound: usize,
-    /// The recency stack.
-    s: Stack,
-    /// Resident HIR blocks, FIFO.
-    q: Stack,
-    status: HashMap<BlockId, Status>,
+    /// Directory of every tracked block, resident or ghost.
+    dir: BlockTable,
+    /// Status per directory slot.
+    status: Vec<Status>,
+    /// Cache slot per directory slot (`NO_SLOT` for ghosts).
+    cache_slot: Vec<u32>,
+    /// Directory slot per cache slot.
+    of_cache: Vec<u32>,
+    /// The recency stack (directory slots, front = most recent).
+    s: IndexList,
+    /// Resident HIR blocks, FIFO (directory slots, front = newest).
+    q: IndexList,
     lir_count: usize,
-    next_seq: u64,
 }
 
 impl Lirs {
@@ -78,11 +91,13 @@ impl Lirs {
         Lirs {
             lir_capacity: capacity.saturating_sub(hir_region),
             stack_bound: capacity.saturating_mul(3).max(8),
-            s: Stack::default(),
-            q: Stack::default(),
-            status: HashMap::new(),
+            dir: BlockTable::new(),
+            status: Vec::new(),
+            cache_slot: Vec::new(),
+            of_cache: Vec::new(),
+            s: IndexList::new(),
+            q: IndexList::new(),
             lir_count: 0,
-            next_seq: 0,
         }
     }
 
@@ -92,27 +107,32 @@ impl Lirs {
         (self.lir_count, self.q.len(), self.s.len())
     }
 
-    fn seq(&mut self) -> u64 {
-        self.next_seq += 1;
-        self.next_seq
+    /// Grows the per-directory-slot vectors to cover `ds`.
+    fn ensure(&mut self, ds: Slot) {
+        if ds.index() >= self.status.len() {
+            self.status.resize(ds.index() + 1, Status::default());
+            self.cache_slot.resize(ds.index() + 1, NO_SLOT);
+        }
+    }
+
+    /// The directory slot of the resident block at cache slot `slot`.
+    fn dir_of(&self, slot: Slot) -> Slot {
+        Slot::new(self.of_cache[slot.index()])
     }
 
     /// Stack pruning: pop non-LIR entries off the bottom of `S` so its
     /// bottom is always LIR. Popped ghosts are forgotten; popped resident
     /// HIR blocks stay in `Q` (they just lose their `S` recency).
     fn prune(&mut self) {
-        while let Some(bottom) = self.s.peek_bottom() {
-            match self.status.get(&bottom) {
-                Some(Status::Lir) => break,
-                Some(Status::HirResident) => {
+        while let Some(bottom) = self.s.back() {
+            match self.status[bottom.index()] {
+                Status::Lir => break,
+                Status::HirResident => {
                     self.s.remove(bottom);
                 }
-                Some(Status::HirGhost) => {
+                Status::HirGhost => {
                     self.s.remove(bottom);
-                    self.status.remove(&bottom);
-                }
-                None => {
-                    self.s.remove(bottom);
+                    self.dir.release(bottom);
                 }
             }
         }
@@ -120,13 +140,12 @@ impl Lirs {
 
     /// Demotes the bottom LIR block of `S` into the HIR resident queue.
     fn demote_bottom_lir(&mut self) {
-        if let Some(bottom) = self.s.peek_bottom() {
-            if self.status.get(&bottom) == Some(&Status::Lir) {
+        if let Some(bottom) = self.s.back() {
+            if self.status[bottom.index()] == Status::Lir {
                 self.s.remove(bottom);
-                self.status.insert(bottom, Status::HirResident);
+                self.status[bottom.index()] = Status::HirResident;
                 self.lir_count -= 1;
-                let seq = self.seq();
-                self.q.touch(bottom, seq);
+                self.q.push_front(bottom);
                 self.prune();
             }
         }
@@ -138,21 +157,23 @@ impl Lirs {
         while self.s.len() > self.stack_bound {
             let Some(ghost) = self
                 .s
-                .iter_bottom_up()
-                .find(|b| self.status.get(b) == Some(&Status::HirGhost))
+                .iter_from_back()
+                .find(|ds| self.status[ds.index()] == Status::HirGhost)
             else {
                 break;
             };
             self.s.remove(ghost);
-            self.status.remove(&ghost);
+            self.dir.release(ghost);
         }
     }
 
-    /// Moves `block` to the top of `S` and, if it was LIR at the bottom,
-    /// prunes.
-    fn refresh(&mut self, block: BlockId) {
-        let seq = self.seq();
-        self.s.touch(block, seq);
+    /// Moves `ds` to the top of `S` (entering it if absent) and prunes.
+    fn refresh(&mut self, ds: Slot) {
+        if self.s.contains(ds) {
+            self.s.move_to_front(ds);
+        } else {
+            self.s.push_front(ds);
+        }
         self.prune();
     }
 }
@@ -162,84 +183,102 @@ impl ReplacementPolicy for Lirs {
         "lirs".to_owned()
     }
 
-    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
-        if !hit {
-            return; // handled at on_insert
-        }
-        match self.status.get(&block).copied() {
-            Some(Status::Lir) => self.refresh(block),
-            Some(Status::HirResident) => {
-                if self.s.contains(block) {
+    fn on_access(&mut self, slot: Option<Slot>, _block: BlockId, _time: SimTime) {
+        let Some(slot) = slot else {
+            return; // misses are handled at on_insert
+        };
+        let ds = self.dir_of(slot);
+        match self.status[ds.index()] {
+            Status::Lir => self.refresh(ds),
+            Status::HirResident => {
+                if self.s.contains(ds) {
                     // Low IRR: promote to LIR, demote a LIR block.
-                    self.status.insert(block, Status::Lir);
+                    self.status[ds.index()] = Status::Lir;
                     self.lir_count += 1;
-                    self.q.remove(block);
-                    self.refresh(block);
+                    self.q.remove(ds);
+                    self.refresh(ds);
                     if self.lir_count > self.lir_capacity {
                         self.demote_bottom_lir();
                     }
                 } else {
                     // Still high IRR: refresh both recencies.
-                    self.refresh(block);
-                    let seq = self.seq();
-                    self.q.touch(block, seq);
+                    self.refresh(ds);
+                    self.q.move_to_front(ds);
                 }
             }
-            _ => unreachable!("hit on a non-resident block"),
+            Status::HirGhost => unreachable!("hit on a non-resident block"),
         }
     }
 
-    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
-        if self.lir_count < self.lir_capacity && !self.s.contains(block) {
+    fn on_insert(&mut self, slot: Slot, block: BlockId, _time: SimTime) {
+        // A directory entry can only pre-exist as a ghost: resident
+        // statuses imply the block could not have missed.
+        let (ds, was_ghost) = match self.dir.lookup(block) {
+            Some(ds) => (ds, true),
+            None => {
+                let ds = self.dir.intern(block);
+                self.ensure(ds);
+                (ds, false)
+            }
+        };
+        self.cache_slot[ds.index()] = slot.index() as u32;
+        if slot.index() >= self.of_cache.len() {
+            self.of_cache.resize(slot.index() + 1, NO_SLOT);
+        }
+        self.of_cache[slot.index()] = ds.index() as u32;
+
+        if self.lir_count < self.lir_capacity && !self.s.contains(ds) {
             // Warm-up: the LIR set has room; new blocks join it directly.
-            self.status.insert(block, Status::Lir);
+            self.status[ds.index()] = Status::Lir;
             self.lir_count += 1;
-            self.refresh(block);
+            self.refresh(ds);
             return;
         }
-        if self.status.get(&block) == Some(&Status::HirGhost) {
+        if was_ghost {
             // Re-reference within the ghost window: low IRR — straight to
             // LIR, demoting the coldest LIR block.
-            self.status.insert(block, Status::Lir);
+            self.status[ds.index()] = Status::Lir;
             self.lir_count += 1;
-            self.refresh(block);
+            self.refresh(ds);
             if self.lir_count > self.lir_capacity {
                 self.demote_bottom_lir();
             }
         } else {
             // Fresh (or long-forgotten) block: probationary HIR.
-            self.status.insert(block, Status::HirResident);
-            self.refresh(block);
-            let seq = self.seq();
-            self.q.touch(block, seq);
+            self.status[ds.index()] = Status::HirResident;
+            self.refresh(ds);
+            self.q.push_front(ds);
         }
         self.bound_stack();
     }
 
-    fn evict(&mut self) -> BlockId {
+    fn evict(&mut self) -> Slot {
         // Resident HIR blocks go first; if none exist (warm-up with a
         // tiny cache), sacrifice the coldest LIR block.
-        if let Some(victim) = self.q.pop_bottom() {
-            if self.s.contains(victim) {
-                self.status.insert(victim, Status::HirGhost);
+        if let Some(ds) = self.q.pop_back() {
+            let slot = Slot::new(self.cache_slot[ds.index()]);
+            if self.s.contains(ds) {
+                self.status[ds.index()] = Status::HirGhost;
+                self.cache_slot[ds.index()] = NO_SLOT;
             } else {
-                self.status.remove(&victim);
+                self.dir.release(ds);
             }
-            return victim;
+            return slot;
         }
-        let victim = self.s.peek_bottom().expect("no block to evict");
-        self.s.remove(victim);
-        self.status.remove(&victim);
+        let ds = self.s.back().expect("no block to evict");
+        let slot = Slot::new(self.cache_slot[ds.index()]);
+        self.s.remove(ds);
+        self.dir.release(ds);
         self.lir_count -= 1;
         self.prune();
-        victim
+        slot
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::{count_misses, seq_trace};
+    use crate::policy::testutil::{blk, count_misses, seq_trace, Feeder};
     use crate::policy::Lru;
 
     #[test]
@@ -299,15 +338,14 @@ mod tests {
     #[test]
     fn eviction_targets_resident_hir_first() {
         let mut lirs = Lirs::new(4); // lir_capacity 3, hir region 1
-        let blk = crate::policy::testutil::blk;
+        let mut f = Feeder::new();
         for n in 1..=4u64 {
-            lirs.on_access(blk(0, n), SimTime::ZERO, false);
-            lirs.on_insert(blk(0, n), SimTime::ZERO);
+            f.access(&mut lirs, blk(0, n), SimTime::ZERO);
         }
         // Blocks 1..3 fill the LIR set; block 4 is probationary HIR.
         let (lir, hir, _) = lirs.sizes();
         assert_eq!((lir, hir), (3, 1));
-        assert_eq!(lirs.evict(), blk(0, 4), "HIR evicted before any LIR");
+        assert_eq!(f.evict(&mut lirs), blk(0, 4), "HIR evicted before any LIR");
     }
 
     #[test]

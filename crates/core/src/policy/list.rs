@@ -1,0 +1,284 @@
+//! Index-based intrusive doubly-linked lists over [`Slot`]s.
+//!
+//! The recency structure behind every list-shaped policy (LRU, the
+//! PA-LRU stacks, 2Q's queues, MQ's ladder, ARC's four lists, LIRS's
+//! stack and queue). Links are stored in parallel `Vec<u32>`s indexed by
+//! slot — no pointers, no allocation per operation, no `unsafe` — so
+//! touch/insert/remove/evict are all O(1), replacing the former
+//! `BTreeMap` sequence-number stacks and their O(log n) rebalancing.
+//!
+//! Orientation: the **front** is the most-recently-touched end and the
+//! **back** the coldest, so an LRU is `push_front` on touch and
+//! `pop_back` on eviction, and a FIFO is `push_back` + `pop_front`.
+
+use crate::table::Slot;
+
+/// Link value marking "no neighbour".
+const NIL: u32 = u32::MAX;
+
+/// An intrusive doubly-linked list addressed by [`Slot`] index.
+///
+/// Each list owns its link arrays, so one slot may appear in several
+/// lists' arrays but be *linked* into at most one list at a time per
+/// list instance; [`contains`](IndexList::contains) is O(1).
+///
+/// # Examples
+///
+/// ```
+/// use pc_cache::policy::IndexList;
+/// use pc_cache::Slot;
+///
+/// let mut lru = IndexList::new();
+/// lru.push_front(Slot::new(0));
+/// lru.push_front(Slot::new(1)); // 1 is now the most recent
+/// lru.remove(Slot::new(0));
+/// lru.push_front(Slot::new(0)); // touch: 0 back to the front
+/// assert_eq!(lru.pop_back(), Some(Slot::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexList {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    linked: Vec<bool>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl Default for IndexList {
+    fn default() -> Self {
+        // Not derivable: an empty list's head/tail must be NIL, not 0.
+        IndexList::new()
+    }
+}
+
+impl IndexList {
+    /// Creates an empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        IndexList {
+            prev: Vec::new(),
+            next: Vec::new(),
+            linked: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of linked slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no slot is linked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `slot` is currently linked into this list.
+    #[must_use]
+    pub fn contains(&self, slot: Slot) -> bool {
+        self.linked.get(slot.index()).copied().unwrap_or(false)
+    }
+
+    /// The front (most recent) slot, if any.
+    #[must_use]
+    pub fn front(&self) -> Option<Slot> {
+        (self.head != NIL).then(|| Slot::new(self.head))
+    }
+
+    /// The back (coldest) slot, if any.
+    #[must_use]
+    pub fn back(&self) -> Option<Slot> {
+        (self.tail != NIL).then(|| Slot::new(self.tail))
+    }
+
+    fn ensure(&mut self, index: usize) {
+        if index >= self.linked.len() {
+            self.prev.resize(index + 1, NIL);
+            self.next.resize(index + 1, NIL);
+            self.linked.resize(index + 1, false);
+        }
+    }
+
+    /// Links `slot` at the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `slot` is already linked.
+    pub fn push_front(&mut self, slot: Slot) {
+        let i = slot.index() as u32;
+        self.ensure(slot.index());
+        debug_assert!(!self.linked[slot.index()], "slot already linked");
+        self.prev[slot.index()] = NIL;
+        self.next[slot.index()] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+        self.linked[slot.index()] = true;
+        self.len += 1;
+    }
+
+    /// Links `slot` at the back.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `slot` is already linked.
+    pub fn push_back(&mut self, slot: Slot) {
+        let i = slot.index() as u32;
+        self.ensure(slot.index());
+        debug_assert!(!self.linked[slot.index()], "slot already linked");
+        self.next[slot.index()] = NIL;
+        self.prev[slot.index()] = self.tail;
+        if self.tail != NIL {
+            self.next[self.tail as usize] = i;
+        } else {
+            self.head = i;
+        }
+        self.tail = i;
+        self.linked[slot.index()] = true;
+        self.len += 1;
+    }
+
+    /// Unlinks `slot` if linked; returns whether it was.
+    pub fn remove(&mut self, slot: Slot) -> bool {
+        let i = slot.index();
+        if !self.contains(slot) {
+            return false;
+        }
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail = p;
+        }
+        self.linked[i] = false;
+        self.len -= 1;
+        true
+    }
+
+    /// Unlinks and returns the front slot.
+    pub fn pop_front(&mut self) -> Option<Slot> {
+        let front = self.front()?;
+        self.remove(front);
+        Some(front)
+    }
+
+    /// Unlinks and returns the back slot.
+    pub fn pop_back(&mut self) -> Option<Slot> {
+        let back = self.back()?;
+        self.remove(back);
+        Some(back)
+    }
+
+    /// Moves `slot` to the front, linking it if it was not linked — the
+    /// LRU "touch".
+    pub fn move_to_front(&mut self, slot: Slot) {
+        self.remove(slot);
+        self.push_front(slot);
+    }
+
+    /// Iterates from the back (coldest) towards the front.
+    pub fn iter_from_back(&self) -> impl Iterator<Item = Slot> + '_ {
+        let mut cursor = self.tail;
+        std::iter::from_fn(move || {
+            if cursor == NIL {
+                return None;
+            }
+            let slot = Slot::new(cursor);
+            cursor = self.prev[cursor as usize];
+            Some(slot)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Slot {
+        Slot::new(i)
+    }
+
+    #[test]
+    fn lru_discipline() {
+        let mut l = IndexList::new();
+        for i in 0..4 {
+            l.push_front(s(i));
+        }
+        l.move_to_front(s(0)); // refresh the oldest
+        let order: Vec<u32> =
+            std::iter::from_fn(|| l.pop_back().map(|x| x.index() as u32)).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn fifo_discipline() {
+        let mut l = IndexList::new();
+        for i in 0..3 {
+            l.push_back(s(i));
+        }
+        assert_eq!(l.pop_front(), Some(s(0)));
+        assert_eq!(l.pop_front(), Some(s(1)));
+        assert_eq!(l.pop_front(), Some(s(2)));
+        assert_eq!(l.pop_front(), None);
+    }
+
+    #[test]
+    fn remove_from_middle_and_ends() {
+        let mut l = IndexList::new();
+        for i in 0..5 {
+            l.push_back(s(i));
+        }
+        assert!(l.remove(s(2))); // middle
+        assert!(l.remove(s(0))); // head
+        assert!(l.remove(s(4))); // tail
+        assert!(!l.remove(s(2)), "already unlinked");
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.front(), Some(s(1)));
+        assert_eq!(l.back(), Some(s(3)));
+    }
+
+    #[test]
+    fn contains_tracks_membership_per_list() {
+        let mut a = IndexList::new();
+        let mut b = IndexList::new();
+        a.push_front(s(7));
+        assert!(a.contains(s(7)));
+        assert!(!b.contains(s(7)));
+        b.push_front(s(7)); // same slot, different list instance
+        a.remove(s(7));
+        assert!(b.contains(s(7)));
+    }
+
+    #[test]
+    fn iter_from_back_walks_cold_to_hot() {
+        let mut l = IndexList::new();
+        for i in [3u32, 1, 4] {
+            l.push_front(s(i));
+        }
+        let order: Vec<usize> = l.iter_from_back().map(Slot::index).collect();
+        assert_eq!(order, vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn singleton_edge_cases() {
+        let mut l = IndexList::new();
+        l.push_front(s(9));
+        assert_eq!(l.front(), l.back());
+        assert_eq!(l.pop_back(), Some(s(9)));
+        assert!(l.is_empty());
+        assert_eq!(l.pop_front(), None);
+    }
+}

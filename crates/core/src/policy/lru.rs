@@ -1,38 +1,36 @@
 //! Least-recently-used replacement.
 
-use std::collections::{BTreeMap, HashMap};
-
 use pc_units::{BlockId, SimTime};
 
-use crate::policy::ReplacementPolicy;
+use crate::policy::{IndexList, ReplacementPolicy};
+use crate::table::Slot;
 
 /// Classic LRU: evicts the block whose last access is oldest.
 ///
 /// This is the paper's baseline policy and the recency stack PA-LRU builds
-/// on.
+/// on. The stack is a slot-indexed [`IndexList`], so touch, insert and
+/// evict are all O(1).
 ///
 /// # Examples
 ///
 /// ```
 /// use pc_cache::policy::{Lru, ReplacementPolicy};
+/// use pc_cache::Slot;
 /// use pc_units::{BlockId, BlockNo, DiskId, SimTime};
 ///
 /// let blk = |n| BlockId::new(DiskId::new(0), BlockNo::new(n));
 /// let mut lru = Lru::new();
-/// lru.on_access(blk(1), SimTime::from_secs(1), false);
-/// lru.on_insert(blk(1), SimTime::from_secs(1));
-/// lru.on_access(blk(2), SimTime::from_secs(2), false);
-/// lru.on_insert(blk(2), SimTime::from_secs(2));
-/// lru.on_access(blk(1), SimTime::from_secs(3), true); // refresh 1
-/// assert_eq!(lru.evict(), blk(2));
+/// lru.on_access(None, blk(1), SimTime::from_secs(1));
+/// lru.on_insert(Slot::new(0), blk(1), SimTime::from_secs(1));
+/// lru.on_access(None, blk(2), SimTime::from_secs(2));
+/// lru.on_insert(Slot::new(1), blk(2), SimTime::from_secs(2));
+/// lru.on_access(Some(Slot::new(0)), blk(1), SimTime::from_secs(3)); // refresh 1
+/// assert_eq!(lru.evict(), Slot::new(1));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Lru {
-    /// Recency order: sequence number → block (oldest first).
-    order: BTreeMap<u64, BlockId>,
-    /// Block → its current sequence number.
-    seq_of: HashMap<BlockId, u64>,
-    next_seq: u64,
+    /// Recency order: front = most recent, back = eviction candidate.
+    list: IndexList,
 }
 
 impl Lru {
@@ -45,21 +43,13 @@ impl Lru {
     /// Number of tracked blocks.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.list.len()
     }
 
     /// Returns `true` if no block is tracked.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
-    }
-
-    fn touch(&mut self, block: BlockId) {
-        if let Some(old) = self.seq_of.insert(block, self.next_seq) {
-            self.order.remove(&old);
-        }
-        self.order.insert(self.next_seq, block);
-        self.next_seq += 1;
+        self.list.is_empty()
     }
 }
 
@@ -68,40 +58,37 @@ impl ReplacementPolicy for Lru {
         "lru".to_owned()
     }
 
-    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
-        if hit {
-            self.touch(block);
+    fn on_access(&mut self, slot: Option<Slot>, _block: BlockId, _time: SimTime) {
+        if let Some(slot) = slot {
+            self.list.move_to_front(slot);
         }
     }
 
-    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
-        self.touch(block);
+    fn on_insert(&mut self, slot: Slot, _block: BlockId, _time: SimTime) {
+        self.list.push_front(slot);
     }
 
-    fn evict(&mut self) -> BlockId {
-        let (&seq, &block) = self.order.iter().next().expect("no block to evict");
-        self.order.remove(&seq);
-        self.seq_of.remove(&block);
-        block
+    fn evict(&mut self) -> Slot {
+        self.list.pop_back().expect("no block to evict")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::{blk, count_misses, seq_trace};
+    use crate::policy::testutil::{blk, count_misses, seq_trace, Feeder};
 
     #[test]
     fn evicts_least_recent() {
         let mut lru = Lru::new();
+        let mut f = Feeder::new();
         for n in 1..=3 {
-            lru.on_access(blk(0, n), SimTime::from_secs(n), false);
-            lru.on_insert(blk(0, n), SimTime::from_secs(n));
+            f.access(&mut lru, blk(0, n), SimTime::from_secs(n));
         }
-        lru.on_access(blk(0, 1), SimTime::from_secs(10), true);
-        assert_eq!(lru.evict(), blk(0, 2));
-        assert_eq!(lru.evict(), blk(0, 3));
-        assert_eq!(lru.evict(), blk(0, 1));
+        f.access(&mut lru, blk(0, 1), SimTime::from_secs(10));
+        assert_eq!(f.evict(&mut lru), blk(0, 2));
+        assert_eq!(f.evict(&mut lru), blk(0, 3));
+        assert_eq!(f.evict(&mut lru), blk(0, 1));
         assert!(lru.is_empty());
     }
 

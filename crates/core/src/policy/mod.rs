@@ -1,21 +1,32 @@
 //! Cache replacement policies.
 //!
 //! All policies — on-line and off-line — implement [`ReplacementPolicy`].
-//! The cache drives a policy with a strict protocol:
+//! The cache drives a policy with a strict protocol, addressing resident
+//! blocks by the dense [`Slot`]s its [`BlockTable`](crate::BlockTable)
+//! interned them at:
 //!
 //! 1. [`on_access`](ReplacementPolicy::on_access) for **every** access, in
-//!    trace order, flagged hit or miss. Off-line policies count these
-//!    calls to track their position in the precomputed trace.
+//!    trace order; `slot` is `Some` exactly on a hit. Off-line policies
+//!    count these calls to track their position in the precomputed trace.
 //! 2. On a miss with a full cache, [`evict`](ReplacementPolicy::evict)
-//!    once; the policy returns (and forgets) a currently-resident victim.
-//! 3. On every miss, [`on_insert`](ReplacementPolicy::on_insert) for the
-//!    newly-resident block.
+//!    once; the policy returns (and forgets) the slot of a
+//!    currently-resident victim. The cache resolves it to a block,
+//!    releases it, and hands the recycled slot to the next insertion.
+//! 3. On every miss, [`on_insert`](ReplacementPolicy::on_insert) with the
+//!    slot the newly-resident block was interned at.
+//!
+//! Policies therefore never re-hash a `BlockId` on the hot path: recency
+//! bookkeeping is slot-indexed (see [`IndexList`]), and the `block` is
+//! passed alongside only for the structures that genuinely need the
+//! address (ghost directories, per-disk classification, off-line future
+//! knowledge).
 
 mod arc;
 mod belady;
 mod classifier;
 mod fifo;
 mod lirs;
+mod list;
 mod lru;
 mod mq;
 mod opg;
@@ -28,6 +39,7 @@ pub use belady::{min_misses, Belady};
 pub use classifier::DiskClassifier;
 pub use fifo::Fifo;
 pub use lirs::Lirs;
+pub use list::IndexList;
 pub use lru::Lru;
 pub use mq::Mq;
 pub use opg::{Opg, OpgDpm};
@@ -37,25 +49,30 @@ pub use two_q::TwoQ;
 
 use pc_units::{BlockId, SimTime};
 
+use crate::table::Slot;
+
 /// A pluggable cache replacement policy. See the [module
 /// documentation](self) for the driving protocol.
 pub trait ReplacementPolicy {
     /// A short human-readable name, e.g. `"lru"` or `"opg(eps=0)"`.
     fn name(&self) -> String;
 
-    /// Observes one cache access (hit or miss), in trace order.
-    fn on_access(&mut self, block: BlockId, time: SimTime, hit: bool);
+    /// Observes one cache access, in trace order. `slot` is the block's
+    /// cache slot on a hit and `None` on a miss (the block has no slot
+    /// yet — [`on_insert`](Self::on_insert) will deliver it).
+    fn on_access(&mut self, slot: Option<Slot>, block: BlockId, time: SimTime);
 
-    /// Chooses a victim among resident blocks and removes it from the
+    /// Chooses a victim among resident slots and removes it from the
     /// policy's bookkeeping. Called only when an insertion needs space.
     ///
     /// # Panics
     ///
     /// Implementations panic if no block is resident.
-    fn evict(&mut self) -> BlockId;
+    fn evict(&mut self) -> Slot;
 
-    /// Registers the block just installed by the most recent miss.
-    fn on_insert(&mut self, block: BlockId, time: SimTime);
+    /// Registers the block just installed by the most recent miss at
+    /// `slot`.
+    fn on_insert(&mut self, slot: Slot, block: BlockId, time: SimTime);
 
     /// Registers a block installed by *prefetching* rather than by a
     /// client access. Defaults to [`on_insert`](Self::on_insert), which is
@@ -66,8 +83,8 @@ pub trait ReplacementPolicy {
     /// # Panics
     ///
     /// Off-line implementations ([`Belady`], [`Opg`]) panic.
-    fn on_prefetch_insert(&mut self, block: BlockId, time: SimTime) {
-        self.on_insert(block, time);
+    fn on_prefetch_insert(&mut self, slot: Slot, block: BlockId, time: SimTime) {
+        self.on_insert(slot, block, time);
     }
 }
 
@@ -78,6 +95,7 @@ pub(crate) mod testutil {
     use pc_trace::{IoOp, Record, Trace};
     use pc_units::{BlockId, BlockNo, DiskId, SimTime};
 
+    use crate::table::{BlockTable, Slot};
     use crate::{BlockCache, ReplacementPolicy, WritePolicy};
 
     /// Builds a block id.
@@ -111,5 +129,93 @@ pub(crate) mod testutil {
             }
         }
         misses
+    }
+
+    /// Drives a bare policy through the slot protocol the way the cache
+    /// would, managing the [`BlockTable`] so tests can speak in block
+    /// ids.
+    #[derive(Debug, Default)]
+    pub struct Feeder {
+        table: BlockTable,
+    }
+
+    impl Feeder {
+        pub fn new() -> Self {
+            Feeder::default()
+        }
+
+        /// The slot a resident block occupies.
+        pub fn slot_of(&self, block: BlockId) -> Slot {
+            self.table.lookup(block).expect("block is resident")
+        }
+
+        /// Whether the feeder considers `block` resident.
+        pub fn contains(&self, block: BlockId) -> bool {
+            self.table.lookup(block).is_some()
+        }
+
+        /// One access against a notionally unbounded cache: on_access,
+        /// plus intern + on_insert on a miss. Returns whether it hit.
+        pub fn access(
+            &mut self,
+            p: &mut dyn ReplacementPolicy,
+            block: BlockId,
+            t: SimTime,
+        ) -> bool {
+            let slot = self.table.lookup(block);
+            let hit = slot.is_some();
+            p.on_access(slot, block, t);
+            if !hit {
+                let slot = self.table.intern(block);
+                p.on_insert(slot, block, t);
+            }
+            hit
+        }
+
+        /// One access against a cache bounded at `capacity`, evicting
+        /// first when full (the cache's exact driving order). Returns
+        /// `(hit, evicted)`.
+        pub fn access_bounded(
+            &mut self,
+            p: &mut dyn ReplacementPolicy,
+            capacity: usize,
+            block: BlockId,
+            t: SimTime,
+        ) -> (bool, Option<BlockId>) {
+            let slot = self.table.lookup(block);
+            let hit = slot.is_some();
+            p.on_access(slot, block, t);
+            let mut evicted = None;
+            if !hit {
+                if self.table.len() >= capacity {
+                    evicted = Some(self.evict(p));
+                }
+                let slot = self.table.intern(block);
+                p.on_insert(slot, block, t);
+            }
+            (hit, evicted)
+        }
+
+        /// Forgets a resident block *without* consulting the policy.
+        /// Tests that force future misses must first unlink the slot from
+        /// the policy's own structures, or the recycled slot will collide.
+        pub fn release(&mut self, block: BlockId) -> bool {
+            match self.table.lookup(block) {
+                Some(slot) => {
+                    self.table.release(slot);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        /// Asks the policy for a victim and releases its slot, returning
+        /// the evicted block.
+        pub fn evict(&mut self, p: &mut dyn ReplacementPolicy) -> BlockId {
+            let slot = p.evict();
+            let block = self.table.block_of(slot);
+            self.table.release(slot);
+            block
+        }
     }
 }

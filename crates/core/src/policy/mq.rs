@@ -9,15 +9,13 @@
 //! `life_time` accesses, and a ghost history (`Qout`) remembers the
 //! reference counts of recently evicted blocks.
 
-use std::collections::{HashMap, VecDeque};
-
 use pc_units::{BlockId, SimTime};
 
-use crate::policy::pa_lru::Stack;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{IndexList, ReplacementPolicy};
+use crate::table::{BlockTable, Slot};
 
-/// Per-resident-block metadata.
-#[derive(Debug, Clone, Copy)]
+/// Per-resident-slot metadata.
+#[derive(Debug, Clone, Copy, Default)]
 struct BlockMeta {
     frequency: u64,
     queue: usize,
@@ -25,6 +23,10 @@ struct BlockMeta {
 }
 
 /// The Multi-Queue replacement policy.
+///
+/// All queue moves are O(1): residents are tracked by cache slot in
+/// intrusive [`IndexList`]s with a flat metadata vector, and the ghost
+/// history is its own [`BlockTable`] + FIFO.
 ///
 /// # Examples
 ///
@@ -37,15 +39,19 @@ struct BlockMeta {
 /// ```
 #[derive(Debug)]
 pub struct Mq {
-    queues: Vec<Stack>,
-    meta: HashMap<BlockId, BlockMeta>,
+    /// One LRU list per frequency level (front = most recent).
+    queues: Vec<IndexList>,
+    /// Metadata per cache slot.
+    meta: Vec<BlockMeta>,
+    /// Block ids per cache slot, for ghosting evicted victims.
+    blocks: Vec<BlockId>,
     /// Ghost history of evicted blocks' reference counts, FIFO-bounded.
-    ghost: HashMap<BlockId, u64>,
-    ghost_order: VecDeque<BlockId>,
+    ghosts: BlockTable,
+    ghost_freq: Vec<u64>,
+    ghost_order: IndexList,
     ghost_capacity: usize,
     life_time: u64,
     clock: u64,
-    next_seq: u64,
 }
 
 impl Mq {
@@ -72,14 +78,15 @@ impl Mq {
         assert!(queues > 0, "MQ needs at least one queue");
         assert!(life_time > 0, "MQ needs a positive lifetime");
         Mq {
-            queues: (0..queues).map(|_| Stack::default()).collect(),
-            meta: HashMap::new(),
-            ghost: HashMap::new(),
-            ghost_order: VecDeque::new(),
+            queues: (0..queues).map(|_| IndexList::new()).collect(),
+            meta: Vec::new(),
+            blocks: Vec::new(),
+            ghosts: BlockTable::new(),
+            ghost_freq: Vec::new(),
+            ghost_order: IndexList::new(),
             ghost_capacity: ghost_capacity.max(1),
             life_time,
             clock: 0,
-            next_seq: 0,
         }
     }
 
@@ -88,24 +95,18 @@ impl Mq {
         (63 - frequency.max(1).leading_zeros() as usize).min(self.queues.len() - 1)
     }
 
-    fn seq(&mut self) -> u64 {
-        self.next_seq += 1;
-        self.next_seq
-    }
-
-    /// Places a block into its frequency queue with a fresh lifetime.
-    fn enqueue(&mut self, block: BlockId, frequency: u64) {
+    /// Places a slot into its frequency queue with a fresh lifetime.
+    fn enqueue(&mut self, slot: Slot, frequency: u64) {
         let queue = self.queue_for(frequency);
-        let seq = self.seq();
-        self.queues[queue].touch(block, seq);
-        self.meta.insert(
-            block,
-            BlockMeta {
-                frequency,
-                queue,
-                expires: self.clock + self.life_time,
-            },
-        );
+        self.queues[queue].push_front(slot);
+        if slot.index() >= self.meta.len() {
+            self.meta.resize(slot.index() + 1, BlockMeta::default());
+        }
+        self.meta[slot.index()] = BlockMeta {
+            frequency,
+            queue,
+            expires: self.clock + self.life_time,
+        };
     }
 
     /// MQ's `Adjust`: demote expired queue heads one level, refreshing
@@ -113,33 +114,37 @@ impl Mq {
     fn adjust(&mut self) {
         for q in (1..self.queues.len()).rev() {
             // At most one demotion per queue per access, like the paper.
-            let Some(head) = self.queues[q].peek_bottom() else {
+            let Some(head) = self.queues[q].back() else {
                 continue;
             };
-            let meta = self.meta[&head];
+            let meta = self.meta[head.index()];
             if meta.expires < self.clock {
                 self.queues[q].remove(head);
-                let seq = self.seq();
-                self.queues[q - 1].touch(head, seq);
-                self.meta.insert(
-                    head,
-                    BlockMeta {
-                        queue: q - 1,
-                        expires: self.clock + self.life_time,
-                        ..meta
-                    },
-                );
+                self.queues[q - 1].push_front(head);
+                self.meta[head.index()] = BlockMeta {
+                    queue: q - 1,
+                    expires: self.clock + self.life_time,
+                    ..meta
+                };
             }
         }
     }
 
     fn remember_ghost(&mut self, block: BlockId, frequency: u64) {
-        if self.ghost.insert(block, frequency).is_none() {
-            self.ghost_order.push_back(block);
-            if self.ghost_order.len() > self.ghost_capacity {
-                if let Some(old) = self.ghost_order.pop_front() {
-                    self.ghost.remove(&old);
-                }
+        if let Some(g) = self.ghosts.lookup(block) {
+            // Already remembered: refresh the count, keep the FIFO spot.
+            self.ghost_freq[g.index()] = frequency;
+            return;
+        }
+        let g = self.ghosts.intern(block);
+        if g.index() >= self.ghost_freq.len() {
+            self.ghost_freq.resize(g.index() + 1, 0);
+        }
+        self.ghost_freq[g.index()] = frequency;
+        self.ghost_order.push_back(g);
+        if self.ghost_order.len() > self.ghost_capacity {
+            if let Some(old) = self.ghost_order.pop_front() {
+                self.ghosts.release(old);
             }
         }
     }
@@ -150,27 +155,35 @@ impl ReplacementPolicy for Mq {
         "mq".to_owned()
     }
 
-    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
+    fn on_access(&mut self, slot: Option<Slot>, _block: BlockId, _time: SimTime) {
         self.clock += 1;
-        if hit {
-            let meta = self.meta[&block];
-            self.queues[meta.queue].remove(block);
-            self.enqueue(block, meta.frequency + 1);
+        if let Some(slot) = slot {
+            let meta = self.meta[slot.index()];
+            self.queues[meta.queue].remove(slot);
+            self.enqueue(slot, meta.frequency + 1);
         }
         self.adjust();
     }
 
-    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
-        // A returning block resumes its remembered reference count.
-        let frequency = self.ghost.get(&block).copied().unwrap_or(0) + 1;
-        self.enqueue(block, frequency);
+    fn on_insert(&mut self, slot: Slot, block: BlockId, _time: SimTime) {
+        if slot.index() >= self.blocks.len() {
+            self.blocks.resize(slot.index() + 1, BlockId::default());
+        }
+        self.blocks[slot.index()] = block;
+        // A returning block resumes its remembered reference count (the
+        // ghost entry is read, not consumed).
+        let frequency = match self.ghosts.lookup(block) {
+            Some(g) => self.ghost_freq[g.index()] + 1,
+            None => 1,
+        };
+        self.enqueue(slot, frequency);
     }
 
-    fn evict(&mut self) -> BlockId {
+    fn evict(&mut self) -> Slot {
         for q in 0..self.queues.len() {
-            if let Some(victim) = self.queues[q].pop_bottom() {
-                let meta = self.meta.remove(&victim).expect("victim has metadata");
-                self.remember_ghost(victim, meta.frequency);
+            if let Some(victim) = self.queues[q].pop_back() {
+                let frequency = self.meta[victim.index()].frequency;
+                self.remember_ghost(self.blocks[victim.index()], frequency);
                 return victim;
             }
         }
@@ -181,7 +194,7 @@ impl ReplacementPolicy for Mq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::{blk, count_misses, seq_trace};
+    use crate::policy::testutil::{blk, count_misses, seq_trace, Feeder};
     use crate::policy::Lru;
 
     #[test]
@@ -218,40 +231,38 @@ mod tests {
     #[test]
     fn ghost_restores_frequency() {
         let mut mq = Mq::new(2);
+        let mut f = Feeder::new();
         // Build up frequency on block 1.
-        mq.on_access(blk(0, 1), SimTime::ZERO, false);
-        mq.on_insert(blk(0, 1), SimTime::ZERO);
+        f.access(&mut mq, blk(0, 1), SimTime::ZERO);
         for _ in 0..7 {
-            mq.on_access(blk(0, 1), SimTime::ZERO, true);
+            f.access(&mut mq, blk(0, 1), SimTime::ZERO);
         }
-        let q_before = mq.meta[&blk(0, 1)].queue;
+        let q_before = mq.meta[f.slot_of(blk(0, 1)).index()].queue;
         assert!(q_before >= 2);
         // Evict it, then bring it back: it must not restart at queue 0.
-        mq.queues[q_before].remove(blk(0, 1));
-        let meta = mq.meta.remove(&blk(0, 1)).unwrap();
-        mq.remember_ghost(blk(0, 1), meta.frequency);
-        mq.on_access(blk(0, 1), SimTime::ZERO, false);
-        mq.on_insert(blk(0, 1), SimTime::ZERO);
-        assert!(mq.meta[&blk(0, 1)].queue >= 2, "frequency survived eviction");
+        assert_eq!(f.evict(&mut mq), blk(0, 1));
+        f.access(&mut mq, blk(0, 1), SimTime::ZERO);
+        let q_after = mq.meta[f.slot_of(blk(0, 1)).index()].queue;
+        assert!(q_after >= 2, "frequency survived eviction");
     }
 
     #[test]
     fn expired_heads_demote() {
         let mut mq = Mq::with_parameters(4, 16, 2);
-        mq.on_access(blk(0, 1), SimTime::ZERO, false);
-        mq.on_insert(blk(0, 1), SimTime::ZERO);
+        let mut f = Feeder::new();
+        f.access(&mut mq, blk(0, 1), SimTime::ZERO);
         for _ in 0..3 {
-            mq.on_access(blk(0, 1), SimTime::ZERO, true);
+            f.access(&mut mq, blk(0, 1), SimTime::ZERO);
         }
-        let high = mq.meta[&blk(0, 1)].queue;
+        let slot = f.slot_of(blk(0, 1));
+        let high = mq.meta[slot.index()].queue;
         assert!(high >= 1);
         // Touch other blocks until block 1's lifetime lapses.
         for i in 0..10u64 {
-            mq.on_access(blk(0, 100 + i), SimTime::ZERO, false);
-            mq.on_insert(blk(0, 100 + i), SimTime::ZERO);
+            f.access(&mut mq, blk(0, 100 + i), SimTime::ZERO);
         }
         assert!(
-            mq.meta[&blk(0, 1)].queue < high,
+            mq.meta[slot.index()].queue < high,
             "block should demote after expiring"
         );
     }
@@ -262,8 +273,8 @@ mod tests {
         for i in 0..100u64 {
             mq.remember_ghost(blk(0, i), 1);
         }
-        assert!(mq.ghost.len() <= 4);
-        assert_eq!(mq.ghost.len(), mq.ghost_order.len());
+        assert!(mq.ghosts.len() <= 4);
+        assert_eq!(mq.ghosts.len(), mq.ghost_order.len());
     }
 
     #[test]

@@ -35,15 +35,17 @@
 //! A naive re-scan eviction mode is kept for property-testing equivalence.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound::Excluded;
 
 use pc_diskmodel::PowerModel;
 use pc_trace::Trace;
 use pc_units::{BlockId, DiskId, Joules, SimDuration, SimTime};
+use rustc_hash::FxHashMap;
 
 use crate::offline::{OfflineIndex, NO_NEXT};
 use crate::policy::ReplacementPolicy;
+use crate::table::Slot;
 
 /// Which disk power-management scheme OPG prices evictions against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,18 +97,19 @@ pub struct Opg {
     naive_eviction: bool,
 
     /// Future deterministic-miss times per disk (µs → multiplicity).
-    det: HashMap<DiskId, BTreeMap<u64, u32>>,
+    det: FxHashMap<DiskId, BTreeMap<u64, u32>>,
     /// When each disk last serviced a (deterministic) miss, µs.
-    last_active: HashMap<DiskId, u64>,
-    /// Resident block → raw next-occurrence index (`NO_NEXT` = never).
-    resident_next: HashMap<BlockId, u32>,
+    last_active: FxHashMap<DiskId, u64>,
+    /// Resident block → raw next-occurrence index (`NO_NEXT` = never) and
+    /// cache slot.
+    resident_next: FxHashMap<BlockId, (u32, Slot)>,
     /// Resident blocks by next-access time, per disk (only blocks with a
     /// future access).
-    by_x: HashMap<DiskId, BTreeMap<u64, BTreeSet<BlockId>>>,
+    by_x: FxHashMap<DiskId, BTreeMap<u64, BTreeSet<BlockId>>>,
     /// Eviction order.
     heap: BTreeSet<Key>,
     /// Block → its current heap key.
-    key_of: HashMap<BlockId, Key>,
+    key_of: FxHashMap<BlockId, Key>,
     /// Reusable buffer for blocks collected during re-pricing, so the
     /// per-record path performs no heap allocation in steady state.
     scratch: Vec<BlockId>,
@@ -140,7 +143,7 @@ impl Opg {
             .iter()
             .flat_map(|r| std::iter::repeat_n(r.block.disk(), r.blocks as usize))
             .collect();
-        let mut det: HashMap<DiskId, BTreeMap<u64, u32>> = HashMap::new();
+        let mut det: FxHashMap<DiskId, BTreeMap<u64, u32>> = FxHashMap::default();
         for (i, disk) in disk_of.iter().enumerate() {
             if index.is_first(i) {
                 *det.entry(*disk)
@@ -158,11 +161,11 @@ impl Opg {
             cursor: 0,
             naive_eviction: false,
             det,
-            last_active: HashMap::new(),
-            resident_next: HashMap::new(),
-            by_x: HashMap::new(),
+            last_active: FxHashMap::default(),
+            resident_next: FxHashMap::default(),
+            by_x: FxHashMap::default(),
             heap: BTreeSet::new(),
-            key_of: HashMap::new(),
+            key_of: FxHashMap::default(),
             scratch: Vec::new(),
         }
     }
@@ -227,7 +230,7 @@ impl Opg {
 
     /// (Re)inserts a block into the eviction order.
     fn reprice(&mut self, block: BlockId) {
-        let next = self.resident_next[&block];
+        let (next, _) = self.resident_next[&block];
         let key = self.key_for(block, next);
         if let Some(old) = self.key_of.insert(block, key) {
             self.heap.remove(&old);
@@ -283,9 +286,10 @@ impl Opg {
         }
     }
 
-    /// Removes a block from all structures, returning its next index.
-    fn forget(&mut self, block: BlockId) -> u32 {
-        let next = self
+    /// Removes a block from all structures, returning its next index and
+    /// cache slot.
+    fn forget(&mut self, block: BlockId) -> (u32, Slot) {
+        let (next, slot) = self
             .resident_next
             .remove(&block)
             .expect("block was resident");
@@ -304,7 +308,7 @@ impl Opg {
                 }
             }
         }
-        next
+        (next, slot)
     }
 
     /// Naive victim selection: scan every resident block with fresh
@@ -312,7 +316,7 @@ impl Opg {
     fn scan_victim(&self) -> BlockId {
         self.resident_next
             .iter()
-            .map(|(&b, &next)| (self.key_for(b, next), b))
+            .map(|(&b, &(next, _))| (self.key_for(b, next), b))
             .min()
             .map(|(_, b)| b)
             .expect("no block to evict")
@@ -334,7 +338,7 @@ impl ReplacementPolicy for Opg {
         format!("opg({dpm},eps={})", self.epsilon)
     }
 
-    fn on_access(&mut self, block: BlockId, time: SimTime, hit: bool) {
+    fn on_access(&mut self, slot: Option<Slot>, block: BlockId, time: SimTime) {
         assert!(
             self.cursor < self.index.len(),
             "access beyond the indexed trace"
@@ -343,12 +347,12 @@ impl ReplacementPolicy for Opg {
         self.cursor += 1;
         let disk = self.disk_of[i];
         let t = time.as_micros();
-        if hit {
+        if let Some(slot) = slot {
             // The block's stored next access is this very one; advance it.
-            let old = self.forget(block);
+            let (old, _) = self.forget(block);
             debug_assert_eq!(old as usize, i, "hit must match the stored next use");
             let next = self.index.next_raw(i);
-            self.resident_next.insert(block, next);
+            self.resident_next.insert(block, (next, slot));
             if next != NO_NEXT {
                 let x = self.index.time_of(next as usize).as_micros();
                 self.by_x
@@ -377,9 +381,9 @@ impl ReplacementPolicy for Opg {
         }
     }
 
-    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
+    fn on_insert(&mut self, slot: Slot, block: BlockId, _time: SimTime) {
         let next = self.index.next_raw(self.cursor - 1);
-        self.resident_next.insert(block, next);
+        self.resident_next.insert(block, (next, slot));
         if next != NO_NEXT {
             let x = self.index.time_of(next as usize).as_micros();
             self.by_x
@@ -392,23 +396,23 @@ impl ReplacementPolicy for Opg {
         self.reprice(block);
     }
 
-    fn on_prefetch_insert(&mut self, _block: BlockId, _time: SimTime) {
+    fn on_prefetch_insert(&mut self, _slot: Slot, _block: BlockId, _time: SimTime) {
         panic!("OPG is an off-line policy and does not support prefetching");
     }
 
-    fn evict(&mut self) -> BlockId {
+    fn evict(&mut self) -> Slot {
         let victim = if self.naive_eviction {
             self.scan_victim()
         } else {
             self.heap.first().expect("no block to evict").2
         };
-        let next = self.forget(victim);
+        let (next, slot) = self.forget(victim);
         if next != NO_NEXT {
             // The victim's next reference is now bound to miss.
             let x = self.index.time_of(next as usize).as_micros();
             self.add_det(victim.disk(), x);
         }
-        victim
+        slot
     }
 }
 
@@ -442,10 +446,7 @@ mod tests {
     fn zero_penalty_for_never_reused_blocks() {
         // Two one-shot blocks and one reused block: OPG must evict the
         // one-shot blocks first despite the reused block's closer next use.
-        let t = trace_of(
-            1,
-            &[(0, 0, 1), (1, 0, 2), (2, 0, 3), (3, 0, 9), (40, 0, 1)],
-        );
+        let t = trace_of(1, &[(0, 0, 1), (1, 0, 2), (2, 0, 3), (3, 0, 9), (40, 0, 1)]);
         let mut cache = BlockCache::new(3, Box::new(opg(&t, 0.0)), WritePolicy::WriteBack);
         let mut evictions = Vec::new();
         for r in &t {

@@ -14,11 +14,10 @@
 //! removal interface, and migration is a second-order effect (blocks turn
 //! over within a few epochs anyway).
 
-use std::collections::HashMap;
-
 use pc_units::{BlockId, SimTime};
 
 use crate::policy::{DiskClassifier, PaLruConfig, ReplacementPolicy};
+use crate::table::Slot;
 
 /// The generic power-aware two-class wrapper.
 ///
@@ -41,8 +40,8 @@ pub struct Pa<P> {
     classifier: DiskClassifier,
     regular: P,
     priority: P,
-    /// Class of each resident block (`true` = priority instance).
-    owner: HashMap<BlockId, bool>,
+    /// Class of each resident cache slot (`true` = priority instance).
+    owner: Vec<bool>,
     regular_len: usize,
     priority_len: usize,
 }
@@ -56,7 +55,7 @@ impl<P: ReplacementPolicy> Pa<P> {
             classifier: DiskClassifier::new(config),
             regular,
             priority,
-            owner: HashMap::new(),
+            owner: Vec::new(),
             regular_len: 0,
             priority_len: 0,
         }
@@ -80,56 +79,57 @@ impl<P: ReplacementPolicy> ReplacementPolicy for Pa<P> {
         format!("pa-{}", self.regular.name())
     }
 
-    fn on_access(&mut self, block: BlockId, time: SimTime, hit: bool) {
-        self.classifier.observe(block, time, !hit);
-        if hit {
-            // Route to the instance that owns the block.
-            if self.owner[&block] {
-                self.priority.on_access(block, time, true);
+    fn on_access(&mut self, slot: Option<Slot>, block: BlockId, time: SimTime) {
+        self.classifier.observe(block, time, slot.is_none());
+        if let Some(slot) = slot {
+            // Route to the instance that owns the slot.
+            if self.owner[slot.index()] {
+                self.priority.on_access(Some(slot), block, time);
             } else {
-                self.regular.on_access(block, time, true);
+                self.regular.on_access(Some(slot), block, time);
             }
         } else {
             // Route the miss to the instance the block will join, so
             // ghost-based policies (ARC, MQ) see their history.
             if self.classifier.is_priority(block.disk()) {
-                self.priority.on_access(block, time, false);
+                self.priority.on_access(None, block, time);
             } else {
-                self.regular.on_access(block, time, false);
+                self.regular.on_access(None, block, time);
             }
         }
     }
 
-    fn on_insert(&mut self, block: BlockId, time: SimTime) {
+    fn on_insert(&mut self, slot: Slot, block: BlockId, time: SimTime) {
         let to_priority = self.classifier.is_priority(block.disk());
-        self.owner.insert(block, to_priority);
+        if slot.index() >= self.owner.len() {
+            self.owner.resize(slot.index() + 1, false);
+        }
+        self.owner[slot.index()] = to_priority;
         if to_priority {
-            self.priority.on_insert(block, time);
+            self.priority.on_insert(slot, block, time);
             self.priority_len += 1;
         } else {
-            self.regular.on_insert(block, time);
+            self.regular.on_insert(slot, block, time);
             self.regular_len += 1;
         }
     }
 
-    fn evict(&mut self) -> BlockId {
-        let victim = if self.regular_len > 0 {
+    fn evict(&mut self) -> Slot {
+        if self.regular_len > 0 {
             self.regular_len -= 1;
             self.regular.evict()
         } else {
             assert!(self.priority_len > 0, "no block to evict");
             self.priority_len -= 1;
             self.priority.evict()
-        };
-        self.owner.remove(&victim);
-        victim
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::blk;
+    use crate::policy::testutil::{blk, Feeder};
     use crate::policy::{ArcPolicy, Lru, Mq};
     use pc_units::{DiskId, SimDuration};
 
@@ -141,41 +141,20 @@ mod tests {
         }
     }
 
-    /// Drives the policy protocol directly with a bounded resident set.
-    fn feed<P: ReplacementPolicy>(
-        pa: &mut Pa<P>,
-        resident: &mut std::collections::HashSet<BlockId>,
-        capacity: usize,
-        b: BlockId,
-        t: SimTime,
-    ) -> bool {
-        let hit = resident.contains(&b);
-        pa.on_access(b, t, hit);
-        if !hit {
-            if resident.len() >= capacity {
-                let v = pa.evict();
-                assert!(resident.remove(&v), "victim must be resident");
-            }
-            pa.on_insert(b, t);
-            resident.insert(b);
-        }
-        hit
-    }
-
     /// The PA bias emerges for any inner policy: a warm quiet disk's
     /// blocks survive a cold flood once classified priority.
     fn protects_quiet_disk<P: ReplacementPolicy>(mut pa: Pa<P>) {
-        let mut resident = std::collections::HashSet::new();
+        let mut f = Feeder::new();
         let mut quiet_hits = 0u64;
         let mut quiet_accesses = 0u64;
         for i in 0..600u64 {
             let t = SimTime::from_secs(i);
             // Disk 0: cold flood.
-            feed(&mut pa, &mut resident, 8, blk(0, 10_000 + i), t);
+            f.access_bounded(&mut pa, 8, blk(0, 10_000 + i), t);
             // Disk 1: 3-block working set every 20 s.
             if i % 20 == 0 {
                 quiet_accesses += 1;
-                if feed(&mut pa, &mut resident, 8, blk(1, (i / 20) % 3), t) {
+                if f.access_bounded(&mut pa, 8, blk(1, (i / 20) % 3), t).0 {
                     quiet_hits += 1;
                 }
             }
@@ -220,12 +199,12 @@ mod tests {
         let mut pa = Pa::new(config(), Lru::new(), Lru::new());
         pa.classifier.force_priority(DiskId::new(1));
         let t = SimTime::from_secs(1);
+        let mut f = Feeder::new();
         for (d, b) in [(1u32, 1u64), (0, 2), (1, 3)] {
-            pa.on_access(blk(d, b), t, false);
-            pa.on_insert(blk(d, b), t);
+            f.access(&mut pa, blk(d, b), t);
         }
-        assert_eq!(pa.evict(), blk(0, 2), "regular block goes first");
+        assert_eq!(f.evict(&mut pa), blk(0, 2), "regular block goes first");
         assert_eq!(pa.class_sizes(), (0, 2));
-        assert_eq!(pa.evict(), blk(1, 1));
+        assert_eq!(f.evict(&mut pa), blk(1, 1));
     }
 }

@@ -8,12 +8,11 @@
 //! first, so priority-disk blocks survive longer and their disks' idle
 //! periods stretch into the deep power modes.
 
-use std::collections::{BTreeMap, HashMap};
-
 use pc_diskmodel::{ModeId, PowerModel};
 use pc_units::{BlockId, DiskId, SimDuration, SimTime};
 
-use crate::policy::{DiskClassifier, ReplacementPolicy};
+use crate::policy::{DiskClassifier, IndexList, ReplacementPolicy};
+use crate::table::Slot;
 
 /// Tuning knobs for PA classification (used by [`PaLru`] and the generic
 /// [`Pa`](crate::policy::Pa) wrapper).
@@ -63,56 +62,6 @@ impl Default for PaLruConfig {
     }
 }
 
-/// A bare LRU stack supporting arbitrary removal.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct Stack {
-    order: BTreeMap<u64, BlockId>,
-    seq_of: HashMap<BlockId, u64>,
-}
-
-impl Stack {
-    pub(crate) fn touch(&mut self, block: BlockId, seq: u64) {
-        if let Some(old) = self.seq_of.insert(block, seq) {
-            self.order.remove(&old);
-        }
-        self.order.insert(seq, block);
-    }
-
-    pub(crate) fn remove(&mut self, block: BlockId) -> bool {
-        match self.seq_of.remove(&block) {
-            Some(seq) => {
-                self.order.remove(&seq);
-                true
-            }
-            None => false,
-        }
-    }
-
-    pub(crate) fn contains(&self, block: BlockId) -> bool {
-        self.seq_of.contains_key(&block)
-    }
-
-    pub(crate) fn peek_bottom(&self) -> Option<BlockId> {
-        self.order.values().next().copied()
-    }
-
-    /// Iterates from the least-recent entry upward.
-    pub(crate) fn iter_bottom_up(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.order.values().copied()
-    }
-
-    pub(crate) fn pop_bottom(&mut self) -> Option<BlockId> {
-        let (&seq, &block) = self.order.iter().next()?;
-        self.order.remove(&seq);
-        self.seq_of.remove(&block);
-        Some(block)
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.order.len()
-    }
-}
-
 /// The power-aware LRU replacement policy.
 ///
 /// # Examples
@@ -129,12 +78,9 @@ impl Stack {
 pub struct PaLru {
     classifier: DiskClassifier,
     /// LRU0: regular-class blocks (drained first).
-    lru0: Stack,
+    lru0: IndexList,
     /// LRU1: priority-class blocks.
-    lru1: Stack,
-    /// Which stack each resident block lives in (`true` = LRU1).
-    in_lru1: HashMap<BlockId, bool>,
-    next_seq: u64,
+    lru1: IndexList,
 }
 
 impl PaLru {
@@ -143,10 +89,8 @@ impl PaLru {
     pub fn new(config: PaLruConfig) -> Self {
         PaLru {
             classifier: DiskClassifier::new(config),
-            lru0: Stack::default(),
-            lru1: Stack::default(),
-            in_lru1: HashMap::new(),
-            next_seq: 0,
+            lru0: IndexList::new(),
+            lru1: IndexList::new(),
         }
     }
 
@@ -174,27 +118,15 @@ impl PaLru {
         self.classifier.force_priority(disk);
     }
 
-    fn seq(&mut self) -> u64 {
-        self.next_seq += 1;
-        self.next_seq
-    }
-
-    /// Places (or re-homes) a block at the top of the stack matching its
+    /// Places (or re-homes) a slot at the top of the stack matching its
     /// disk's current class.
-    fn place(&mut self, block: BlockId) {
-        let to_lru1 = self.is_priority(block.disk());
-        if let Some(was_lru1) = self.in_lru1.insert(block, to_lru1) {
-            if was_lru1 {
-                self.lru1.remove(block);
-            } else {
-                self.lru0.remove(block);
-            }
-        }
-        let seq = self.seq();
-        if to_lru1 {
-            self.lru1.touch(block, seq);
+    fn place(&mut self, slot: Slot, disk: DiskId) {
+        self.lru0.remove(slot);
+        self.lru1.remove(slot);
+        if self.is_priority(disk) {
+            self.lru1.push_front(slot);
         } else {
-            self.lru0.touch(block, seq);
+            self.lru0.push_front(slot);
         }
     }
 }
@@ -204,47 +136,34 @@ impl ReplacementPolicy for PaLru {
         "pa-lru".to_owned()
     }
 
-    fn on_access(&mut self, block: BlockId, time: SimTime, hit: bool) {
-        self.classifier.observe(block, time, !hit);
-        if hit {
-            self.place(block);
+    fn on_access(&mut self, slot: Option<Slot>, block: BlockId, time: SimTime) {
+        self.classifier.observe(block, time, slot.is_none());
+        if let Some(slot) = slot {
+            self.place(slot, block.disk());
         }
     }
 
-    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
-        self.place(block);
+    fn on_insert(&mut self, slot: Slot, block: BlockId, _time: SimTime) {
+        self.place(slot, block.disk());
     }
 
-    fn evict(&mut self) -> BlockId {
-        let block = self
-            .lru0
-            .pop_bottom()
-            .or_else(|| self.lru1.pop_bottom())
-            .expect("no block to evict");
-        self.in_lru1.remove(&block);
-        block
+    fn evict(&mut self) -> Slot {
+        self.lru0
+            .pop_back()
+            .or_else(|| self.lru1.pop_back())
+            .expect("no block to evict")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::blk;
+    use crate::policy::testutil::{blk, Feeder};
 
-    /// Drives the raw policy protocol: access + insert-on-miss against an
-    /// unbounded notional cache (no evictions).
-    fn feed(
-        pa: &mut PaLru,
-        resident: &mut std::collections::HashSet<BlockId>,
-        b: BlockId,
-        t: SimTime,
-    ) {
-        let hit = resident.contains(&b);
-        pa.on_access(b, t, hit);
-        if !hit {
-            pa.on_insert(b, t);
-            resident.insert(b);
-        }
+    /// Drives the raw policy protocol against an unbounded notional cache
+    /// (no evictions), forgetting `b` afterwards when requested.
+    fn feed(pa: &mut PaLru, f: &mut Feeder, b: BlockId, t: SimTime) {
+        f.access(pa, b, t);
     }
 
     fn short_epoch_config() -> PaLruConfig {
@@ -258,50 +177,61 @@ mod tests {
     #[test]
     fn classifies_quiet_low_cold_disk_as_priority() {
         let mut pa = PaLru::new(short_epoch_config());
-        let mut resident = std::collections::HashSet::new();
+        let mut f = Feeder::new();
         // Disk 0: dense stream of always-new blocks (high cold fraction,
         // short gaps) => regular.
         // Disk 1: few blocks revisited with long gaps => priority.
         for i in 0..250u64 {
             let t = SimTime::from_secs(i);
-            feed(&mut pa, &mut resident, blk(0, 10_000 + i), t);
+            feed(&mut pa, &mut f, blk(0, 10_000 + i), t);
             if i % 20 == 0 {
                 // Misses on disk 1 arrive 20 s apart over a tiny recurring
                 // working set; cold only within the first epoch.
                 let b = blk(1, (i / 20) % 3);
-                feed(&mut pa, &mut resident, b, t);
-                resident.remove(&b); // force future misses
+                let was_resident = f.contains(b);
+                feed(&mut pa, &mut f, b, t);
+                if !was_resident {
+                    // Force future misses: evict it right back out of the
+                    // notional cache (it sits atop one of the stacks).
+                    let slot = f.slot_of(b);
+                    pa.lru0.remove(slot);
+                    pa.lru1.remove(slot);
+                    let _ = f.release(b);
+                }
             }
         }
         assert!(pa.epochs_completed() >= 2);
         assert!(!pa.is_priority(DiskId::new(0)), "disk 0 must stay regular");
-        assert!(pa.is_priority(DiskId::new(1)), "disk 1 must become priority");
+        assert!(
+            pa.is_priority(DiskId::new(1)),
+            "disk 1 must become priority"
+        );
     }
 
     #[test]
     fn evicts_regular_stack_first() {
         let mut pa = PaLru::new(short_epoch_config());
         pa.force_priority(DiskId::new(1));
-        let mut resident = std::collections::HashSet::new();
-        feed(&mut pa, &mut resident, blk(1, 1), SimTime::from_secs(1));
-        feed(&mut pa, &mut resident, blk(0, 2), SimTime::from_secs(2));
-        feed(&mut pa, &mut resident, blk(1, 3), SimTime::from_secs(3));
+        let mut f = Feeder::new();
+        feed(&mut pa, &mut f, blk(1, 1), SimTime::from_secs(1));
+        feed(&mut pa, &mut f, blk(0, 2), SimTime::from_secs(2));
+        feed(&mut pa, &mut f, blk(1, 3), SimTime::from_secs(3));
         // Oldest overall is the priority block (1,1); but eviction drains
         // LRU0 (the regular block) first.
-        assert_eq!(pa.evict(), blk(0, 2));
-        assert_eq!(pa.evict(), blk(1, 1));
-        assert_eq!(pa.evict(), blk(1, 3));
+        assert_eq!(f.evict(&mut pa), blk(0, 2));
+        assert_eq!(f.evict(&mut pa), blk(1, 1));
+        assert_eq!(f.evict(&mut pa), blk(1, 3));
     }
 
     #[test]
     fn rehomes_blocks_when_class_changes() {
         let mut pa = PaLru::new(short_epoch_config());
-        let mut resident = std::collections::HashSet::new();
-        feed(&mut pa, &mut resident, blk(0, 1), SimTime::from_secs(1));
+        let mut f = Feeder::new();
+        feed(&mut pa, &mut f, blk(0, 1), SimTime::from_secs(1));
         assert_eq!(pa.stack_sizes(), (1, 0));
         pa.force_priority(DiskId::new(0));
         // A hit re-homes the block into LRU1.
-        pa.on_access(blk(0, 1), SimTime::from_secs(2), true);
+        pa.on_access(Some(f.slot_of(blk(0, 1))), blk(0, 1), SimTime::from_secs(2));
         assert_eq!(pa.stack_sizes(), (0, 1));
     }
 
@@ -310,11 +240,18 @@ mod tests {
         // One access per epoch: the disk never records an interval but has
         // zero cold fraction after the bloom warms up — priority.
         let mut pa = PaLru::new(short_epoch_config());
-        let mut resident = std::collections::HashSet::new();
+        let mut f = Feeder::new();
         for e in 0..4u64 {
             let t = SimTime::from_secs(e * 150);
-            feed(&mut pa, &mut resident, blk(0, 7), t);
-            resident.remove(&blk(0, 7));
+            let b = blk(0, 7);
+            let was_resident = f.contains(b);
+            feed(&mut pa, &mut f, b, t);
+            if !was_resident {
+                let slot = f.slot_of(b);
+                pa.lru0.remove(slot);
+                pa.lru1.remove(slot);
+            }
+            let _ = f.release(b);
         }
         assert!(pa.is_priority(DiskId::new(0)));
     }
@@ -323,20 +260,20 @@ mod tests {
     fn falls_back_to_lru1_when_lru0_empty() {
         let mut pa = PaLru::new(short_epoch_config());
         pa.force_priority(DiskId::new(0));
-        let mut resident = std::collections::HashSet::new();
-        feed(&mut pa, &mut resident, blk(0, 1), SimTime::from_secs(1));
-        feed(&mut pa, &mut resident, blk(0, 2), SimTime::from_secs(2));
-        assert_eq!(pa.evict(), blk(0, 1), "LRU order within LRU1");
+        let mut f = Feeder::new();
+        feed(&mut pa, &mut f, blk(0, 1), SimTime::from_secs(1));
+        feed(&mut pa, &mut f, blk(0, 2), SimTime::from_secs(2));
+        assert_eq!(f.evict(&mut pa), blk(0, 1), "LRU order within LRU1");
     }
 
     #[test]
     fn epoch_counter_skips_silent_stretches() {
         let mut pa = PaLru::new(short_epoch_config());
-        let mut resident = std::collections::HashSet::new();
-        feed(&mut pa, &mut resident, blk(0, 1), SimTime::from_secs(1));
+        let mut f = Feeder::new();
+        feed(&mut pa, &mut f, blk(0, 1), SimTime::from_secs(1));
         // Jump far ahead: exactly one reclassification happens, and the
         // next epoch boundary lands beyond the new time.
-        feed(&mut pa, &mut resident, blk(0, 2), SimTime::from_secs(100_000));
+        feed(&mut pa, &mut f, blk(0, 2), SimTime::from_secs(100_000));
         assert_eq!(pa.epochs_completed(), 1);
     }
 

@@ -5,17 +5,17 @@
 //! re-use, remembered in the `A1out` ghost — earn a place in the main LRU
 //! (`Am`).
 
-use std::collections::VecDeque;
-
 use pc_units::{BlockId, SimTime};
 
-use crate::policy::pa_lru::Stack;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{IndexList, ReplacementPolicy};
+use crate::table::{BlockTable, Slot};
 
 /// The 2Q replacement policy, sized for a specific cache capacity.
 ///
 /// Uses the paper-recommended tuning: `Kin` = 25% of the cache,
-/// `Kout` = 50% (as ghost ids).
+/// `Kout` = 50% (as ghost ids). The ghost is its own [`BlockTable`] +
+/// FIFO, so the former O(`Kout`) membership scan on every miss is now a
+/// single hash probe.
 ///
 /// # Examples
 ///
@@ -30,13 +30,15 @@ use crate::policy::ReplacementPolicy;
 pub struct TwoQ {
     kin: usize,
     kout: usize,
-    /// Probationary FIFO of first-time blocks.
-    a1in: VecDeque<BlockId>,
-    /// Ghost FIFO remembering blocks evicted from `a1in`.
-    a1out: VecDeque<BlockId>,
-    /// Main LRU of proven-reuse blocks.
-    am: Stack,
-    next_seq: u64,
+    /// Probationary FIFO of first-time blocks (cache slots).
+    a1in: IndexList,
+    /// Main LRU of proven-reuse blocks (cache slots).
+    am: IndexList,
+    /// Block ids per cache slot, for ghosting evicted victims.
+    blocks: Vec<BlockId>,
+    /// Ghost directory: block → ghost slot, plus its FIFO order.
+    ghosts: BlockTable,
+    ghost_order: IndexList,
     /// Pending classification for the block being inserted.
     pending_hot: bool,
 }
@@ -53,10 +55,11 @@ impl TwoQ {
         TwoQ {
             kin: (capacity / 4).max(1),
             kout: (capacity / 2).max(1),
-            a1in: VecDeque::new(),
-            a1out: VecDeque::new(),
-            am: Stack::default(),
-            next_seq: 0,
+            a1in: IndexList::new(),
+            am: IndexList::new(),
+            blocks: Vec::new(),
+            ghosts: BlockTable::new(),
+            ghost_order: IndexList::new(),
             pending_hot: false,
         }
     }
@@ -64,14 +67,24 @@ impl TwoQ {
     /// Sizes of (`A1in`, `A1out`, `Am`) — diagnostic.
     #[must_use]
     pub fn sizes(&self) -> (usize, usize, usize) {
-        (self.a1in.len(), self.a1out.len(), self.am.len())
+        (self.a1in.len(), self.ghost_order.len(), self.am.len())
     }
 
     fn remember_ghost(&mut self, block: BlockId) {
-        self.a1out.push_back(block);
-        if self.a1out.len() > self.kout {
-            self.a1out.pop_front();
+        let g = self.ghosts.intern(block);
+        self.ghost_order.push_back(g);
+        if self.ghost_order.len() > self.kout {
+            if let Some(old) = self.ghost_order.pop_front() {
+                self.ghosts.release(old);
+            }
         }
+    }
+
+    fn record_block(&mut self, slot: Slot, block: BlockId) {
+        if slot.index() >= self.blocks.len() {
+            self.blocks.resize(slot.index() + 1, BlockId::default());
+        }
+        self.blocks[slot.index()] = block;
     }
 }
 
@@ -80,18 +93,18 @@ impl ReplacementPolicy for TwoQ {
         "2q".to_owned()
     }
 
-    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
-        if hit {
+    fn on_access(&mut self, slot: Option<Slot>, block: BlockId, _time: SimTime) {
+        if let Some(slot) = slot {
             // Hits in A1in deliberately do nothing (correlated references
             // shouldn't promote); hits in Am refresh the LRU position.
-            if self.am.contains(block) {
-                self.next_seq += 1;
-                self.am.touch(block, self.next_seq);
+            if self.am.contains(slot) {
+                self.am.move_to_front(slot);
             }
         } else {
             // A miss on a remembered ghost proves real re-use.
-            if let Some(pos) = self.a1out.iter().position(|&b| b == block) {
-                self.a1out.remove(pos);
+            if let Some(g) = self.ghosts.lookup(block) {
+                self.ghost_order.remove(g);
+                self.ghosts.release(g);
                 self.pending_hot = true;
             } else {
                 self.pending_hot = false;
@@ -99,24 +112,25 @@ impl ReplacementPolicy for TwoQ {
         }
     }
 
-    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
+    fn on_insert(&mut self, slot: Slot, block: BlockId, _time: SimTime) {
+        self.record_block(slot, block);
         if self.pending_hot {
-            self.next_seq += 1;
-            self.am.touch(block, self.next_seq);
+            self.am.push_front(slot);
             self.pending_hot = false;
         } else {
-            self.a1in.push_back(block);
+            self.a1in.push_back(slot);
         }
     }
 
-    fn evict(&mut self) -> BlockId {
-        if self.a1in.len() >= self.kin || self.am.len() == 0 {
+    fn evict(&mut self) -> Slot {
+        if self.a1in.len() >= self.kin || self.am.is_empty() {
             if let Some(victim) = self.a1in.pop_front() {
-                self.remember_ghost(victim);
+                let block = self.blocks[victim.index()];
+                self.remember_ghost(block);
                 return victim;
             }
         }
-        if let Some(victim) = self.am.pop_bottom() {
+        if let Some(victim) = self.am.pop_back() {
             return victim;
         }
         self.a1in.pop_front().expect("no block to evict")
@@ -126,7 +140,7 @@ impl ReplacementPolicy for TwoQ {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::{blk, count_misses, seq_trace};
+    use crate::policy::testutil::{blk, count_misses, seq_trace, Feeder};
     use crate::policy::Lru;
 
     #[test]
@@ -139,18 +153,13 @@ mod tests {
     #[test]
     fn ghost_reuse_promotes_to_am() {
         let mut q = TwoQ::new(8); // kin 2
-        let feed = |q: &mut TwoQ, b: BlockId, hit: bool| {
-            q.on_access(b, SimTime::ZERO, hit);
-            if !hit {
-                q.on_insert(b, SimTime::ZERO);
-            }
-        };
-        feed(&mut q, blk(0, 1), false);
-        feed(&mut q, blk(0, 2), false);
-        feed(&mut q, blk(0, 3), false); // a1in over kin on next evict
-        assert_eq!(q.evict(), blk(0, 1), "FIFO front leaves a1in");
+        let mut f = Feeder::new();
+        f.access(&mut q, blk(0, 1), SimTime::ZERO);
+        f.access(&mut q, blk(0, 2), SimTime::ZERO);
+        f.access(&mut q, blk(0, 3), SimTime::ZERO); // a1in over kin on next evict
+        assert_eq!(f.evict(&mut q), blk(0, 1), "FIFO front leaves a1in");
         // Block 1 is now a ghost; touching it again makes it hot.
-        feed(&mut q, blk(0, 1), false);
+        f.access(&mut q, blk(0, 1), SimTime::ZERO);
         let (_, _, am) = q.sizes();
         assert_eq!(am, 1, "ghost reuse lands in Am");
     }
@@ -174,13 +183,13 @@ mod tests {
     #[test]
     fn eviction_prefers_probation_when_full() {
         let mut q = TwoQ::new(4); // kin 1
+        let mut f = Feeder::new();
         for n in 1..=4u64 {
-            q.on_access(blk(0, n), SimTime::ZERO, false);
-            q.on_insert(blk(0, n), SimTime::ZERO);
+            f.access(&mut q, blk(0, n), SimTime::ZERO);
         }
         // All four sit in a1in (nothing proved reuse): FIFO eviction.
-        assert_eq!(q.evict(), blk(0, 1));
-        assert_eq!(q.evict(), blk(0, 2));
+        assert_eq!(f.evict(&mut q), blk(0, 1));
+        assert_eq!(f.evict(&mut q), blk(0, 2));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! so tests can verify recovered data), and [`LogSpace::recover`]
 //! implements the replay scan.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use pc_units::{BlockId, BlockNo, DiskId};
 
@@ -140,7 +140,7 @@ impl LogSpace {
     /// latest value wins.
     #[must_use]
     pub fn recover(&self) -> Vec<(BlockId, u64)> {
-        let mut latest: HashMap<BlockId, u64> = HashMap::new();
+        let mut latest: FxHashMap<BlockId, u64> = FxHashMap::default();
         let mut order: Vec<BlockId> = Vec::new();
         for (d, region) in self.regions.iter().enumerate() {
             for e in &region.entries {

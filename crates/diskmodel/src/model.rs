@@ -35,9 +35,7 @@ use crate::DiskPowerSpec;
 ///
 /// Mode 0 is always full-speed idle; higher indices are progressively
 /// lower-power modes, ending at standby.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ModeId(usize);
 
 impl ModeId {
@@ -521,7 +519,8 @@ mod tests {
                 let (da, db) = (SimDuration::from_secs(a), SimDuration::from_secs(b));
                 assert!(
                     m.lower_envelope(da + db).as_joules()
-                        <= m.lower_envelope(da).as_joules() + m.lower_envelope(db).as_joules()
+                        <= m.lower_envelope(da).as_joules()
+                            + m.lower_envelope(db).as_joules()
                             + 1e-9
                 );
             }
@@ -565,7 +564,10 @@ mod tests {
         assert_eq!(m.practical_mode_at(SimDuration::from_secs(14)).index(), 2);
         assert_eq!(m.practical_mode_at(SimDuration::from_secs(20)).index(), 3);
         assert_eq!(m.practical_mode_at(SimDuration::from_secs(33)).index(), 4);
-        assert_eq!(m.practical_mode_at(SimDuration::from_secs(100)), m.standby());
+        assert_eq!(
+            m.practical_mode_at(SimDuration::from_secs(100)),
+            m.standby()
+        );
     }
 
     #[test]

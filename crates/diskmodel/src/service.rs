@@ -145,8 +145,7 @@ impl ServiceModel {
         let mut zones = Vec::with_capacity(zone_count as usize);
         let mut first_block = 0u64;
         for (z, w) in weights.iter().enumerate() {
-            let zone_blocks =
-                (capacity as f64 * w / weight_sum).round() as u64;
+            let zone_blocks = (capacity as f64 * w / weight_sum).round() as u64;
             let bpc = (zone_blocks / cylinders_per_zone.max(1)).max(1);
             // Five recording surfaces: calibrated so the capacity-mean
             // zone rate matches the flat model's 52 MB/s.
@@ -371,8 +370,8 @@ mod tests {
             );
         }
         let last = m.zones.last().unwrap();
-        let covered = last.first_block
-            + last.blocks_per_cylinder * (m.cylinders - last.first_cylinder);
+        let covered =
+            last.first_block + last.blocks_per_cylinder * (m.cylinders - last.first_cylinder);
         let coverage_error = (covered as f64 - capacity as f64).abs() / capacity as f64;
         assert!(coverage_error < 0.05, "covered {covered} of {capacity}");
         // Cylinder mapping is monotone in the block number.
@@ -404,10 +403,7 @@ mod tests {
     fn flat_model_is_unchanged_by_the_zone_machinery() {
         let m = model();
         assert!(m.zone_of(BlockNo::new(123)).is_none());
-        assert_eq!(
-            m.transfer_time_at(BlockNo::new(123), 8),
-            m.transfer_time(8)
-        );
+        assert_eq!(m.transfer_time_at(BlockNo::new(123), 8), m.transfer_time(8));
     }
 
     #[test]
@@ -418,8 +414,8 @@ mod tests {
             blocks: 32,
         };
         let t = m.service_time(Some(BlockNo::new(100)), req);
-        let expected = m.rotational_latency(BlockNo::new(100))
-            + m.transfer_time_at(BlockNo::new(100), 32);
+        let expected =
+            m.rotational_latency(BlockNo::new(100)) + m.transfer_time_at(BlockNo::new(100), 32);
         assert_eq!(t, expected, "same cylinder: no seek");
     }
 }

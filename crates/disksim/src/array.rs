@@ -138,10 +138,7 @@ impl DiskArray {
     /// Total energy across the array.
     #[must_use]
     pub fn total_energy(&self) -> Joules {
-        self.disks
-            .iter()
-            .map(|d| d.report().total_energy())
-            .sum()
+        self.disks.iter().map(|d| d.report().total_energy()).sum()
     }
 }
 

@@ -223,9 +223,9 @@ impl DiskSim {
         };
         match self.policy {
             DpmPolicy::AlwaysOn => ModeId::FULL_SPEED,
-            DpmPolicy::Practical | DpmPolicy::Oracle => {
-                self.power.practical_mode_at(now.saturating_since(idle_since))
-            }
+            DpmPolicy::Practical | DpmPolicy::Oracle => self
+                .power
+                .practical_mode_at(now.saturating_since(idle_since)),
             DpmPolicy::FixedThreshold(_) => {
                 let ladder = self.fixed_ladder.as_deref().expect("fixed ladder exists");
                 let elapsed = now.saturating_since(idle_since);
@@ -305,8 +305,8 @@ impl DiskSim {
             let full_rpm = self.power.mode(ModeId::FULL_SPEED).rpm.max(1);
             let ratio = f64::from(full_rpm) / f64::from(spec.rpm.max(1));
             let scaled = seek + (full_service - seek).mul_f64(ratio);
-            let power_scale = spec.power.as_watts()
-                / self.power.mode(ModeId::FULL_SPEED).power.as_watts();
+            let power_scale =
+                spec.power.as_watts() / self.power.mode(ModeId::FULL_SPEED).power.as_watts();
             (
                 scaled,
                 pc_units::Watts::new(self.power.active_power().as_watts() * power_scale),
@@ -380,7 +380,12 @@ impl DiskSim {
         let gap = end - start;
         match self.policy {
             DpmPolicy::AlwaysOn => {
-                self.record(start, PowerEvent::Rest { mode: ModeId::FULL_SPEED });
+                self.record(
+                    start,
+                    PowerEvent::Rest {
+                        mode: ModeId::FULL_SPEED,
+                    },
+                );
                 self.rest(ModeId::FULL_SPEED, gap);
                 SimDuration::ZERO
             }
@@ -410,7 +415,11 @@ impl DiskSim {
             return;
         }
         let spec = self.power.mode(mode).clone();
-        let up = if spin_up { spec.spin_up.time } else { SimDuration::ZERO };
+        let up = if spin_up {
+            spec.spin_up.time
+        } else {
+            SimDuration::ZERO
+        };
         let residency = gap - spec.spin_down.time - up;
         self.record(start, PowerEvent::SpinDown { to: mode });
         self.report.spin_down_time += spec.spin_down.time;
@@ -419,10 +428,7 @@ impl DiskSim {
         self.record(start + spec.spin_down.time, PowerEvent::Rest { mode });
         self.rest(mode, residency);
         if spin_up {
-            self.record(
-                start + spec.spin_down.time + residency,
-                PowerEvent::SpinUp,
-            );
+            self.record(start + spec.spin_down.time + residency, PowerEvent::SpinUp);
             self.report.spin_up_time += spec.spin_up.time;
             self.report.spin_up_energy += spec.spin_up.energy;
             self.report.spin_ups += 1;
@@ -440,7 +446,8 @@ impl DiskSim {
         gap: SimDuration,
         spin_up: bool,
     ) -> SimDuration {
-        self.walk_ladder(start, ladder, SimDuration::ZERO, gap, spin_up).0
+        self.walk_ladder(start, ladder, SimDuration::ZERO, gap, spin_up)
+            .0
     }
 
     /// Walks the demotion ladder over an idle period that begins with the
@@ -543,12 +550,15 @@ impl DiskSim {
     fn close_idle_at_speed(&mut self, start: SimTime, end: SimTime) -> (SimDuration, ModeId) {
         let offset = self.ladder_offset_of(self.resting_mode);
         let ladder = match self.policy {
-            DpmPolicy::FixedThreshold(_) => {
-                self.fixed_ladder.clone().expect("fixed ladder exists")
-            }
+            DpmPolicy::FixedThreshold(_) => self.fixed_ladder.clone().expect("fixed ladder exists"),
             DpmPolicy::AlwaysOn => {
                 self.rest(ModeId::FULL_SPEED, end - start);
-                self.record(start, PowerEvent::Rest { mode: ModeId::FULL_SPEED });
+                self.record(
+                    start,
+                    PowerEvent::Rest {
+                        mode: ModeId::FULL_SPEED,
+                    },
+                );
                 return (SimDuration::ZERO, ModeId::FULL_SPEED);
             }
             _ => self.power.ladder().to_vec(),
@@ -746,7 +756,9 @@ mod tests {
         let mut d = disk(DpmPolicy::Practical);
         let a = d.service(SimTime::from_secs(1), req(1));
         let idle0 = a.completion;
-        assert!(d.peek_mode(idle0 + SimDuration::from_secs(5)).is_full_speed());
+        assert!(d
+            .peek_mode(idle0 + SimDuration::from_secs(5))
+            .is_full_speed());
         assert_eq!(d.peek_mode(idle0 + SimDuration::from_secs(12)).index(), 1);
         assert_eq!(d.peek_mode(idle0 + SimDuration::from_secs(100)).index(), 5);
         assert!(d.is_sleeping(idle0 + SimDuration::from_secs(100)));
@@ -814,15 +826,25 @@ mod tests {
         assert_eq!(
             events,
             vec![
-                Rest { mode: ModeId::new(0) }, // initial
-                Rest { mode: ModeId::new(0) }, // the 1 s pre-arrival idle
+                Rest {
+                    mode: ModeId::new(0)
+                }, // initial
+                Rest {
+                    mode: ModeId::new(0)
+                }, // the 1 s pre-arrival idle
                 ServiceStart,
                 ServiceEnd,
-                Rest { mode: ModeId::new(0) }, // idle after service
+                Rest {
+                    mode: ModeId::new(0)
+                }, // idle after service
                 SpinDown { to: ModeId::new(1) },
-                Rest { mode: ModeId::new(1) },
+                Rest {
+                    mode: ModeId::new(1)
+                },
                 SpinDown { to: ModeId::new(2) },
-                Rest { mode: ModeId::new(2) },
+                Rest {
+                    mode: ModeId::new(2)
+                },
                 SpinUp,
                 ServiceStart,
                 ServiceEnd,

@@ -242,12 +242,20 @@ mod tests {
     }
 
     fn mean_response(outcomes: &[ScheduledOutcome]) -> f64 {
-        outcomes.iter().map(|o| o.response.as_secs_f64()).sum::<f64>() / outcomes.len() as f64
+        outcomes
+            .iter()
+            .map(|o| o.response.as_secs_f64())
+            .sum::<f64>()
+            / outcomes.len() as f64
     }
 
     #[test]
     fn all_requests_complete_exactly_once() {
-        for d in [QueueDiscipline::Fcfs, QueueDiscipline::Sstf, QueueDiscipline::Cscan] {
+        for d in [
+            QueueDiscipline::Fcfs,
+            QueueDiscipline::Sstf,
+            QueueDiscipline::Cscan,
+        ] {
             let (outcomes, _) = run(d);
             let mut seen: Vec<usize> = outcomes.iter().map(|o| o.index).collect();
             seen.sort_unstable();
@@ -330,7 +338,11 @@ mod tests {
             })
             .collect();
         let mut energies = Vec::new();
-        for d in [QueueDiscipline::Fcfs, QueueDiscipline::Sstf, QueueDiscipline::Cscan] {
+        for d in [
+            QueueDiscipline::Fcfs,
+            QueueDiscipline::Sstf,
+            QueueDiscipline::Cscan,
+        ] {
             let (outcomes, report) = schedule_disk(
                 DiskId::new(0),
                 &reqs,
@@ -352,8 +364,14 @@ mod tests {
     #[should_panic(expected = "sorted by arrival")]
     fn rejects_unsorted_arrivals() {
         let reqs = vec![
-            (SimTime::from_secs(2), ServiceRequest::single(BlockNo::new(1))),
-            (SimTime::from_secs(1), ServiceRequest::single(BlockNo::new(2))),
+            (
+                SimTime::from_secs(2),
+                ServiceRequest::single(BlockNo::new(1)),
+            ),
+            (
+                SimTime::from_secs(1),
+                ServiceRequest::single(BlockNo::new(2)),
+            ),
         ];
         let _ = schedule_disk(
             DiskId::new(0),

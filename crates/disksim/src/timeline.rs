@@ -178,7 +178,12 @@ mod tests {
         let mut tl = Timeline::default();
         tl.push(t(1), PowerEvent::ServiceStart);
         tl.push(t(2), PowerEvent::ServiceEnd);
-        tl.push(t(2), PowerEvent::Rest { mode: ModeId::FULL_SPEED });
+        tl.push(
+            t(2),
+            PowerEvent::Rest {
+                mode: ModeId::FULL_SPEED,
+            },
+        );
         assert_eq!(tl.len(), 3);
         assert_eq!(tl.entries()[0].at, t(1));
     }
@@ -195,9 +200,19 @@ mod tests {
     #[test]
     fn render_paints_states_per_cell() {
         let mut tl = Timeline::default();
-        tl.push(t(0), PowerEvent::Rest { mode: ModeId::FULL_SPEED });
+        tl.push(
+            t(0),
+            PowerEvent::Rest {
+                mode: ModeId::FULL_SPEED,
+            },
+        );
         tl.push(t(3), PowerEvent::SpinDown { to: ModeId::new(1) });
-        tl.push(t(4), PowerEvent::Rest { mode: ModeId::new(1) });
+        tl.push(
+            t(4),
+            PowerEvent::Rest {
+                mode: ModeId::new(1),
+            },
+        );
         tl.push(t(8), PowerEvent::SpinUp);
         let strip = tl.render(t(0), t(10), SimDuration::from_secs(1));
         assert_eq!(strip, "000v1111^^");

@@ -232,13 +232,21 @@ pub fn policy_zoo(params: &Params) -> ExperimentOutput {
 pub fn serve_at_speed(params: &Params) -> ExperimentOutput {
     let trace = params.oltp_trace();
     let mut t = Table::new([
-        "multi-speed option", "policy", "energy (J)", "mean response", "p99", "spin-ups",
+        "multi-speed option",
+        "policy",
+        "energy (J)",
+        "mean response",
+        "p99",
+        "spin-ups",
     ]);
     let mut out = ExperimentOutput::default();
     let mut points = Vec::new();
     for (label, cfg) in [
         ("option2 (full-speed only)", SimConfig::default()),
-        ("option1 (serve at speed)", SimConfig::default().with_serve_at_speed()),
+        (
+            "option1 (serve at speed)",
+            SimConfig::default().with_serve_at_speed(),
+        ),
     ] {
         let power = cfg.power_model();
         for (name, spec) in [
@@ -261,7 +269,11 @@ pub fn serve_at_speed(params: &Params) -> ExperimentOutput {
                 r.response_quantile(0.99).to_string(),
                 r.total_spin_ups().to_string(),
             ]);
-            let key = if label.starts_with("option2") { "option2" } else { "option1" };
+            let key = if label.starts_with("option2") {
+                "option2"
+            } else {
+                "option1"
+            };
             out.record(format!("{key}_{name}_energy"), r.total_energy().as_joules());
             out.record(
                 format!("{key}_{name}_response_s"),
@@ -289,14 +301,18 @@ pub fn disk_type(params: &Params) -> ExperimentOutput {
     use pc_diskmodel::{DiskPowerSpec, ServiceModel};
     let trace = params.oltp_trace();
     let mut t = Table::new([
-        "disk type", "policy", "energy (J)", "pa saving", "mean response", "p99",
+        "disk type",
+        "policy",
+        "energy (J)",
+        "pa saving",
+        "mean response",
+        "p99",
     ]);
     let mut out = ExperimentOutput::default();
     let configs = vec![
         ("server (Ultrastar)", SimConfig::default()),
         ("laptop (Travelstar)", {
-            let mut cfg = SimConfig::default()
-                .with_power_spec(DiskPowerSpec::travelstar_laptop());
+            let mut cfg = SimConfig::default().with_power_spec(DiskPowerSpec::travelstar_laptop());
             cfg.service = ServiceModel::travelstar_laptop();
             cfg
         }),
@@ -317,7 +333,11 @@ pub fn disk_type(params: &Params) -> ExperimentOutput {
                 r.response_quantile(0.99).to_string(),
             ]);
         }
-        let key = if label.starts_with("server") { "server" } else { "laptop" };
+        let key = if label.starts_with("server") {
+            "server"
+        } else {
+            "laptop"
+        };
         out.record(format!("{key}_lru_energy"), lru.total_energy().as_joules());
         out.record(format!("{key}_pa_saving"), pa.saving_over(&lru));
         out.record(
@@ -396,7 +416,12 @@ pub fn combo(params: &Params) -> ExperimentOutput {
         &PolicySpec::Lru,
         &cfg.clone().with_write_policy(WritePolicy::WriteThrough),
     );
-    let mut t = Table::new(["replacement", "write policy", "saving over lru+wt", "mean response"]);
+    let mut t = Table::new([
+        "replacement",
+        "write policy",
+        "saving over lru+wt",
+        "mean response",
+    ]);
     let mut out = ExperimentOutput::default();
     let mut points = Vec::new();
     for (rname, rspec) in [
@@ -462,12 +487,17 @@ pub fn scheduler(params: &Params) -> ExperimentOutput {
     let mut per_disk: Vec<Vec<(SimTime, ServiceRequest)>> = vec![Vec::new(); 4];
     let mut horizon = SimTime::ZERO;
     for r in &trace {
-        per_disk[r.block.disk().as_usize()]
-            .push((r.time, ServiceRequest::single(r.block.block())));
+        per_disk[r.block.disk().as_usize()].push((r.time, ServiceRequest::single(r.block.block())));
         horizon = horizon.max(r.time);
     }
 
-    let mut t = Table::new(["discipline", "mean response", "p99 response", "seek+xfer time", "energy (J)"]);
+    let mut t = Table::new([
+        "discipline",
+        "mean response",
+        "p99 response",
+        "seek+xfer time",
+        "energy (J)",
+    ]);
     let mut out = ExperimentOutput::default();
     let disciplines = vec![
         QueueDiscipline::Fcfs,
@@ -475,10 +505,8 @@ pub fn scheduler(params: &Params) -> ExperimentOutput {
         QueueDiscipline::Cscan,
     ];
     let rows = sweep::over(params, disciplines, |&discipline| {
-        let mut responses = pc_cache::IntervalHistogram::geometric(
-            SimDuration::from_micros(100),
-            24,
-        );
+        let mut responses =
+            pc_cache::IntervalHistogram::geometric(SimDuration::from_micros(100), 24);
         let mut total_response = 0.0;
         let mut count = 0u64;
         let mut service_time = SimDuration::ZERO;
@@ -502,7 +530,13 @@ pub fn scheduler(params: &Params) -> ExperimentOutput {
             energy += report.total_energy().as_joules();
         }
         let mean = total_response / count.max(1) as f64;
-        (discipline, mean, responses.quantile(0.99), service_time, energy)
+        (
+            discipline,
+            mean,
+            responses.quantile(0.99),
+            service_time,
+            energy,
+        )
     });
     for (discipline, mean, p99, service_time, energy) in rows {
         t.row([
@@ -542,7 +576,13 @@ pub fn prefetch_depth(params: &Params) -> ExperimentOutput {
     .with_requests(params.requests(200_000))
     .with_write_ratio(0.2)
     .generate(params.seed);
-    let mut t = Table::new(["depth", "energy (J)", "hit ratio", "mean response", "prefetches"]);
+    let mut t = Table::new([
+        "depth",
+        "energy (J)",
+        "hit ratio",
+        "mean response",
+        "prefetches",
+    ]);
     let mut out = ExperimentOutput::default();
     let depths = vec![0u64, 1, 2, 4, 8, 16];
     let reports = sweep::over(params, depths.clone(), |&depth| {
@@ -635,7 +675,10 @@ mod tests {
         assert!(paper > 0.0, "paper setting must save energy, got {paper}");
         // T=0 classifies every warm disk as priority, polluting LRU1.
         let t0 = o.metric("T=0 (intervals ignored)");
-        assert!(t0 <= paper + 1.0, "T=0 ({t0}) must not beat the paper setting ({paper})");
+        assert!(
+            t0 <= paper + 1.0,
+            "T=0 ({t0}) must not beat the paper setting ({paper})"
+        );
     }
 
     #[test]
@@ -730,7 +773,10 @@ mod tests {
         let both = o.metric("pa-lru_wbeu");
         assert!(pa_only > 0.0, "pa alone {pa_only}");
         assert!(wbeu_only > 0.0, "wbeu alone {wbeu_only}");
-        assert!(both > pa_only.max(wbeu_only), "combo {both} vs {pa_only}/{wbeu_only}");
+        assert!(
+            both > pa_only.max(wbeu_only),
+            "combo {both} vs {pa_only}/{wbeu_only}"
+        );
     }
 
     #[test]

@@ -33,7 +33,12 @@ fn policies(params: &Params, cfg: &SimConfig) -> Vec<(&'static str, PolicySpec)>
     vec![
         ("lru", PolicySpec::Lru),
         ("pa-lru", params.pa_policy(&cfg.power_model())),
-        ("opg", PolicySpec::Opg { epsilon: Joules::ZERO }),
+        (
+            "opg",
+            PolicySpec::Opg {
+                epsilon: Joules::ZERO,
+            },
+        ),
     ]
 }
 
@@ -58,6 +63,34 @@ pub fn run(params: &Params) -> Vec<BenchRow> {
     rows
 }
 
+/// Aggregate throughput per policy across every workload: total requests
+/// over total wall time, in first-appearance order. This is the
+/// perf-trajectory number tracked release over release.
+#[must_use]
+pub fn aggregate(rows: &[BenchRow]) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut requests: Vec<u64> = Vec::new();
+    let mut wall_ms: Vec<f64> = Vec::new();
+    for row in rows {
+        let i = match order.iter().position(|p| *p == row.policy) {
+            Some(i) => i,
+            None => {
+                order.push(row.policy.clone());
+                requests.push(0);
+                wall_ms.push(0.0);
+                order.len() - 1
+            }
+        };
+        requests[i] += row.requests;
+        wall_ms[i] += row.wall_ms;
+    }
+    order
+        .into_iter()
+        .zip(requests.iter().zip(&wall_ms))
+        .map(|(policy, (&req, &ms))| (policy, req as f64 / (ms / 1_000.0)))
+        .collect()
+}
+
 /// Renders rows as the `BENCH_repro.json` document: a stable-key-order
 /// JSON object so diffs between runs line up.
 #[must_use]
@@ -77,7 +110,18 @@ pub fn to_json(params: &Params, rows: &[BenchRow]) -> String {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str("  \"aggregate_req_per_sec\": {\n");
+    let agg = aggregate(rows);
+    for (i, (policy, rps)) in agg.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {:.1}{}\n",
+            policy,
+            rps,
+            if i + 1 < agg.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
     s
 }
 
@@ -94,7 +138,15 @@ pub fn render(rows: &[BenchRow]) -> String {
             format!("{:.0}", row.req_per_sec),
         ]);
     }
-    format!("Benchmark: simulation hot-path throughput\n\n{}", t.render())
+    let mut a = Table::new(["policy", "aggregate req/s"]);
+    for (policy, rps) in aggregate(rows) {
+        a.row([policy, format!("{rps:.0}")]);
+    }
+    format!(
+        "Benchmark: simulation hot-path throughput\n\n{}\n{}",
+        t.render(),
+        a.render()
+    )
 }
 
 #[cfg(test)]
@@ -115,5 +167,26 @@ mod tests {
         assert!(json.contains("\"rows\": ["));
         assert!(json.contains("\"workload\": \"cello96\""));
         assert_eq!(json.matches("\"policy\"").count(), 6);
+        assert!(json.contains("\"aggregate_req_per_sec\""));
+    }
+
+    #[test]
+    fn aggregate_pools_requests_over_wall_time() {
+        let row = |policy: &str, requests, wall_ms| BenchRow {
+            policy: policy.to_owned(),
+            workload: "w".to_owned(),
+            requests,
+            wall_ms,
+            req_per_sec: 0.0,
+        };
+        let agg = aggregate(&[
+            row("lru", 1_000, 100.0),
+            row("opg", 500, 1_000.0),
+            row("lru", 3_000, 300.0),
+        ]);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].0, "lru");
+        assert!((agg[0].1 - 10_000.0).abs() < 1e-6, "4000 req / 0.4 s");
+        assert!((agg[1].1 - 500.0).abs() < 1e-6);
     }
 }

@@ -48,10 +48,7 @@ pub fn run(params: &Params) -> ExperimentOutput {
         ..ExperimentOutput::default()
     };
     out.record("breakpoints", (model.ladder().len() - 1) as f64);
-    out.record(
-        "first_threshold_s",
-        model.ladder()[1].at_idle.as_secs_f64(),
-    );
+    out.record("first_threshold_s", model.ladder()[1].at_idle.as_secs_f64());
     out
 }
 

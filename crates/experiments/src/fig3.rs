@@ -25,8 +25,7 @@ pub fn run() -> ExperimentOutput {
             belady_misses.push(r.time);
         }
     }
-    let belady_energy =
-        miss_sequence_energy(&belady_misses, horizon, Joules::ZERO, &energy_fn);
+    let belady_energy = miss_sequence_energy(&belady_misses, horizon, Joules::ZERO, &energy_fn);
     let optimal = min_energy(&trace, 4, horizon, Joules::ZERO, &energy_fn);
 
     let mut t = Table::new(["schedule", "misses", "energy (area units)"]);

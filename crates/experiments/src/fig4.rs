@@ -40,12 +40,7 @@ pub fn run(params: &Params) -> ExperimentOutput {
     };
     // The super-linearity the paper highlights: savings per second grow
     // with the interval length.
-    let per_s = |s: u64| {
-        model
-            .max_savings(SimDuration::from_secs(s))
-            .as_joules()
-            / s as f64
-    };
+    let per_s = |s: u64| model.max_savings(SimDuration::from_secs(s)).as_joules() / s as f64;
     out.record("rate_at_20s", per_s(20));
     out.record("rate_at_150s", per_s(150));
     out

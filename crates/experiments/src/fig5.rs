@@ -38,7 +38,11 @@ pub fn run(params: &Params) -> ExperimentOutput {
         if f_hot < 0.002 && f_cache < 0.002 {
             continue;
         }
-        t.row([edge.to_string(), format!("{f_hot:.3}"), format!("{f_cache:.3}")]);
+        t.row([
+            edge.to_string(),
+            format!("{f_hot:.3}"),
+            format!("{f_cache:.3}"),
+        ]);
         if f_hot >= 0.9999 && f_cache >= 0.9999 {
             break;
         }

@@ -19,7 +19,13 @@ fn bars(params: &Params) -> Vec<(&'static str, PolicySpec, bool)> {
     vec![
         ("infinite-cache", PolicySpec::Lru, true),
         ("belady", PolicySpec::Belady, false),
-        ("opg", PolicySpec::Opg { epsilon: Joules::ZERO }, false),
+        (
+            "opg",
+            PolicySpec::Opg {
+                epsilon: Joules::ZERO,
+            },
+            false,
+        ),
         ("lru", PolicySpec::Lru, false),
         ("pa-lru", params.pa_policy(&power), false),
     ]
@@ -59,15 +65,17 @@ pub fn energy(params: &Params, kind: TraceKind) -> ExperimentOutput {
     let mut t = Table::new(["policy", "oracle dpm", "practical dpm"]);
 
     // All ten (DPM × policy) runs are independent: fan them out flat and
-    // regroup into the two table columns afterwards.
-    let bar_count = bars(params).len();
+    // regroup into the two table columns afterwards. The bar list (and its
+    // power model) is built once and shared by both DPM columns.
+    let bar_specs = bars(params);
+    let bar_count = bar_specs.len();
     let points: Vec<(DpmPolicy, &'static str, PolicySpec, bool)> =
         [DpmPolicy::Oracle, DpmPolicy::Practical]
             .into_iter()
             .flat_map(|dpm| {
-                bars(params)
-                    .into_iter()
-                    .map(move |(name, spec, inf)| (dpm, name, spec, inf))
+                bar_specs
+                    .iter()
+                    .map(move |(name, spec, inf)| (dpm, *name, spec.clone(), *inf))
             })
             .collect();
     let reports: Vec<(&'static str, SimReport)> =
@@ -86,12 +94,7 @@ pub fn energy(params: &Params, kind: TraceKind) -> ExperimentOutput {
         columns.push(
             dpm_reports
                 .iter()
-                .map(|(name, r)| {
-                    (
-                        *name,
-                        r.total_energy().as_joules() / lru_energy.as_joules(),
-                    )
-                })
+                .map(|(name, r)| (*name, r.total_energy().as_joules() / lru_energy.as_joules()))
                 .collect::<Vec<_>>(),
         );
     }
@@ -131,15 +134,20 @@ pub fn response(params: &Params) -> ExperimentOutput {
         .into_iter()
         .map(|kind| (kind, params.trace(kind)))
         .collect();
+    // One bar list serves both traces; the infinite-cache bar is dropped
+    // (response time is meaningless without evictions to slow it down).
+    let bar_specs: Vec<(&'static str, PolicySpec, bool)> = bars(params)
+        .into_iter()
+        .filter(|(name, _, _)| *name != "infinite-cache")
+        .collect();
     let points: Vec<(usize, &'static str, PolicySpec, bool)> = (0..traces.len())
         .flat_map(|ti| {
-            bars(params)
-                .into_iter()
-                .filter(|(name, _, _)| *name != "infinite-cache")
-                .map(move |(name, spec, inf)| (ti, name, spec, inf))
+            bar_specs
+                .iter()
+                .map(move |(name, spec, inf)| (ti, *name, spec.clone(), *inf))
         })
         .collect();
-    let bar_count = points.len() / traces.len();
+    let bar_count = bar_specs.len();
     let reports: Vec<(&'static str, SimReport)> =
         sweep::over(params, points, |(ti, name, spec, inf)| {
             let (kind, trace) = &traces[*ti];

@@ -39,8 +39,7 @@ pub fn run(params: &Params) -> ExperimentOutput {
         .expect("at least one cold disk");
 
     let mut t = Table::new([
-        "disk", "policy", "active%", "idle%", "nap%", "standby%", "spin%", "spin-ups",
-        "mean gap",
+        "disk", "policy", "active%", "idle%", "nap%", "standby%", "spin%", "spin-ups", "mean gap",
     ]);
     let mut out = ExperimentOutput::default();
     let hot_label = format!("hot({})", hot.as_usize());

@@ -138,7 +138,13 @@ pub fn by_interarrival(params: &Params) -> ExperimentOutput {
             requests,
             params.seed,
         );
-        let pareto = savings_for(&base, GapDistribution::pareto(gap), 0.5, requests, params.seed);
+        let pareto = savings_for(
+            &base,
+            GapDistribution::pareto(gap),
+            0.5,
+            requests,
+            params.seed,
+        );
         (gap_ms, exp, pareto)
     });
     for (gap_ms, exp, pareto) in rows {

@@ -10,17 +10,35 @@ pub fn run(params: &Params) -> ExperimentOutput {
     let spec = DiskPowerSpec::ultrastar_36z15();
     let mut t = Table::new(["parameter", "value"]);
     t.row(["Individual Disk Capacity", "18.4 GB"]);
-    t.row(["Maximum Disk Rotation Speed", &format!("{} RPM", spec.max_rpm)]);
-    t.row(["Minimum Disk Rotation Speed", &format!("{} RPM", spec.min_rpm)]);
+    t.row([
+        "Maximum Disk Rotation Speed",
+        &format!("{} RPM", spec.max_rpm),
+    ]);
+    t.row([
+        "Minimum Disk Rotation Speed",
+        &format!("{} RPM", spec.min_rpm),
+    ]);
     t.row(["RPM Step-Size", &format!("{} RPM", spec.rpm_step)]);
     t.row(["Active Power (Read/Write)", &spec.active_power.to_string()]);
     t.row(["Seek Power", &spec.seek_power.to_string()]);
     t.row(["Idle Power @15000RPM", &spec.idle_power.to_string()]);
     t.row(["Standby Power", &spec.standby_power.to_string()]);
-    t.row(["Spinup Time (Standby to Active)", &spec.spin_up_time.to_string()]);
-    t.row(["Spinup Energy (Standby to Active)", &spec.spin_up_energy.to_string()]);
-    t.row(["Spindown Time (Active to Standby)", &spec.spin_down_time.to_string()]);
-    t.row(["Spindown Energy (Active to Standby)", &spec.spin_down_energy.to_string()]);
+    t.row([
+        "Spinup Time (Standby to Active)",
+        &spec.spin_up_time.to_string(),
+    ]);
+    t.row([
+        "Spinup Energy (Standby to Active)",
+        &spec.spin_up_energy.to_string(),
+    ]);
+    t.row([
+        "Spindown Time (Active to Standby)",
+        &spec.spin_down_time.to_string(),
+    ]);
+    t.row([
+        "Spindown Energy (Active to Standby)",
+        &spec.spin_down_energy.to_string(),
+    ]);
 
     let model = PowerModel::multi_speed(&spec);
     let mut modes = Table::new(["mode", "rpm", "power", "spin-down", "spin-up", "break-even"]);

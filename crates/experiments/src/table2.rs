@@ -38,7 +38,10 @@ pub fn run(params: &Params) -> ExperimentOutput {
         );
         out.record(format!("{}_cold", kind.name()), stats.cold_fraction);
     }
-    out.text = format!("Table 2: Trace characteristics (generated)\n\n{}", t.render());
+    out.text = format!(
+        "Table 2: Trace characteristics (generated)\n\n{}",
+        t.render()
+    );
     out
 }
 

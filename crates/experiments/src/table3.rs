@@ -23,10 +23,16 @@ pub fn run() -> ExperimentOutput {
             &format!("shape {shape} (finite mean, infinite variance)"),
         ]);
     }
-    t.row(["Reuse (temporal locality)", &c.reuse_probability.to_string()]);
+    t.row([
+        "Reuse (temporal locality)",
+        &c.reuse_probability.to_string(),
+    ]);
     t.row(["Write Ratio", &c.write_ratio.to_string()]);
     t.row(["Disk Size", "18 GB"]);
-    t.row(["Sequential Access Probability", &c.seq_probability.to_string()]);
+    t.row([
+        "Sequential Access Probability",
+        &c.seq_probability.to_string(),
+    ]);
     t.row(["Local Access Probability", &c.local_probability.to_string()]);
     t.row([
         "Random Access Probability",
@@ -38,7 +44,10 @@ pub fn run() -> ExperimentOutput {
     ]);
 
     let mut out = ExperimentOutput {
-        text: format!("Table 3: Default synthetic trace parameters\n\n{}", t.render()),
+        text: format!(
+            "Table 3: Default synthetic trace parameters\n\n{}",
+            t.render()
+        ),
         ..ExperimentOutput::default()
     };
     out.record("disks", f64::from(c.disks));

@@ -105,9 +105,7 @@ impl PolicySpec {
                 ArcPolicy::new(sized),
                 ArcPolicy::new(sized),
             )),
-            PolicySpec::PaMq(cfg) => {
-                Box::new(Pa::new(cfg.clone(), Mq::new(sized), Mq::new(sized)))
-            }
+            PolicySpec::PaMq(cfg) => Box::new(Pa::new(cfg.clone(), Mq::new(sized), Mq::new(sized))),
             PolicySpec::Lirs => Box::new(Lirs::new(sized)),
             PolicySpec::TwoQ => Box::new(TwoQ::new(sized)),
             PolicySpec::PaLirs(cfg) => {

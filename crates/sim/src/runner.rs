@@ -104,7 +104,11 @@ fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
         let mut own_write = None;
         for run in coalesce(&effects) {
             match run {
-                EffectRun::Disk { first, blocks, read } => {
+                EffectRun::Disk {
+                    first,
+                    blocks,
+                    read,
+                } => {
                     let served = array.service(
                         first.disk(),
                         record.time,
@@ -415,10 +419,26 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                EffectRun::Disk { first: b(10), blocks: 3, read: true },
-                EffectRun::Disk { first: b(13), blocks: 1, read: false },
-                EffectRun::Disk { first: b(14), blocks: 1, read: true },
-                EffectRun::Disk { first: other, blocks: 1, read: true },
+                EffectRun::Disk {
+                    first: b(10),
+                    blocks: 3,
+                    read: true
+                },
+                EffectRun::Disk {
+                    first: b(13),
+                    blocks: 1,
+                    read: false
+                },
+                EffectRun::Disk {
+                    first: b(14),
+                    blocks: 1,
+                    read: true
+                },
+                EffectRun::Disk {
+                    first: other,
+                    blocks: 1,
+                    read: true
+                },
                 EffectRun::Log { blocks: 2 },
             ]
         );
@@ -459,10 +479,9 @@ mod tests {
         ];
         let runs: Vec<EffectRun> = coalesce(&effects).collect();
         assert_eq!(runs.len(), 4);
-        assert!(runs.iter().all(|r| matches!(
-            r,
-            EffectRun::Disk { blocks: 1, .. }
-        )));
+        assert!(runs
+            .iter()
+            .all(|r| matches!(r, EffectRun::Disk { blocks: 1, .. })));
     }
 
     #[test]
@@ -495,15 +514,20 @@ mod tests {
     fn coalesce_matches_eager_reference_on_random_sequences() {
         // Cross-check the lazy iterator against a straightforward eager
         // fold over a few hundred random effect sequences.
-        use rand::{rngs::StdRng, Rng, SeedableRng};
         use pc_units::{BlockId, BlockNo};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
         fn eager(effects: &[Effect]) -> Vec<EffectRun> {
             let mut runs: Vec<EffectRun> = Vec::new();
             for e in effects {
                 match *e {
                     Effect::ReadDisk(b) | Effect::WriteDisk(b) => {
                         let is_read = matches!(e, Effect::ReadDisk(_));
-                        if let Some(EffectRun::Disk { first, blocks, read }) = runs.last_mut() {
+                        if let Some(EffectRun::Disk {
+                            first,
+                            blocks,
+                            read,
+                        }) = runs.last_mut()
+                        {
                             if *read == is_read
                                 && first.disk() == b.disk()
                                 && first.block().number() + *blocks == b.block().number()
@@ -512,7 +536,11 @@ mod tests {
                                 continue;
                             }
                         }
-                        runs.push(EffectRun::Disk { first: b, blocks: 1, read: is_read });
+                        runs.push(EffectRun::Disk {
+                            first: b,
+                            blocks: 1,
+                            read: is_read,
+                        });
                     }
                     Effect::WriteLog(_) => {
                         if let Some(EffectRun::Log { blocks }) = runs.last_mut() {

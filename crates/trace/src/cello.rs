@@ -7,9 +7,9 @@
 //! gaps are tiny even for the cold-miss sub-stream, so disks rarely get a
 //! chance to descend the power ladder and PA-LRU's edge over LRU is small.
 
+use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 
 use crate::{GapDistribution, IoOp, Record, Trace, ZipfSampler};
 

@@ -52,8 +52,8 @@ impl DataLayout {
                 assert!(stripe_blocks > 0, "stripe unit must be positive");
                 assert!(disks > 0, "need at least one disk");
                 // Linearize (volume, block) and deal stripes round-robin.
-                let linear = u64::from(logical.disk().index()) * volume_blocks
-                    + logical.block().number();
+                let linear =
+                    u64::from(logical.disk().index()) * volume_blocks + logical.block().number();
                 let stripe = linear / stripe_blocks;
                 let offset = linear % stripe_blocks;
                 let disk = (stripe % u64::from(disks)) as u32;

@@ -22,9 +22,9 @@
 //!   re-reads, stretching the disk-level gaps roughly `1/(1-reuse)`-fold
 //!   (Figure 7b's several-fold bar) and into the standby region.
 
+use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 
 use crate::{GapDistribution, IoOp, Record, Trace, ZipfSampler};
 
@@ -139,9 +139,8 @@ impl OltpConfig {
         // so truncation to `requests` almost never comes up short; if the
         // draw is unlucky, extend until we have enough.
         let mut events: Vec<(SimTime, u32, Kind)> = Vec::with_capacity(self.requests * 2);
-        let mut horizon = SimDuration::from_secs_f64(
-            self.mean_gap.as_secs_f64() * self.requests as f64 * 1.15,
-        );
+        let mut horizon =
+            SimDuration::from_secs_f64(self.mean_gap.as_secs_f64() * self.requests as f64 * 1.15);
         loop {
             events.clear();
             self.push_hot_events(&mut rng, horizon, &mut events);
@@ -220,8 +219,7 @@ impl OltpConfig {
             return;
         }
         let rate = (1.0 - self.hot_share) / self.mean_gap.as_secs_f64();
-        let per_disk_event_rate =
-            rate / self.burst_len.max(1.0) / f64::from(self.cacheable_disks);
+        let per_disk_event_rate = rate / self.burst_len.max(1.0) / f64::from(self.cacheable_disks);
         let arrivals = GapDistribution::exponential(SimDuration::from_secs_f64(
             1.0 / per_disk_event_rate.max(1e-12),
         ));

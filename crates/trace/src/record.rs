@@ -216,7 +216,10 @@ impl Trace {
     #[must_use]
     pub fn merge(&self, other: &Trace) -> Trace {
         let mut records = Vec::with_capacity(self.len() + other.len());
-        let (mut a, mut b) = (self.records.iter().peekable(), other.records.iter().peekable());
+        let (mut a, mut b) = (
+            self.records.iter().peekable(),
+            other.records.iter().peekable(),
+        );
         loop {
             match (a.peek(), b.peek()) {
                 (Some(x), Some(y)) => {
@@ -381,9 +384,7 @@ mod tests {
     #[test]
     fn from_reader_rejects_garbage() {
         assert!(Trace::from_reader("nonsense\n".as_bytes()).is_err());
-        assert!(
-            Trace::from_reader("# powercache-trace v1 disks=1\n1 0 0\n".as_bytes()).is_err()
-        );
+        assert!(Trace::from_reader("# powercache-trace v1 disks=1\n1 0 0\n".as_bytes()).is_err());
         assert!(
             Trace::from_reader("# powercache-trace v1 disks=1\n1 0 0 1 X\n".as_bytes()).is_err()
         );

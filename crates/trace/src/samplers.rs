@@ -5,8 +5,8 @@
 //! variance", i.e. shape between 1 and 2) and Zipf-distributed stack
 //! distances for temporal locality.
 
-use rand::Rng;
 use pc_units::SimDuration;
+use rand::Rng;
 
 /// An inter-arrival time distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -92,8 +92,7 @@ impl TraceStats {
         let mut disk_unique = vec![HashSet::new(); disks as usize];
         for r in trace {
             for offset in 0..r.blocks {
-                disk_unique[r.block.disk().as_usize()]
-                    .insert(r.block.block().number() + offset);
+                disk_unique[r.block.disk().as_usize()].insert(r.block.block().number() + offset);
             }
         }
         for (d, stats) in per_disk.iter_mut().enumerate() {
@@ -108,7 +107,11 @@ impl TraceStats {
         TraceStats {
             disks,
             requests: n,
-            write_fraction: if n == 0 { 0.0 } else { writes as f64 / n as f64 },
+            write_fraction: if n == 0 {
+                0.0
+            } else {
+                writes as f64 / n as f64
+            },
             mean_interarrival: if n > 1 {
                 trace.duration() / (n as u64 - 1)
             } else {
@@ -155,8 +158,14 @@ mod tests {
         assert_eq!(s.mean_interarrival, SimDuration::from_millis(10));
         assert_eq!(s.per_disk[0].requests, 2);
         assert_eq!(s.per_disk[0].unique_blocks, 1);
-        assert_eq!(s.per_disk[0].mean_interarrival, SimDuration::from_millis(10));
-        assert_eq!(s.per_disk[1].mean_interarrival, SimDuration::from_millis(10));
+        assert_eq!(
+            s.per_disk[0].mean_interarrival,
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            s.per_disk[1].mean_interarrival,
+            SimDuration::from_millis(10)
+        );
     }
 
     #[test]
@@ -170,10 +179,7 @@ mod tests {
 
     #[test]
     fn same_block_different_disks_counts_twice() {
-        let t = Trace::from_records(
-            2,
-            vec![rec(0, 0, 7, IoOp::Read), rec(1, 1, 7, IoOp::Read)],
-        );
+        let t = Trace::from_records(2, vec![rec(0, 0, 7, IoOp::Read), rec(1, 1, 7, IoOp::Read)]);
         let s = TraceStats::of(&t);
         assert_eq!(s.unique_blocks, 2);
         assert!((s.cold_fraction - 1.0).abs() < 1e-12);

@@ -5,9 +5,9 @@
 //! stack distances over each disk's recently-used blocks; arrivals by an
 //! exponential or Pareto gap distribution; and the write ratio directly.
 
+use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 
 use crate::{GapDistribution, IoOp, Record, Trace, ZipfSampler};
 

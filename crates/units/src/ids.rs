@@ -18,15 +18,11 @@ use std::fmt;
 /// assert_eq!(d.index(), 14);
 /// assert_eq!(d.to_string(), "disk14");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DiskId(u32);
 
 /// The index of a block within one disk.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockNo(u64);
 
 /// A globally-unique block address: a `(disk, block)` pair.
@@ -40,9 +36,7 @@ pub struct BlockNo(u64);
 /// assert_eq!(id.disk(), DiskId::new(2));
 /// assert_eq!(id.block(), BlockNo::new(4096));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockId {
     disk: DiskId,
     block: BlockNo,

@@ -24,9 +24,7 @@ const MICROS_PER_SEC: u64 = 1_000_000;
 /// let t = SimTime::from_millis(250);
 /// assert_eq!(t + SimDuration::from_millis(750), SimTime::from_secs(1));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span between two [`SimTime`] instants, in microseconds.
@@ -39,9 +37,7 @@ pub struct SimTime(u64);
 /// let gap = SimDuration::from_secs(2) + SimDuration::from_millis(500);
 /// assert!((gap.as_secs_f64() - 2.5).abs() < 1e-12);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {

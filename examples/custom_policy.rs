@@ -9,10 +9,8 @@
 //! cargo run --release --example custom_policy
 //! ```
 
-use std::collections::HashMap;
-
 use pc_cache::policy::{PaLru, PaLruConfig};
-use pc_cache::{BlockCache, ReplacementPolicy, WritePolicy};
+use pc_cache::{BlockCache, ReplacementPolicy, Slot, WritePolicy};
 use pc_diskmodel::ServiceRequest;
 use pc_disksim::{DiskArray, DpmPolicy};
 use pc_sim::SimConfig;
@@ -22,10 +20,14 @@ use pc_units::{BlockId, SimTime};
 /// CLOCK / second-chance replacement: a referenced bit per resident
 /// block; the hand sweeps, clearing bits, and evicts the first
 /// unreferenced block it finds.
+///
+/// The cache hands every resident block a dense [`Slot`], so the policy
+/// needs no hash map of its own: the ring stores slots and the
+/// referenced bits live in a flat slot-indexed vector.
 #[derive(Debug, Default)]
 struct Clock {
-    ring: Vec<BlockId>,
-    referenced: HashMap<BlockId, bool>,
+    ring: Vec<Slot>,
+    referenced: Vec<bool>,
     hand: usize,
 }
 
@@ -34,33 +36,32 @@ impl ReplacementPolicy for Clock {
         "clock".to_owned()
     }
 
-    fn on_access(&mut self, block: BlockId, _time: SimTime, hit: bool) {
-        if hit {
-            if let Some(bit) = self.referenced.get_mut(&block) {
-                *bit = true;
-            }
+    fn on_access(&mut self, slot: Option<Slot>, _block: BlockId, _time: SimTime) {
+        if let Some(slot) = slot {
+            self.referenced[slot.index()] = true;
         }
     }
 
-    fn on_insert(&mut self, block: BlockId, _time: SimTime) {
-        self.ring.push(block);
-        self.referenced.insert(block, false);
+    fn on_insert(&mut self, slot: Slot, _block: BlockId, _time: SimTime) {
+        self.ring.push(slot);
+        if slot.index() >= self.referenced.len() {
+            self.referenced.resize(slot.index() + 1, false);
+        }
+        self.referenced[slot.index()] = false;
     }
 
-    fn evict(&mut self) -> BlockId {
+    fn evict(&mut self) -> Slot {
         loop {
             if self.ring.is_empty() {
                 panic!("no block to evict");
             }
             self.hand %= self.ring.len();
             let candidate = self.ring[self.hand];
-            let bit = self.referenced.get_mut(&candidate).expect("tracked");
-            if *bit {
-                *bit = false;
+            if self.referenced[candidate.index()] {
+                self.referenced[candidate.index()] = false;
                 self.hand += 1;
             } else {
                 self.ring.swap_remove(self.hand);
-                self.referenced.remove(&candidate);
                 return candidate;
             }
         }

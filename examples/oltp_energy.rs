@@ -23,7 +23,13 @@ fn main() {
     let policies: [(&str, PolicySpec, bool); 5] = [
         ("infinite-cache", PolicySpec::Lru, true),
         ("belady", PolicySpec::Belady, false),
-        ("opg", PolicySpec::Opg { epsilon: Joules::ZERO }, false),
+        (
+            "opg",
+            PolicySpec::Opg {
+                epsilon: Joules::ZERO,
+            },
+            false,
+        ),
         ("lru", PolicySpec::Lru, false),
         ("pa-lru", PolicySpec::PaLru, false),
     ];
@@ -65,7 +71,10 @@ fn main() {
     );
 
     println!("\n== Why: two representative disks under Practical DPM ==\n");
-    for (label, disk) in [("hot disk 4", DiskId::new(4)), ("cacheable disk 14", DiskId::new(14))] {
+    for (label, disk) in [
+        ("hot disk 4", DiskId::new(4)),
+        ("cacheable disk 14", DiskId::new(14)),
+    ] {
         for (policy, report) in [("lru", &lru), ("pa-lru", &pa)] {
             let d = &report.disks[disk.as_usize()];
             let f = d.time_fractions();

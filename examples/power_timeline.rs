@@ -34,13 +34,17 @@ fn main() {
         .with_timeline();
         for (i, &s) in arrivals_secs.iter().enumerate() {
             let arrival = SimTime::from_secs(s).max(disk.ready_at());
-            disk.service(arrival, ServiceRequest::single(BlockNo::new(i as u64 * 40_000)));
+            disk.service(
+                arrival,
+                ServiceRequest::single(BlockNo::new(i as u64 * 40_000)),
+            );
         }
         disk.finish(horizon);
-        let strip = disk
-            .timeline()
-            .expect("recording enabled")
-            .render(SimTime::ZERO, horizon, SimDuration::from_secs(2));
+        let strip = disk.timeline().expect("recording enabled").render(
+            SimTime::ZERO,
+            horizon,
+            SimDuration::from_secs(2),
+        );
         let report = disk.report();
         println!("{policy:<10?} |{strip}|");
         println!(

@@ -41,7 +41,11 @@ fn main() {
         }
         println!(
             "{:14} {:>13} {:>11} {:>11} {:>9.1}%",
-            r.write_policy, energy.to_string(), r.cache.disk_writes, r.cache.log_writes, saving
+            r.write_policy,
+            energy.to_string(),
+            r.cache.disk_writes,
+            r.cache.log_writes,
+            saving
         );
     }
 

@@ -69,7 +69,11 @@ fn practical_sim_energy_tracks_the_analytic_ladder() {
     let simulated = sim_idle_energy(&gaps, DpmPolicy::Practical) - 10.2; // minus lead-in idle second
     let analytic: f64 = gaps
         .iter()
-        .map(|&g| model.practical_idle_energy(SimDuration::from_secs(g)).as_joules())
+        .map(|&g| {
+            model
+                .practical_idle_energy(SimDuration::from_secs(g))
+                .as_joules()
+        })
         .sum();
     // The machine spends each spin-down window at transition energy only,
     // while the analytic form also charges the destination mode's power
@@ -153,9 +157,7 @@ fn exhaustive_optimum_lower_bounds_every_policy() {
             }
             let energy: f64 = miss_times
                 .iter()
-                .map(|m| {
-                    miss_sequence_energy(m, horizon, Joules::ZERO, &energy_fn).as_joules()
-                })
+                .map(|m| miss_sequence_energy(m, horizon, Joules::ZERO, &energy_fn).as_joules())
                 .sum();
             assert!(
                 optimal.energy.as_joules() <= energy + 1e-9,

@@ -56,7 +56,10 @@ fn sweep_results_are_identical_for_any_job_count() {
     };
     let serial: Vec<String> = reports_at(1);
     let parallel: Vec<String> = reports_at(8);
-    assert_eq!(serial, parallel, "jobs=1 and jobs=8 must serialize identically");
+    assert_eq!(
+        serial, parallel,
+        "jobs=1 and jobs=8 must serialize identically"
+    );
 }
 
 #[test]

@@ -58,7 +58,10 @@ fn dpm_ordering_holds_across_policies() {
         let oracle = energy(DpmPolicy::Oracle);
         let practical = energy(DpmPolicy::Practical);
         let always_on = energy(DpmPolicy::AlwaysOn);
-        assert!(oracle <= practical * 1.0001, "oracle {oracle} practical {practical}");
+        assert!(
+            oracle <= practical * 1.0001,
+            "oracle {oracle} practical {practical}"
+        );
         assert!(practical <= always_on * 1.0001, "practical beats always-on");
     }
 }
@@ -158,6 +161,9 @@ fn residency_is_write_policy_invariant() {
         hit_ratios.push(r.cache.hit_ratio());
     }
     for w in hit_ratios.windows(2) {
-        assert!((w[0] - w[1]).abs() < 1e-12, "hit ratios diverged: {hit_ratios:?}");
+        assert!(
+            (w[0] - w[1]).abs() < 1e-12,
+            "hit ratios diverged: {hit_ratios:?}"
+        );
     }
 }

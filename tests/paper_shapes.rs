@@ -49,7 +49,10 @@ fn figure6a_energy_shape() {
 fn figure6b_cello_offers_little_headroom() {
     let o = fig6::energy(&params(), TraceKind::Cello);
     let infinite = o.metric("infinite-cache_practical");
-    assert!(infinite > 0.75, "infinite/LRU ratio {infinite} too low for Cello");
+    assert!(
+        infinite > 0.75,
+        "infinite/LRU ratio {infinite} too low for Cello"
+    );
     let pa = o.metric("pa-lru_practical");
     assert!(
         (pa - 1.0).abs() < 0.1,

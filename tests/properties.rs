@@ -12,7 +12,9 @@ use rand::{Rng, SeedableRng};
 
 use pc_cache::policy::{Belady, Fifo, Lru, Opg, OpgDpm, PaLru, PaLruConfig};
 use pc_cache::wtdu::LogSpace;
-use pc_cache::{BlockCache, BloomFilter, IntervalHistogram, ReplacementPolicy, WritePolicy};
+use pc_cache::{
+    BlockCache, BlockTable, BloomFilter, IntervalHistogram, ReplacementPolicy, WritePolicy,
+};
 use pc_diskmodel::{DiskPowerSpec, ModeId, PowerModel};
 use pc_trace::{IoOp, Record, Trace};
 use pc_units::{BlockId, BlockNo, DiskId, Joules, SimDuration, SimTime};
@@ -103,7 +105,12 @@ fn belady_is_miss_minimal() {
             "seed {seed}"
         );
         assert!(
-            belady <= misses(&trace, capacity, Box::new(PaLru::new(PaLruConfig::default()))),
+            belady
+                <= misses(
+                    &trace,
+                    capacity,
+                    Box::new(PaLru::new(PaLruConfig::default()))
+                ),
             "seed {seed}"
         );
     }
@@ -372,24 +379,96 @@ fn pa_lru_eviction_respects_stack_order() {
         let mut rng = StdRng::seed_from_u64(seed);
         let trace = gen_trace(&mut rng, 80);
         let mut pa = PaLru::new(PaLruConfig::default());
-        let mut resident = std::collections::HashSet::new();
-        let mut inserted_order = Vec::new();
+        let mut table = BlockTable::new();
         for r in &trace {
-            let hit = resident.contains(&r.block);
-            pa.on_access(r.block, r.time, hit);
-            if !hit {
-                pa.on_insert(r.block, r.time);
-                resident.insert(r.block);
-                inserted_order.push(r.block);
+            let slot = table.lookup(r.block);
+            pa.on_access(slot, r.block, r.time);
+            if slot.is_none() {
+                pa.on_insert(table.intern(r.block), r.block, r.time);
             }
         }
         // Evicting everything terminates and returns each block once.
         let mut evicted = std::collections::HashSet::new();
-        for _ in 0..resident.len() {
-            let v = pa.evict();
-            assert!(resident.contains(&v), "seed {seed}");
+        for _ in 0..table.len() {
+            let slot = pa.evict();
+            let v = table.block_of(slot);
+            table.release(slot);
             assert!(evicted.insert(v), "seed {seed}: double eviction of {v}");
         }
+    }
+}
+
+/// The slot-interned, intrusive-list LRU is eviction-order-identical to
+/// the pre-slot reference design — a `BTreeMap` of monotone sequence
+/// numbers — when both are driven by the cache's exact protocol
+/// (evict-before-insert on a full miss) over random traces.
+#[test]
+fn slot_lru_matches_btreemap_reference() {
+    use std::collections::{BTreeMap, HashMap};
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = gen_trace(&mut rng, 200);
+        let capacity = rng.gen_range(1..12usize);
+
+        let mut lru = Lru::new();
+        let mut table = BlockTable::new();
+
+        let mut seq = 0u64;
+        let mut by_seq: BTreeMap<u64, BlockId> = BTreeMap::new();
+        let mut seq_of: HashMap<BlockId, u64> = HashMap::new();
+
+        for r in &trace {
+            // Reference step: refresh the sequence number; on a miss past
+            // capacity, the smallest sequence number is the victim.
+            seq += 1;
+            let ref_evicted = match seq_of.insert(r.block, seq) {
+                Some(old) => {
+                    by_seq.remove(&old);
+                    by_seq.insert(seq, r.block);
+                    None
+                }
+                None => {
+                    let mut evicted = None;
+                    if seq_of.len() > capacity {
+                        let (&oldest, &victim) = by_seq.iter().next().expect("non-empty");
+                        by_seq.remove(&oldest);
+                        seq_of.remove(&victim);
+                        evicted = Some(victim);
+                    }
+                    by_seq.insert(seq, r.block);
+                    evicted
+                }
+            };
+
+            // Slot-protocol step, exactly as BlockCache drives it.
+            let slot = table.lookup(r.block);
+            lru.on_access(slot, r.block, r.time);
+            let new_evicted = if slot.is_none() {
+                let mut evicted = None;
+                if table.len() >= capacity {
+                    let v = lru.evict();
+                    let b = table.block_of(v);
+                    table.release(v);
+                    evicted = Some(b);
+                }
+                lru.on_insert(table.intern(r.block), r.block, r.time);
+                evicted
+            } else {
+                None
+            };
+            assert_eq!(new_evicted, ref_evicted, "seed {seed}");
+        }
+
+        // Drain both to empty: the full eviction order must also agree.
+        while let Some((&oldest, &victim)) = by_seq.iter().next() {
+            by_seq.remove(&oldest);
+            seq_of.remove(&victim);
+            let slot = lru.evict();
+            let b = table.block_of(slot);
+            table.release(slot);
+            assert_eq!(b, victim, "seed {seed}: drain order diverged");
+        }
+        assert!(lru.is_empty(), "seed {seed}");
     }
 }
 

@@ -41,7 +41,11 @@ fn wtdu_recovery_restores_every_acknowledged_write() {
                 DiskId::new(rng.gen_range(0..4)),
                 BlockNo::new(rng.gen_range(0..40)),
             );
-            let op = if rng.gen_bool(0.7) { IoOp::Write } else { IoOp::Read };
+            let op = if rng.gen_bool(0.7) {
+                IoOp::Write
+            } else {
+                IoOp::Read
+            };
             // Disks drift asleep/awake arbitrarily.
             let asleep = rng.gen_bool(0.5);
             let record = Record::new(SimTime::from_millis(step), block, op);
