@@ -52,6 +52,23 @@ impl CacheStats {
             self.hits as f64 / self.accesses as f64
         }
     }
+
+    /// Folds another counter snapshot into this one (saturating), for
+    /// aggregating independent shards of a partitioned cache. Snapshots
+    /// are plain `Copy` values, so a shard thread can hand one across a
+    /// channel and the aggregator merges them without locks.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses = self.accesses.saturating_add(other.accesses);
+        self.hits = self.hits.saturating_add(other.hits);
+        self.reads = self.reads.saturating_add(other.reads);
+        self.writes = self.writes.saturating_add(other.writes);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.dirty_evictions = self.dirty_evictions.saturating_add(other.dirty_evictions);
+        self.disk_reads = self.disk_reads.saturating_add(other.disk_reads);
+        self.disk_writes = self.disk_writes.saturating_add(other.disk_writes);
+        self.log_writes = self.log_writes.saturating_add(other.log_writes);
+        self.prefetch_reads = self.prefetch_reads.saturating_add(other.prefetch_reads);
+    }
 }
 
 /// Per-slot block flags.

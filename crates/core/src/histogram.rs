@@ -80,11 +80,34 @@ impl IntervalHistogram {
         IntervalHistogram::new(edges)
     }
 
-    /// Records one interval.
+    /// Records one interval. Counts saturate instead of wrapping: a
+    /// histogram that runs for the lifetime of a long-lived server must
+    /// degrade (quantiles go slightly stale) rather than panic or wrap.
     pub fn record(&mut self, interval: SimDuration) {
         let bin = self.edges.partition_point(|&edge| edge < interval);
-        self.counts[bin] += 1;
-        self.total += 1;
+        self.counts[bin] = self.counts[bin].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// Folds another histogram's counts into this one (saturating).
+    ///
+    /// Used to aggregate per-shard latency histograms into one
+    /// service-wide distribution: shards record independently and the
+    /// stats snapshot merges them, so quantiles are over *all* requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bin edges — merging
+    /// only makes sense over one shared binning scheme.
+    pub fn merge(&mut self, other: &IntervalHistogram) {
+        assert!(
+            self.edges == other.edges,
+            "cannot merge histograms with different bin edges"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c = c.saturating_add(o);
+        }
+        self.total = self.total.saturating_add(other.total);
     }
 
     /// Number of recorded intervals.
@@ -223,5 +246,85 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_edges() {
         let _ = IntervalHistogram::new(vec![SimDuration::from_secs(2), SimDuration::from_secs(1)]);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_preserves_quantiles() {
+        let mut a = IntervalHistogram::standard();
+        let mut b = IntervalHistogram::standard();
+        for s in [1u64, 2, 4] {
+            a.record(SimDuration::from_secs(s));
+        }
+        for s in [50u64, 100, 200] {
+            b.record(SimDuration::from_secs(s));
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 6);
+        // Half the mass is ≤ 4 s, the other half ≥ 50 s.
+        assert!(a.quantile(0.5) <= SimDuration::from_secs(4));
+        assert!(a.quantile(0.9) >= SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = IntervalHistogram::standard();
+        a.record(SimDuration::from_secs(3));
+        let pristine = a.clone();
+        a.merge(&IntervalHistogram::standard());
+        assert_eq!(a, pristine);
+        let mut empty = IntervalHistogram::standard();
+        empty.merge(&pristine);
+        assert_eq!(empty, pristine);
+        // Empty ∪ empty stays empty: the quantile degenerates to zero.
+        let mut e2 = IntervalHistogram::standard();
+        e2.merge(&IntervalHistogram::standard());
+        assert_eq!(e2.total(), 0);
+        assert_eq!(e2.quantile(0.99), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_bucket_histogram_merges_and_answers_quantiles() {
+        // One finite bin plus the unbounded top bin — the degenerate
+        // binning a minimal latency tracker might use.
+        let edge = SimDuration::from_millis(1);
+        let mut a = IntervalHistogram::new(vec![edge]);
+        let mut b = IntervalHistogram::new(vec![edge]);
+        a.record(SimDuration::from_micros(10));
+        b.record(SimDuration::from_secs(9)); // top bin
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.quantile(0.5), edge);
+        assert_eq!(a.quantile(1.0), SimDuration::MAX);
+    }
+
+    #[test]
+    fn saturating_counts_survive_merge_without_wrapping() {
+        let edge = SimDuration::from_millis(1);
+        let mut a = IntervalHistogram::new(vec![edge]);
+        let mut b = IntervalHistogram::new(vec![edge]);
+        // Drive both histograms to the brink of overflow by merging a
+        // seeded histogram into itself repeatedly (doubling), then merge
+        // the two saturated sides together: counts must pin at u64::MAX,
+        // never wrap to small values.
+        a.record(SimDuration::from_micros(5));
+        for _ in 0..64 {
+            let snapshot = a.clone();
+            a.merge(&snapshot);
+        }
+        b.record(SimDuration::from_micros(5));
+        a.merge(&b);
+        assert_eq!(a.total(), u64::MAX);
+        // The distribution is still answerable and sane.
+        assert_eq!(a.quantile(0.5), edge);
+        let cdf = a.cdf();
+        assert!((cdf[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin edges")]
+    fn merge_rejects_mismatched_edges() {
+        let mut a = IntervalHistogram::new(vec![SimDuration::from_secs(1)]);
+        let b = IntervalHistogram::new(vec![SimDuration::from_secs(2)]);
+        a.merge(&b);
     }
 }

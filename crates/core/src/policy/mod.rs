@@ -53,7 +53,11 @@ use crate::table::Slot;
 
 /// A pluggable cache replacement policy. See the [module
 /// documentation](self) for the driving protocol.
-pub trait ReplacementPolicy {
+///
+/// Policies are `Send` so a [`BlockCache`](crate::BlockCache) can be
+/// owned by a shard thread of an online serving layer; every policy here
+/// is plain owned data, so the bound costs nothing.
+pub trait ReplacementPolicy: Send {
     /// A short human-readable name, e.g. `"lru"` or `"opg(eps=0)"`.
     fn name(&self) -> String;
 

@@ -125,6 +125,96 @@ pub fn to_json(params: &Params, rows: &[BenchRow]) -> String {
     s
 }
 
+/// Relative tolerance for `repro bench --check`: a policy's aggregate
+/// throughput may fall at most this far below the committed baseline
+/// before the check fails.
+pub const CHECK_TOLERANCE: f64 = 0.15;
+
+/// Parses a committed `BENCH_repro.json`: the recorded scale and the
+/// `aggregate_req_per_sec` entries in document order. Returns `None`
+/// if the document lacks either.
+#[must_use]
+pub fn parse_committed(json: &str) -> Option<(f64, Vec<(String, f64)>)> {
+    let scale_at = json.find("\"scale\":")? + "\"scale\":".len();
+    let scale: f64 = json[scale_at..]
+        .trim_start()
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .next()?
+        .parse()
+        .ok()?;
+    let at = json.find("\"aggregate_req_per_sec\"")?;
+    let rest = &json[at..];
+    let body = &rest[rest.find('{')? + 1..rest.find('}')?];
+    let mut entries = Vec::new();
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        // `"policy": 1234.5` — split on the LAST colon: policy names
+        // may contain commas (`opg(practical,eps=0)`) but values never
+        // contain colons.
+        let (key, value) = line.rsplit_once(':')?;
+        let policy = key.trim().trim_matches('"').to_owned();
+        entries.push((policy, value.trim().parse().ok()?));
+    }
+    if entries.is_empty() {
+        None
+    } else {
+        Some((scale, entries))
+    }
+}
+
+/// Compares fresh aggregate throughput against the committed baseline.
+/// Returns the comparison report; `Err` means at least one baseline
+/// policy regressed by more than `tolerance` (or went missing).
+///
+/// Throughput is per-request wall time, so comparisons stay meaningful
+/// across `--scale` values; the report still notes the baseline's scale
+/// so runs at other scales are read with appropriate suspicion.
+///
+/// # Errors
+///
+/// Returns `Err(report)` when the check fails; the report names every
+/// regressed policy.
+pub fn check(
+    fresh: &[(String, f64)],
+    committed: &[(String, f64)],
+    tolerance: f64,
+) -> Result<String, String> {
+    let mut report = String::from("bench check (fresh vs committed aggregate req/s):\n");
+    let mut failures = Vec::new();
+    for (policy, base) in committed {
+        let Some((_, now)) = fresh.iter().find(|(p, _)| p == policy) else {
+            failures.push(format!("{policy}: missing from fresh run"));
+            continue;
+        };
+        let ratio = now / base;
+        report.push_str(&format!(
+            "  {policy:<24} {base:>12.0} -> {now:>12.0}  ({:+.1}%)\n",
+            (ratio - 1.0) * 100.0
+        ));
+        if ratio < 1.0 - tolerance {
+            failures.push(format!(
+                "{policy}: {now:.0} req/s is {:.1}% below baseline {base:.0}",
+                (1.0 - ratio) * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        report.push_str(&format!(
+            "  ok: no policy regressed more than {:.0}%\n",
+            tolerance * 100.0
+        ));
+        Ok(report)
+    } else {
+        for f in &failures {
+            report.push_str(&format!("  FAIL {f}\n"));
+        }
+        Err(report)
+    }
+}
+
 /// Renders rows as a human-readable table for the CLI.
 #[must_use]
 pub fn render(rows: &[BenchRow]) -> String {
@@ -168,6 +258,52 @@ mod tests {
         assert!(json.contains("\"workload\": \"cello96\""));
         assert_eq!(json.matches("\"policy\"").count(), 6);
         assert!(json.contains("\"aggregate_req_per_sec\""));
+    }
+
+    #[test]
+    fn committed_json_roundtrips_through_the_parser() {
+        let params = Params {
+            scale: 0.02,
+            ..Params::quick()
+        };
+        let rows = run(&params);
+        let json = to_json(&params, &rows);
+        let (scale, committed) = parse_committed(&json).expect("own JSON must parse");
+        assert!((scale - 0.02).abs() < 1e-12);
+        let agg = aggregate(&rows);
+        assert_eq!(committed.len(), agg.len());
+        for ((pc, vc), (pa, va)) in committed.iter().zip(&agg) {
+            assert_eq!(pc, pa);
+            // to_json rounds to one decimal.
+            assert!((vc - va).abs() <= 0.05 + 1e-9, "{pc}: {vc} vs {va}");
+        }
+    }
+
+    #[test]
+    fn check_passes_within_tolerance_and_fails_beyond_it() {
+        let base = vec![("lru".to_owned(), 1_000.0), ("opg".to_owned(), 100.0)];
+        let same = check(&base, &base, CHECK_TOLERANCE).expect("identical must pass");
+        assert!(same.contains("ok:"));
+        // 10% down: within the 15% band.
+        let slower = vec![("lru".to_owned(), 900.0), ("opg".to_owned(), 100.0)];
+        assert!(check(&slower, &base, CHECK_TOLERANCE).is_ok());
+        // 20% down on one policy: fails and names it.
+        let bad = vec![("lru".to_owned(), 800.0), ("opg".to_owned(), 100.0)];
+        let report = check(&bad, &base, CHECK_TOLERANCE).expect_err("regression must fail");
+        assert!(report.contains("FAIL lru"));
+        // A baseline policy missing from the fresh run also fails.
+        let missing = vec![("lru".to_owned(), 1_000.0)];
+        assert!(check(&missing, &base, CHECK_TOLERANCE).is_err());
+        // Faster is always fine.
+        let faster = vec![("lru".to_owned(), 2_000.0), ("opg".to_owned(), 200.0)];
+        assert!(check(&faster, &base, CHECK_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn parser_rejects_documents_without_aggregates() {
+        assert_eq!(parse_committed("{}"), None);
+        assert_eq!(parse_committed("{\"scale\": 1.0}"), None);
+        assert_eq!(parse_committed("not json"), None);
     }
 
     #[test]

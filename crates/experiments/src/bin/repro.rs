@@ -17,6 +17,9 @@
 //!
 //! `repro bench` times the single-threaded simulation hot path on a
 //! fixed policy × workload matrix and writes `BENCH_repro.json`.
+//! `repro bench --check` instead compares the fresh run against the
+//! committed `BENCH_repro.json` and exits non-zero if any policy's
+//! aggregate throughput regressed by more than 15%.
 
 use std::env;
 use std::process::ExitCode;
@@ -59,9 +62,11 @@ fn main() -> ExitCode {
     let mut which = None;
     let mut params = Params::paper();
     let mut jobs_flag = None;
+    let mut check = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--check" => check = true,
             "--scale" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(s) if s > 0.0 => params.scale = s,
                 _ => return usage("--scale needs a positive number"),
@@ -93,7 +98,10 @@ fn main() -> ExitCode {
     };
 
     if which == "bench" {
-        return run_bench(&params);
+        return run_bench(&params, check);
+    }
+    if check {
+        return usage("--check only applies to `repro bench`");
     }
     if which == "all" {
         for name in EXPERIMENTS {
@@ -143,9 +151,38 @@ fn run_one(name: &str, params: &Params) {
     println!("[{name} done in {:.1?}]\n", started.elapsed());
 }
 
-fn run_bench(params: &Params) -> ExitCode {
+fn run_bench(params: &Params, check: bool) -> ExitCode {
     let rows = bench::run(params);
     println!("{}", bench::render(&rows));
+    if check {
+        let committed = match std::fs::read_to_string(BENCH_PATH) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reading {BENCH_PATH}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let Some((scale, baseline)) = bench::parse_committed(&committed) else {
+            eprintln!("error: {BENCH_PATH} has no aggregate_req_per_sec section");
+            return ExitCode::from(1);
+        };
+        if (scale - params.scale).abs() > 1e-9 {
+            println!(
+                "[note: baseline recorded at scale {scale}, this run used {}]",
+                params.scale
+            );
+        }
+        return match bench::check(&bench::aggregate(&rows), &baseline, bench::CHECK_TOLERANCE) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                eprintln!("{report}");
+                ExitCode::from(1)
+            }
+        };
+    }
     let json = bench::to_json(params, &rows);
     match std::fs::write(BENCH_PATH, &json) {
         Ok(()) => {
@@ -163,7 +200,8 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
     }
-    eprintln!("usage: repro <experiment|all|bench> [--scale X] [--seed N] [--jobs N]");
+    eprintln!("usage: repro <experiment|all|bench> [--scale X] [--seed N] [--jobs N] [--check]");
+    eprintln!("       repro bench --check   compares against the committed BENCH_repro.json");
     eprintln!("       REPRO_JOBS=N repro ...   (used when --jobs is absent; 0 = one per core)");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     if error.is_empty() {

@@ -1,0 +1,176 @@
+//! The `pc-loadgen` client: replay a workload against a `pc-server`
+//! over M concurrent connections (or through the in-process cluster)
+//! and print a closing report.
+
+use std::process::ExitCode;
+
+use pc_server::{
+    online_policy, parse_write_policy, run_in_process, run_tcp, EngineConfig, LoadgenConfig,
+};
+use pc_trace::Workload;
+
+const USAGE: &str = "usage: pc-loadgen [--addr HOST:PORT] [--workload synthetic|oltp|cello96] \
+[--conns N] [--secs S] [--seed N] [--rate REQ_PER_SEC] [--shutdown] \
+[--in-process] [--shards N] [--policy NAME] [--write-policy NAME] [--reqs N]";
+
+struct Args {
+    load: LoadgenConfig,
+    shutdown: bool,
+    in_process: bool,
+    shards: usize,
+    policy: String,
+    write_policy: String,
+    reqs: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut load = LoadgenConfig::new("127.0.0.1:7070".to_owned());
+    let mut shutdown = false;
+    let mut in_process = false;
+    let mut shards = 8usize;
+    let mut policy = "pa-lru".to_owned();
+    let mut write_policy = "write-back".to_owned();
+    let mut reqs = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => load.addr = value("--addr")?,
+            "--workload" => {
+                let name = value("--workload")?;
+                load.workload =
+                    Workload::parse(&name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+            }
+            "--conns" => {
+                load.conns = value("--conns")?
+                    .parse()
+                    .map_err(|e| format!("--conns: {e}"))?
+            }
+            "--secs" => {
+                load.secs = value("--secs")?
+                    .parse()
+                    .map_err(|e| format!("--secs: {e}"))?
+            }
+            "--seed" => {
+                load.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--rate" => {
+                load.rate = Some(
+                    value("--rate")?
+                        .parse()
+                        .map_err(|e| format!("--rate: {e}"))?,
+                )
+            }
+            "--reqs" => {
+                reqs = Some(
+                    value("--reqs")?
+                        .parse()
+                        .map_err(|e| format!("--reqs: {e}"))?,
+                )
+            }
+            "--shutdown" => shutdown = true,
+            "--in-process" => in_process = true,
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--policy" => policy = value("--policy")?,
+            "--write-policy" => write_policy = value("--write-policy")?,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if let Some(n) = reqs {
+        load.workload = load.workload.clone().with_requests(n);
+    }
+    Ok(Args {
+        load,
+        shutdown,
+        in_process,
+        shards,
+        policy,
+        write_policy,
+        reqs,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.in_process {
+        return run_in_process_mode(&args);
+    }
+
+    println!(
+        "pc-loadgen: {} conns={} secs={} seed={} -> {}",
+        args.load.workload.name(),
+        args.load.conns,
+        args.load.secs,
+        args.load.seed,
+        args.load.addr,
+    );
+    let report = match run_tcp(&args.load) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pc-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if args.shutdown {
+        if let Err(e) = pc_server::loadgen::send_shutdown(&args.load.addr) {
+            eprintln!("pc-loadgen: shutdown: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("pc-loadgen: server acknowledged shutdown");
+    }
+    // A run with zero responses, or shards that never accounted any
+    // energy, is a failed run even if the sockets behaved.
+    if report.responses == 0 {
+        eprintln!("pc-loadgen: no responses received");
+        return ExitCode::FAILURE;
+    }
+    if !report.stats.shard_energy_j.iter().all(|&e| e > 0.0) {
+        eprintln!("pc-loadgen: a shard reported zero energy");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_in_process_mode(args: &Args) -> ExitCode {
+    let Some(policy) = online_policy(&args.policy) else {
+        eprintln!("unknown policy {:?}", args.policy);
+        return ExitCode::FAILURE;
+    };
+    let Some(write_policy) = parse_write_policy(&args.write_policy) else {
+        eprintln!("unknown write policy {:?}", args.write_policy);
+        return ExitCode::FAILURE;
+    };
+    let engine = EngineConfig::new(args.shards, args.load.workload.disk_count())
+        .with_policy(policy)
+        .with_sim(pc_sim::SimConfig::default().with_write_policy(write_policy));
+    let workload = args
+        .load
+        .workload
+        .clone()
+        .with_requests(args.reqs.unwrap_or(100_000));
+    let (requests, hits, snapshot) = run_in_process(&engine, &workload, args.load.seed);
+    println!(
+        "pc-loadgen (in-process): {} requests={requests} hits={hits} seed={}",
+        workload.name(),
+        args.load.seed,
+    );
+    print!("{}", snapshot.render_table());
+    println!("{}", snapshot.to_json());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,153 @@
+//! The `pc-server` daemon: serve block I/O over TCP until SIGTERM (or a
+//! `SHUTDOWN` frame), then drain and print the closing report.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use pc_server::{online_policy, parse_write_policy, EngineConfig, Server, ONLINE_POLICIES};
+
+/// Set by the C signal handler; bridged to the server's stop flag by a
+/// watcher thread (the handler itself must stay async-signal-safe).
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // libc is already linked by std; `signal` with a flag-setting
+    // handler is the entire dependency surface.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+const USAGE: &str = "usage: pc-server [--addr HOST:PORT] [--shards N] [--disks N] \
+[--policy NAME] [--write-policy NAME] [--cache-blocks N] [--prefetch N]\n\
+  policies: lru fifo arc mq lirs 2q pa-lru pa-arc pa-mq pa-lirs pa-2q\n\
+  write policies: write-back write-through wbeu[:limit] wtdu";
+
+struct Args {
+    addr: String,
+    engine: EngineConfig,
+    policy_name: String,
+    write_name: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = "127.0.0.1:7070".to_owned();
+    let mut shards = 8usize;
+    let mut disks = 21u32;
+    let mut policy_name = "pa-lru".to_owned();
+    let mut write_name = "write-back".to_owned();
+    let mut cache_blocks = 4_096usize;
+    let mut prefetch = 0u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--disks" => {
+                disks = value("--disks")?
+                    .parse()
+                    .map_err(|e| format!("--disks: {e}"))?
+            }
+            "--policy" => policy_name = value("--policy")?,
+            "--write-policy" => write_name = value("--write-policy")?,
+            "--cache-blocks" => {
+                cache_blocks = value("--cache-blocks")?
+                    .parse()
+                    .map_err(|e| format!("--cache-blocks: {e}"))?;
+            }
+            "--prefetch" => {
+                prefetch = value("--prefetch")?
+                    .parse()
+                    .map_err(|e| format!("--prefetch: {e}"))?
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let policy = online_policy(&policy_name).ok_or_else(|| {
+        format!("unknown policy {policy_name:?}; online policies: {ONLINE_POLICIES:?}")
+    })?;
+    let write_policy = parse_write_policy(&write_name)
+        .ok_or_else(|| format!("unknown write policy {write_name:?}"))?;
+    let sim = pc_sim::SimConfig::default()
+        .with_cache_blocks(cache_blocks)
+        .with_write_policy(write_policy)
+        .with_prefetch_depth(prefetch);
+    let engine = EngineConfig::new(shards, disks)
+        .with_policy(policy)
+        .with_sim(sim);
+    Ok(Args {
+        addr,
+        engine,
+        policy_name,
+        write_name,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_signal_handlers();
+    let server = match Server::bind(&args.addr, args.engine.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pc-server: bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or(args.addr);
+    println!(
+        "pc-server listening on {addr} shards={} disks={} policy={} write_policy={} cache_blocks={}",
+        args.engine.shards, args.engine.disks, args.policy_name, args.write_name, args.engine.sim.cache_blocks,
+    );
+
+    let stop = server.stop_flag();
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            stop.store(true, Ordering::Relaxed);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    });
+
+    match server.run() {
+        Ok(summary) => {
+            println!(
+                "pc-server drained: {} connections, {} requests",
+                summary.connections,
+                summary.snapshot.total_requests()
+            );
+            print!("{}", summary.snapshot.render_table());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pc-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! The load generator: replays a [`Workload`] stream against a
+//! `pc-server` over M concurrent connections, open-loop, and collects a
+//! closing report (client-measured latency plus the server's own STATS
+//! snapshot).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pc_cache::IntervalHistogram;
+use pc_trace::{IoOp, Workload};
+use pc_units::SimDuration;
+
+use crate::protocol::{encode_request, FrameBuf, Request, Response};
+use crate::stats::{parse_stats_json, StatsSummary};
+
+/// Outstanding-request ring size per connection (latency timestamps are
+/// stored by `seq % RING`).
+const RING: usize = 1 << 16;
+
+/// Maximum in-flight requests per connection: half the ring, so a
+/// response always finds its send timestamp intact.
+const WINDOW: i64 = (RING as i64) / 2;
+
+/// Flush the send buffer at this size.
+const SEND_CHUNK: usize = 48 * 1024;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Workload family to replay.
+    pub workload: Workload,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Wall-clock duration; the run stops at the deadline or when the
+    /// per-connection streams are exhausted, whichever is first.
+    pub secs: f64,
+    /// Base RNG seed (connection `i` streams with `seed + i`).
+    pub seed: u64,
+    /// Open-loop target rate in requests/second across all connections
+    /// (`None` = as fast as the window allows).
+    pub rate: Option<f64>,
+}
+
+impl LoadgenConfig {
+    /// A default run: synthetic workload, 8 connections, 2 seconds.
+    #[must_use]
+    pub fn new(addr: String) -> Self {
+        LoadgenConfig {
+            addr,
+            workload: Workload::parse("synthetic").expect("synthetic exists"),
+            conns: 8,
+            secs: 2.0,
+            seed: 42,
+            rate: None,
+        }
+    }
+
+    /// The per-connection request bound: effectively unbounded for the
+    /// lazy synthetic stream, capped for the eager generators so a
+    /// duration-bounded run does not materialize tens of millions of
+    /// records up front.
+    #[must_use]
+    fn stream_for(&self, conn: usize) -> pc_trace::RecordStream {
+        let bounded = match self.workload {
+            Workload::Synthetic(_) => self.workload.clone().with_requests(usize::MAX),
+            _ => {
+                let cap = self.workload.requests().min(2_000_000);
+                self.workload.clone().with_requests(cap)
+            }
+        };
+        bounded.stream(self.seed + conn as u64)
+    }
+}
+
+/// Per-connection results.
+#[derive(Debug, Default, Clone)]
+struct ConnStats {
+    sent: u64,
+    responses: u64,
+    hits: u64,
+    lat_ns_total: u64,
+}
+
+/// The closing report of a load-generation run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests written to the sockets.
+    pub sent: u64,
+    /// Responses received.
+    pub responses: u64,
+    /// Responses flagged as cache hits.
+    pub hits: u64,
+    /// Wall-clock duration of the request phase.
+    pub elapsed: Duration,
+    /// Client-measured round-trip latency distribution.
+    pub latency_hist: IntervalHistogram,
+    /// Mean client-measured latency.
+    pub mean_latency: Duration,
+    /// The server's final STATS payload, verbatim.
+    pub stats_json: String,
+    /// The parsed summary of `stats_json`.
+    pub stats: StatsSummary,
+}
+
+impl LoadReport {
+    /// Aggregate throughput over the request phase.
+    #[must_use]
+    pub fn req_per_sec(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.responses as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Client-observed hit ratio.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.responses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.responses as f64
+        }
+    }
+
+    /// The human-readable closing report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let p50 = self.latency_hist.quantile(0.5);
+        let p99 = self.latency_hist.quantile(0.99);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sent={} responses={} elapsed={:.3}s rate={:.0} req/s hit_ratio={:.4}\n",
+            self.sent,
+            self.responses,
+            self.elapsed.as_secs_f64(),
+            self.req_per_sec(),
+            self.hit_ratio(),
+        ));
+        out.push_str(&format!(
+            "client latency: mean={:?} p50={} p99={}\n",
+            self.mean_latency, p50, p99,
+        ));
+        out.push_str(&format!(
+            "server: requests={} hits={} energy_j={:.2} shards={} (all energies > 0: {})\n",
+            self.stats.requests,
+            self.stats.hits,
+            self.stats.energy_j,
+            self.stats.shard_energy_j.len(),
+            self.stats.shard_energy_j.iter().all(|&e| e > 0.0),
+        ));
+        out
+    }
+}
+
+/// Runs the load against a live server and collects the report.
+///
+/// # Errors
+///
+/// Propagates connection and socket errors, and reports a malformed or
+/// unparseable STATS payload as `InvalidData`.
+pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    assert!(cfg.conns > 0, "need at least one connection");
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(cfg.secs.max(0.01));
+    let mut handles = Vec::with_capacity(cfg.conns);
+    for conn in 0..cfg.conns {
+        let addr = cfg.addr.clone();
+        let stream = cfg.stream_for(conn);
+        let pace_ns = cfg
+            .rate
+            .map(|r| ((1e9 * cfg.conns as f64) / r.max(1.0)) as u64);
+        handles.push(std::thread::spawn(move || {
+            conn_worker(&addr, stream, deadline, pace_ns)
+        }));
+    }
+    let mut sent = 0u64;
+    let mut responses = 0u64;
+    let mut hits = 0u64;
+    let mut lat_ns_total = 0u64;
+    let mut latency_hist = latency_histogram();
+    for h in handles {
+        let (stats, hist) = h
+            .join()
+            .map_err(|_| std::io::Error::other("worker panicked"))??;
+        sent += stats.sent;
+        responses += stats.responses;
+        hits += stats.hits;
+        lat_ns_total += stats.lat_ns_total;
+        latency_hist.merge(&hist);
+    }
+    let elapsed = started.elapsed();
+
+    // Final STATS over a fresh connection, after all load finished.
+    let stats_json = fetch_stats(&cfg.addr)?;
+    let stats = parse_stats_json(&stats_json).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "server STATS payload did not parse",
+        )
+    })?;
+    let mean_latency = lat_ns_total
+        .checked_div(responses)
+        .map_or(Duration::ZERO, Duration::from_nanos);
+    Ok(LoadReport {
+        sent,
+        responses,
+        hits,
+        elapsed,
+        latency_hist,
+        mean_latency,
+        stats_json,
+        stats,
+    })
+}
+
+/// Client-side latency bins: 1 µs … ~4.5 min in 28 doubling bins.
+fn latency_histogram() -> IntervalHistogram {
+    IntervalHistogram::geometric(SimDuration::from_micros(1), 28)
+}
+
+/// Fetches a STATS snapshot over a dedicated connection.
+///
+/// # Errors
+///
+/// Propagates socket errors; a closed or unframeable stream is
+/// `InvalidData`/`UnexpectedEof`.
+pub fn fetch_stats(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut wire = Vec::new();
+    encode_request(&Request::Stats { seq: 0 }, &mut wire);
+    stream.write_all(&wire)?;
+    let mut fb = FrameBuf::new();
+    loop {
+        match fb
+            .next_response()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+        {
+            Some(Response::Stats { json, .. }) => return Ok(json),
+            Some(_) => continue,
+            None => {
+                if fb.read_from(&mut stream)? == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed before STATS reply",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Asks the server to drain and exit (the `SHUTDOWN` opcode), waiting
+/// for the acknowledgement.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn send_shutdown(addr: &str) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut wire = Vec::new();
+    encode_request(&Request::Shutdown { seq: 0 }, &mut wire);
+    stream.write_all(&wire)?;
+    let mut fb = FrameBuf::new();
+    loop {
+        match fb
+            .next_response()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+        {
+            Some(Response::Shutdown { .. }) => return Ok(()),
+            Some(_) => continue,
+            None => {
+                if fb.read_from(&mut stream)? == 0 {
+                    return Ok(()); // Ack lost in the drain: still shut down.
+                }
+            }
+        }
+    }
+}
+
+/// One connection: a sender thread (this one) paced open-loop plus a
+/// receiver thread matching responses to send timestamps.
+fn conn_worker(
+    addr: &str,
+    records: pc_trace::RecordStream,
+    deadline: Instant,
+    pace_ns: Option<u64>,
+) -> std::io::Result<(ConnStats, IntervalHistogram)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut read_half = stream.try_clone()?;
+    read_half.set_read_timeout(Some(Duration::from_millis(50)))?;
+
+    let ring: Arc<Vec<AtomicU64>> = Arc::new((0..RING).map(|_| AtomicU64::new(0)).collect());
+    let outstanding = Arc::new(AtomicI64::new(0));
+    let sender_done = Arc::new(AtomicBool::new(false));
+    let total_sent = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    let receiver = {
+        let ring = Arc::clone(&ring);
+        let outstanding = Arc::clone(&outstanding);
+        let sender_done = Arc::clone(&sender_done);
+        let total_sent = Arc::clone(&total_sent);
+        std::thread::spawn(move || -> std::io::Result<(ConnStats, IntervalHistogram)> {
+            let mut fb = FrameBuf::new();
+            let mut stats = ConnStats::default();
+            let mut hist = latency_histogram();
+            let hard_stop = deadline + Duration::from_secs(15);
+            loop {
+                while let Some(resp) = fb
+                    .next_response()
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+                {
+                    if let Response::Io { seq, hit, .. } = resp {
+                        let sent_ns = ring[seq as usize % RING].load(Ordering::Relaxed);
+                        let now_ns = start.elapsed().as_nanos() as u64;
+                        let lat_ns = now_ns.saturating_sub(sent_ns);
+                        stats.lat_ns_total += lat_ns;
+                        hist.record(SimDuration::from_micros((lat_ns / 1_000).max(1)));
+                        stats.responses += 1;
+                        stats.hits += u64::from(hit);
+                        outstanding.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                if sender_done.load(Ordering::Acquire)
+                    && stats.responses >= total_sent.load(Ordering::Acquire)
+                {
+                    return Ok((stats, hist));
+                }
+                if Instant::now() > hard_stop {
+                    return Ok((stats, hist)); // Give up on stragglers.
+                }
+                match fb.read_from(&mut read_half) {
+                    Ok(0) => return Ok((stats, hist)),
+                    Ok(_) => {}
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    };
+
+    let mut write_half = stream;
+    let mut buf = Vec::with_capacity(SEND_CHUNK + 64);
+    let mut seq = 0u32;
+    let mut sent = 0u64;
+    for record in records {
+        // Check the clock often enough for the deadline to bite without
+        // paying a syscall per request.
+        if sent.is_multiple_of(512) && Instant::now() >= deadline {
+            break;
+        }
+        if let Some(gap) = pace_ns {
+            let target = start + Duration::from_nanos(sent * gap);
+            if !buf.is_empty() && Instant::now() < target {
+                write_half.write_all(&buf)?;
+                buf.clear();
+            }
+            while Instant::now() < target {
+                std::thread::yield_now();
+            }
+        }
+        while outstanding.load(Ordering::Relaxed) >= WINDOW {
+            if !buf.is_empty() {
+                write_half.write_all(&buf)?;
+                buf.clear();
+            }
+            std::thread::yield_now();
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        ring[seq as usize % RING].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        encode_request(
+            &Request::Io {
+                seq,
+                write: record.op == IoOp::Write,
+                disk: record.block.disk().index(),
+                block: record.block.block().number(),
+                blocks: u16::try_from(record.blocks).unwrap_or(u16::MAX),
+            },
+            &mut buf,
+        );
+        seq = seq.wrapping_add(1);
+        sent += 1;
+        outstanding.fetch_add(1, Ordering::Relaxed);
+        if buf.len() >= SEND_CHUNK {
+            write_half.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        write_half.write_all(&buf)?;
+    }
+    total_sent.store(sent, Ordering::Release);
+    sender_done.store(true, Ordering::Release);
+
+    let (mut stats, hist) = receiver
+        .join()
+        .map_err(|_| std::io::Error::other("receiver panicked"))??;
+    stats.sent = sent;
+    Ok((stats, hist))
+}
+
+/// Runs the workload through an in-process cluster (no sockets): the
+/// deterministic mode. Returns the client-side tallies and the final
+/// cluster snapshot with closed energy books.
+#[must_use]
+pub fn run_in_process(
+    engine: &crate::shard::EngineConfig,
+    workload: &Workload,
+    seed: u64,
+) -> (u64, u64, crate::stats::ClusterSnapshot) {
+    let mut cluster = crate::shard::InProcCluster::new(engine);
+    let mut requests = 0u64;
+    let mut hits = 0u64;
+    for record in workload.stream(seed) {
+        let (_, outcome) = cluster.submit(&record);
+        requests += 1;
+        hits += u64::from(outcome.hit);
+    }
+    (requests, hits, cluster.into_snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::EngineConfig;
+
+    #[test]
+    fn in_process_mode_is_deterministic_end_to_end() {
+        let w = Workload::parse("synthetic").unwrap().with_requests(4_000);
+        let engine = EngineConfig::new(2, 4);
+        let (r1, h1, s1) = run_in_process(&engine, &w, 7);
+        let (r2, h2, s2) = run_in_process(&engine, &w, 7);
+        assert_eq!(r1, 4_000);
+        assert_eq!((r1, h1), (r2, h2));
+        assert_eq!(s1.to_json(), s2.to_json());
+        assert!(h1 > 0, "a 4k-request zipf stream must hit sometimes");
+    }
+
+    #[test]
+    fn eager_workloads_get_a_request_cap() {
+        let cfg = LoadgenConfig {
+            workload: Workload::parse("oltp").unwrap().with_requests(usize::MAX),
+            ..LoadgenConfig::new("unused".into())
+        };
+        // Must not try to materialize usize::MAX records.
+        let n = cfg.stream_for(0).take(3).count();
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,518 @@
+//! The wire protocol: compact length-prefixed binary frames.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by the payload. The first payload byte is the opcode; all
+//! integers are little-endian and fixed-width, so encoding and decoding
+//! are straight `to_le_bytes` / `from_le_bytes` with no varint state.
+//!
+//! Request payloads:
+//!
+//! | opcode | payload | bytes |
+//! |--------|---------|-------|
+//! | `0x01` READ / `0x02` WRITE | `op, seq:u32, disk:u32, block:u64, blocks:u16` | 19 |
+//! | `0x03` STATS | `op, seq:u32` | 5 |
+//! | `0x04` SHUTDOWN | `op, seq:u32` | 5 |
+//!
+//! Response payloads:
+//!
+//! | opcode | payload |
+//! |--------|---------|
+//! | `0x81` IO | `op, seq:u32, hit:u8, response_us:u32` |
+//! | `0x83` STATS | `op, seq:u32, json bytes` |
+//! | `0x84` SHUTDOWN | `op, seq:u32` |
+//!
+//! `response_us` is the *virtual* (simulated) response time of the
+//! request, saturated to `u32::MAX` µs; clients measure wall latency
+//! themselves. `seq` is an opaque per-connection correlation id echoed
+//! back verbatim — the server never interprets it.
+
+use std::io::Read;
+
+/// Hard upper bound on a frame payload (1 MiB): anything larger is a
+/// corrupt or hostile stream and kills the connection.
+pub const MAX_FRAME: usize = 1 << 20;
+
+const OP_READ: u8 = 0x01;
+const OP_WRITE: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+const OP_RESP_IO: u8 = 0x81;
+const OP_RESP_STATS: u8 = 0x83;
+const OP_RESP_SHUTDOWN: u8 = 0x84;
+
+/// A decoded client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// A block read or write.
+    Io {
+        /// Per-connection correlation id, echoed in the response.
+        seq: u32,
+        /// True for writes, false for reads.
+        write: bool,
+        /// Target disk index (the server reduces it modulo its array size).
+        disk: u32,
+        /// First block number.
+        block: u64,
+        /// Request length in blocks (0 is treated as 1).
+        blocks: u16,
+    },
+    /// Request a cluster statistics snapshot (JSON).
+    Stats {
+        /// Correlation id.
+        seq: u32,
+    },
+    /// Ask the daemon to drain and exit (same path as SIGTERM).
+    Shutdown {
+        /// Correlation id.
+        seq: u32,
+    },
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Completion of a read or write.
+    Io {
+        /// Correlation id from the request.
+        seq: u32,
+        /// Whether every block was resident in the cache.
+        hit: bool,
+        /// Virtual response time in µs (saturated).
+        response_us: u32,
+    },
+    /// A statistics snapshot.
+    Stats {
+        /// Correlation id from the request.
+        seq: u32,
+        /// The cluster snapshot as JSON (see `stats::ClusterSnapshot`).
+        json: String,
+    },
+    /// Acknowledgement of a shutdown request.
+    Shutdown {
+        /// Correlation id from the request.
+        seq: u32,
+    },
+}
+
+/// A malformed frame or payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Frame length prefix was zero or exceeded [`MAX_FRAME`].
+    BadLength(usize),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Payload shorter than its opcode requires.
+    Truncated,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadLength(n) => write!(f, "bad frame length {n}"),
+            ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtoError::Truncated => write!(f, "truncated payload"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Appends one request frame (length prefix included) to `out`.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    match *req {
+        Request::Io {
+            seq,
+            write,
+            disk,
+            block,
+            blocks,
+        } => {
+            out.extend_from_slice(&19u32.to_le_bytes());
+            out.push(if write { OP_WRITE } else { OP_READ });
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&disk.to_le_bytes());
+            out.extend_from_slice(&block.to_le_bytes());
+            out.extend_from_slice(&blocks.to_le_bytes());
+        }
+        Request::Stats { seq } => {
+            out.extend_from_slice(&5u32.to_le_bytes());
+            out.push(OP_STATS);
+            out.extend_from_slice(&seq.to_le_bytes());
+        }
+        Request::Shutdown { seq } => {
+            out.extend_from_slice(&5u32.to_le_bytes());
+            out.push(OP_SHUTDOWN);
+            out.extend_from_slice(&seq.to_le_bytes());
+        }
+    }
+}
+
+/// Appends one response frame (length prefix included) to `out`.
+///
+/// # Panics
+///
+/// Panics if a stats JSON payload would exceed [`MAX_FRAME`].
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    match resp {
+        Response::Io {
+            seq,
+            hit,
+            response_us,
+        } => {
+            out.extend_from_slice(&10u32.to_le_bytes());
+            out.push(OP_RESP_IO);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.push(u8::from(*hit));
+            out.extend_from_slice(&response_us.to_le_bytes());
+        }
+        Response::Stats { seq, json } => {
+            let len = 5 + json.len();
+            assert!(len <= MAX_FRAME, "stats JSON exceeds MAX_FRAME");
+            out.extend_from_slice(&(len as u32).to_le_bytes());
+            out.push(OP_RESP_STATS);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(json.as_bytes());
+        }
+        Response::Shutdown { seq } => {
+            out.extend_from_slice(&5u32.to_le_bytes());
+            out.push(OP_RESP_SHUTDOWN);
+            out.extend_from_slice(&seq.to_le_bytes());
+        }
+    }
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b.try_into().expect("caller sliced 4 bytes"))
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b.try_into().expect("caller sliced 8 bytes"))
+}
+
+/// Decodes a request payload (the bytes *after* the length prefix).
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] on an unknown opcode or short payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let (&op, rest) = payload.split_first().ok_or(ProtoError::Truncated)?;
+    match op {
+        OP_READ | OP_WRITE => {
+            if rest.len() != 18 {
+                return Err(ProtoError::Truncated);
+            }
+            Ok(Request::Io {
+                seq: le_u32(&rest[0..4]),
+                write: op == OP_WRITE,
+                disk: le_u32(&rest[4..8]),
+                block: le_u64(&rest[8..16]),
+                blocks: u16::from_le_bytes(rest[16..18].try_into().expect("2 bytes")),
+            })
+        }
+        OP_STATS | OP_SHUTDOWN => {
+            if rest.len() != 4 {
+                return Err(ProtoError::Truncated);
+            }
+            let seq = le_u32(rest);
+            Ok(if op == OP_STATS {
+                Request::Stats { seq }
+            } else {
+                Request::Shutdown { seq }
+            })
+        }
+        _ => Err(ProtoError::BadOpcode(op)),
+    }
+}
+
+/// Decodes a response payload (the bytes *after* the length prefix).
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] on an unknown opcode, short payload, or a
+/// stats payload that is not UTF-8.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let (&op, rest) = payload.split_first().ok_or(ProtoError::Truncated)?;
+    match op {
+        OP_RESP_IO => {
+            if rest.len() != 9 {
+                return Err(ProtoError::Truncated);
+            }
+            Ok(Response::Io {
+                seq: le_u32(&rest[0..4]),
+                hit: rest[4] != 0,
+                response_us: le_u32(&rest[5..9]),
+            })
+        }
+        OP_RESP_STATS => {
+            if rest.len() < 4 {
+                return Err(ProtoError::Truncated);
+            }
+            let json = String::from_utf8(rest[4..].to_vec()).map_err(|_| ProtoError::Truncated)?;
+            Ok(Response::Stats {
+                seq: le_u32(&rest[0..4]),
+                json,
+            })
+        }
+        OP_RESP_SHUTDOWN => {
+            if rest.len() != 4 {
+                return Err(ProtoError::Truncated);
+            }
+            Ok(Response::Shutdown { seq: le_u32(rest) })
+        }
+        _ => Err(ProtoError::BadOpcode(op)),
+    }
+}
+
+/// An incremental frame reassembly buffer over a byte stream.
+///
+/// Feed it from a [`Read`] with [`read_from`](Self::read_from), then
+/// drain complete frames with [`next_request`](Self::next_request) /
+/// [`next_response`](Self::next_response). Partial frames stay buffered
+/// across reads; consumed bytes are reclaimed by compaction on the next
+/// read, so steady-state operation does not allocate.
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl Default for FrameBuf {
+    fn default() -> Self {
+        FrameBuf::new()
+    }
+}
+
+impl FrameBuf {
+    /// Creates an empty buffer with a 256 KiB read window.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameBuf {
+            buf: vec![0u8; 256 * 1024],
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Reads once from `r` into the buffer, returning the byte count
+    /// (0 = EOF). Compacts consumed bytes first and grows the buffer if
+    /// a single frame spans more than the current window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying read error (including timeouts as
+    /// `WouldBlock`/`TimedOut`).
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.end == self.buf.len() {
+            self.buf.resize(self.buf.len() * 2, 0);
+        }
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Extracts the next complete frame payload, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::BadLength`] on a zero or oversized length
+    /// prefix (the stream is unrecoverable at that point).
+    pub fn next_payload(&mut self) -> Result<Option<&[u8]>, ProtoError> {
+        let avail = self.end - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = le_u32(&self.buf[self.start..self.start + 4]) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(ProtoError::BadLength(len));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let at = self.start + 4;
+        self.start += 4 + len;
+        Ok(Some(&self.buf[at..at + len]))
+    }
+
+    /// Extracts and decodes the next complete request frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates framing and decoding errors.
+    pub fn next_request(&mut self) -> Result<Option<Request>, ProtoError> {
+        match self.next_payload()? {
+            Some(p) => decode_request(p).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Extracts and decodes the next complete response frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates framing and decoding errors.
+    pub fn next_response(&mut self) -> Result<Option<Response>, ProtoError> {
+        match self.next_payload()? {
+            Some(p) => decode_response(p).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) -> Request {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let len = le_u32(&buf[0..4]) as usize;
+        assert_eq!(buf.len(), 4 + len);
+        decode_request(&buf[4..]).unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Io {
+                seq: 7,
+                write: false,
+                disk: 3,
+                block: 0xDEAD_BEEF_CAFE,
+                blocks: 16,
+            },
+            Request::Io {
+                seq: u32::MAX,
+                write: true,
+                disk: 0,
+                block: u64::MAX,
+                blocks: u16::MAX,
+            },
+            Request::Stats { seq: 42 },
+            Request::Shutdown { seq: 0 },
+        ] {
+            assert_eq!(roundtrip_request(req), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Io {
+                seq: 9,
+                hit: true,
+                response_us: 1234,
+            },
+            Response::Stats {
+                seq: 1,
+                json: "{\"shards\":[]}".to_owned(),
+            },
+            Response::Shutdown { seq: 5 },
+        ] {
+            let mut buf = Vec::new();
+            encode_response(&resp, &mut buf);
+            let len = le_u32(&buf[0..4]) as usize;
+            assert_eq!(buf.len(), 4 + len);
+            assert_eq!(decode_response(&buf[4..]).unwrap(), resp);
+        }
+    }
+
+    /// A reader that hands out at most 3 bytes per call, to exercise
+    /// frame reassembly across reads.
+    struct Trickle<'a>(&'a [u8]);
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.0.len().min(out.len()).min(3);
+            out[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn framebuf_reassembles_across_partial_reads() {
+        let reqs = [
+            Request::Io {
+                seq: 1,
+                write: false,
+                disk: 0,
+                block: 10,
+                blocks: 1,
+            },
+            Request::Stats { seq: 2 },
+            Request::Io {
+                seq: 3,
+                write: true,
+                disk: 4,
+                block: 99,
+                blocks: 2,
+            },
+        ];
+        let mut wire = Vec::new();
+        for r in &reqs {
+            encode_request(r, &mut wire);
+        }
+        let mut src = Trickle(&wire);
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        loop {
+            while let Some(req) = fb.next_request().unwrap() {
+                got.push(req);
+            }
+            if fb.read_from(&mut src).unwrap() == 0 {
+                break;
+            }
+        }
+        assert_eq!(got, reqs);
+    }
+
+    #[test]
+    fn framebuf_rejects_bad_length_prefixes() {
+        let mut fb = FrameBuf::new();
+        let mut zero = std::io::Cursor::new(0u32.to_le_bytes().to_vec());
+        fb.read_from(&mut zero).unwrap();
+        assert_eq!(fb.next_payload(), Err(ProtoError::BadLength(0)));
+
+        let mut fb = FrameBuf::new();
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        let mut huge = std::io::Cursor::new(huge);
+        fb.read_from(&mut huge).unwrap();
+        assert_eq!(fb.next_payload(), Err(ProtoError::BadLength(MAX_FRAME + 1)));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcodes_and_short_payloads() {
+        assert_eq!(
+            decode_request(&[0x7F, 0, 0, 0, 0]),
+            Err(ProtoError::BadOpcode(0x7F))
+        );
+        assert_eq!(decode_request(&[]), Err(ProtoError::Truncated));
+        assert_eq!(decode_request(&[OP_READ, 1, 2]), Err(ProtoError::Truncated));
+        assert_eq!(
+            decode_response(&[0x01, 0, 0, 0, 0]),
+            Err(ProtoError::BadOpcode(0x01))
+        );
+        assert_eq!(
+            decode_response(&[OP_RESP_IO, 1]),
+            Err(ProtoError::Truncated)
+        );
+    }
+
+    #[test]
+    fn blocks_zero_is_preserved_for_the_engine_to_clamp() {
+        let req = Request::Io {
+            seq: 0,
+            write: false,
+            disk: 0,
+            block: 0,
+            blocks: 0,
+        };
+        assert_eq!(roundtrip_request(req), req);
+    }
+}

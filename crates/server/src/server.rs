@@ -1,0 +1,492 @@
+//! The TCP daemon: thread-per-shard engines behind a frame-parsing
+//! connection layer.
+//!
+//! ```text
+//! conn reader ──batch──▶ shard 0 thread ──resp bytes──▶ conn writer
+//!      │    └──batch──▶ shard 1 thread ──────┘              │
+//!   TcpStream (read half)                          TcpStream (write half)
+//! ```
+//!
+//! Each connection gets a reader thread (parses frames, groups requests
+//! into per-shard batches) and a writer thread (serializes response
+//! bytes back). Each shard thread owns its [`ShardEngine`] outright —
+//! no locks anywhere on the request path; all coordination is mpsc.
+//!
+//! Shutdown (SIGTERM bridge or the `SHUTDOWN` opcode) sets one atomic
+//! flag: the accept loop stops, readers drain their parse buffers and
+//! exit, shard channels disconnect, and every shard closes its energy
+//! books and hands back a final [`ShardSnapshot`] for the closing
+//! report.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pc_units::SimTime;
+
+use crate::protocol::{self, FrameBuf, Request, Response};
+use crate::shard::{shard_of, EngineConfig, ShardEngine};
+use crate::stats::{ClusterSnapshot, ShardSnapshot};
+use pc_units::{BlockNo, DiskId};
+
+/// Flush a connection's pending batch to its shard once it holds this
+/// many requests, even if more input is buffered.
+const BATCH_LIMIT: usize = 1024;
+
+/// How often blocked readers / the accept loop re-check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// One request routed to a shard.
+struct IoReq {
+    seq: u32,
+    at_us: u64,
+    disk: u32,
+    block: u64,
+    blocks: u64,
+    write: bool,
+}
+
+/// Work sent to a shard thread.
+enum ShardMsg {
+    /// A batch of requests from one connection; encoded responses go
+    /// back through `reply`.
+    Io {
+        reply: Sender<WriterMsg>,
+        batch: Vec<IoReq>,
+    },
+    /// A snapshot request; the live snapshot goes back through `reply`.
+    Stats { reply: Sender<ShardSnapshot> },
+}
+
+/// Bytes for a connection's writer thread.
+enum WriterMsg {
+    Bytes(Vec<u8>),
+    Close,
+}
+
+/// The daemon: bind, then [`run`](Self::run) until stopped.
+pub struct Server {
+    listener: TcpListener,
+    engine: EngineConfig,
+    stop: Arc<AtomicBool>,
+}
+
+/// What a completed run hands back for the closing report.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Final cluster snapshot with closed energy books.
+    pub snapshot: ClusterSnapshot,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+}
+
+impl Server {
+    /// Binds the listener. The engine is not built until [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, engine: EngineConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            engine,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `local_addr` failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The stop flag: store `true` (from a signal bridge, a test, or
+    /// the `SHUTDOWN` opcode path) to trigger a graceful drain.
+    #[must_use]
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serves until the stop flag is set, then drains and returns the
+    /// final snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors; per-connection errors just
+    /// close that connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard thread panicked (its engine is poisoned beyond
+    /// reporting).
+    pub fn run(self) -> std::io::Result<RunSummary> {
+        let policy = self.engine.policy.name();
+        let write_policy = self.engine.sim.write_policy.name().to_owned();
+        let epoch = Instant::now();
+
+        let mut shard_txs = Vec::with_capacity(self.engine.shards);
+        let mut shard_joins = Vec::with_capacity(self.engine.shards);
+        for id in 0..self.engine.shards {
+            let engine = ShardEngine::new(id, &self.engine);
+            let (tx, rx) = channel();
+            shard_txs.push(tx);
+            shard_joins.push(std::thread::spawn(move || shard_main(engine, &rx)));
+        }
+        let shard_txs = Arc::new(shard_txs);
+
+        self.listener.set_nonblocking(true)?;
+        let mut connections = 0u64;
+        let mut conn_joins = Vec::new();
+        while !self.stop.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    connections += 1;
+                    let txs = Arc::clone(&shard_txs);
+                    let stop = Arc::clone(&self.stop);
+                    let names = (policy.clone(), write_policy.clone());
+                    conn_joins.push(std::thread::spawn(move || {
+                        // A dead connection is the client's problem, not
+                        // the daemon's.
+                        let _ = serve_conn(stream, &txs, &stop, epoch, &names);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: readers notice the flag within a poll interval and
+        // exit, dropping their shard senders; once ours go too, each
+        // shard's channel disconnects and it closes its books.
+        for j in conn_joins {
+            let _ = j.join();
+        }
+        drop(shard_txs);
+        let shards = shard_joins
+            .into_iter()
+            .map(|j| j.join().expect("shard thread panicked"))
+            .collect();
+        Ok(RunSummary {
+            snapshot: ClusterSnapshot::new(policy, write_policy, shards),
+            connections,
+        })
+    }
+}
+
+/// A shard thread: apply batches in arrival order until every sender is
+/// gone, then close the books.
+fn shard_main(mut engine: ShardEngine, rx: &Receiver<ShardMsg>) -> ShardSnapshot {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Io { reply, batch } => {
+                let mut out = Vec::with_capacity(batch.len() * 14);
+                for r in &batch {
+                    let outcome = engine.ingest(
+                        SimTime::from_micros(r.at_us),
+                        r.disk,
+                        r.block,
+                        r.blocks,
+                        r.write,
+                    );
+                    let response_us =
+                        u32::try_from(outcome.response.as_micros()).unwrap_or(u32::MAX);
+                    protocol::encode_response(
+                        &Response::Io {
+                            seq: r.seq,
+                            hit: outcome.hit,
+                            response_us,
+                        },
+                        &mut out,
+                    );
+                }
+                // The writer may already be gone mid-shutdown.
+                let _ = reply.send(WriterMsg::Bytes(out));
+            }
+            ShardMsg::Stats { reply } => {
+                let _ = reply.send(engine.snapshot());
+            }
+        }
+    }
+    engine.into_snapshot()
+}
+
+/// A connection's reader loop; spawns the paired writer thread.
+fn serve_conn(
+    stream: TcpStream,
+    shard_txs: &[Sender<ShardMsg>],
+    stop: &AtomicBool,
+    epoch: Instant,
+    names: &(String, String),
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let write_half = stream.try_clone()?;
+    let (writer_tx, writer_rx) = channel();
+    let writer = std::thread::spawn(move || writer_main(write_half, &writer_rx));
+
+    let result = read_loop(stream, shard_txs, stop, epoch, names, &writer_tx);
+    let _ = writer_tx.send(WriterMsg::Close);
+    drop(writer_tx);
+    let _ = writer.join();
+    result
+}
+
+fn read_loop(
+    mut stream: TcpStream,
+    shard_txs: &[Sender<ShardMsg>],
+    stop: &AtomicBool,
+    epoch: Instant,
+    names: &(String, String),
+    writer_tx: &Sender<WriterMsg>,
+) -> std::io::Result<()> {
+    let nshards = shard_txs.len();
+    let mut fb = FrameBuf::new();
+    let mut batches: Vec<Vec<IoReq>> = (0..nshards).map(|_| Vec::new()).collect();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match fb.read_from(&mut stream) {
+            Ok(0) => return Ok(()), // EOF: client is done.
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        // Every request in this chunk carries the same arrival stamp —
+        // one clock read per socket read, not per request.
+        let at_us = epoch.elapsed().as_micros() as u64;
+        loop {
+            match fb.next_request() {
+                Ok(Some(Request::Io {
+                    seq,
+                    write,
+                    disk,
+                    block,
+                    blocks,
+                })) => {
+                    let s = shard_of(DiskId::new(disk), BlockNo::new(block), nshards);
+                    batches[s].push(IoReq {
+                        seq,
+                        at_us,
+                        disk,
+                        block,
+                        blocks: u64::from(blocks),
+                        write,
+                    });
+                    if batches[s].len() >= BATCH_LIMIT {
+                        flush(&mut batches[s], &shard_txs[s], writer_tx);
+                    }
+                }
+                Ok(Some(Request::Stats { seq })) => {
+                    flush_all(&mut batches, shard_txs, writer_tx);
+                    let json = collect_stats(shard_txs, names);
+                    let mut out = Vec::with_capacity(json.len() + 16);
+                    protocol::encode_response(&Response::Stats { seq, json }, &mut out);
+                    let _ = writer_tx.send(WriterMsg::Bytes(out));
+                }
+                Ok(Some(Request::Shutdown { seq })) => {
+                    flush_all(&mut batches, shard_txs, writer_tx);
+                    let mut out = Vec::new();
+                    protocol::encode_response(&Response::Shutdown { seq }, &mut out);
+                    let _ = writer_tx.send(WriterMsg::Bytes(out));
+                    stop.store(true, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Unframeable stream: nothing to salvage.
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                }
+            }
+        }
+        flush_all(&mut batches, shard_txs, writer_tx);
+    }
+}
+
+fn flush(batch: &mut Vec<IoReq>, tx: &Sender<ShardMsg>, writer_tx: &Sender<WriterMsg>) {
+    if !batch.is_empty() {
+        let _ = tx.send(ShardMsg::Io {
+            reply: writer_tx.clone(),
+            batch: std::mem::take(batch),
+        });
+    }
+}
+
+fn flush_all(
+    batches: &mut [Vec<IoReq>],
+    shard_txs: &[Sender<ShardMsg>],
+    writer_tx: &Sender<WriterMsg>,
+) {
+    for (batch, tx) in batches.iter_mut().zip(shard_txs) {
+        flush(batch, tx, writer_tx);
+    }
+}
+
+/// Gathers a live snapshot from every shard and renders the JSON.
+fn collect_stats(shard_txs: &[Sender<ShardMsg>], names: &(String, String)) -> String {
+    let (tx, rx) = channel();
+    for s in shard_txs {
+        let _ = s.send(ShardMsg::Stats { reply: tx.clone() });
+    }
+    drop(tx);
+    let snaps: Vec<ShardSnapshot> = rx.iter().collect();
+    if snaps.len() != shard_txs.len() {
+        // Mid-shutdown race: report what answered rather than nothing.
+        let mut dense: Vec<ShardSnapshot> =
+            (0..shard_txs.len()).map(ShardSnapshot::empty).collect();
+        for s in snaps {
+            let at = s.shard;
+            dense[at] = s;
+        }
+        return ClusterSnapshot::new(names.0.clone(), names.1.clone(), dense).to_json();
+    }
+    ClusterSnapshot::new(names.0.clone(), names.1.clone(), snaps).to_json()
+}
+
+fn writer_main(mut stream: TcpStream, rx: &Receiver<WriterMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WriterMsg::Bytes(bytes) => {
+                if stream.write_all(&bytes).is_err() {
+                    return; // Peer went away; reader will notice too.
+                }
+            }
+            WriterMsg::Close => break,
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_request, FrameBuf, Request, Response};
+    use crate::stats::parse_stats_json;
+    use std::io::Read;
+
+    fn read_response(stream: &mut TcpStream, fb: &mut FrameBuf) -> Response {
+        loop {
+            if let Some(resp) = fb.next_response().unwrap() {
+                return resp;
+            }
+            assert!(fb.read_from(stream).unwrap() > 0, "server closed early");
+        }
+    }
+
+    #[test]
+    fn serves_io_stats_and_shutdown_over_loopback() {
+        let server = Server::bind("127.0.0.1:0", EngineConfig::new(2, 4)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut fb = FrameBuf::new();
+        let mut wire = Vec::new();
+        // Miss then hit on the same block.
+        for seq in 0..2u32 {
+            encode_request(
+                &Request::Io {
+                    seq,
+                    write: false,
+                    disk: 1,
+                    block: 77,
+                    blocks: 1,
+                },
+                &mut wire,
+            );
+        }
+        encode_request(&Request::Stats { seq: 2 }, &mut wire);
+        stream.write_all(&wire).unwrap();
+
+        let mut hits = Vec::new();
+        for want_seq in 0..2u32 {
+            match read_response(&mut stream, &mut fb) {
+                Response::Io { seq, hit, .. } => {
+                    assert_eq!(seq, want_seq);
+                    hits.push(hit);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(hits, vec![false, true]);
+
+        match read_response(&mut stream, &mut fb) {
+            Response::Stats { seq, json } => {
+                assert_eq!(seq, 2);
+                let summary = parse_stats_json(&json).expect("stats must parse");
+                assert_eq!(summary.requests, 2);
+                assert_eq!(summary.hits, 1);
+                assert_eq!(summary.shard_energy_j.len(), 2);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        let mut wire = Vec::new();
+        encode_request(&Request::Shutdown { seq: 3 }, &mut wire);
+        stream.write_all(&wire).unwrap();
+        assert_eq!(
+            read_response(&mut stream, &mut fb),
+            Response::Shutdown { seq: 3 }
+        );
+
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.snapshot.total_requests(), 2);
+        assert_eq!(summary.connections, 1);
+    }
+
+    #[test]
+    fn stop_flag_drains_an_idle_server() {
+        let server = Server::bind("127.0.0.1:0", EngineConfig::new(1, 1)).unwrap();
+        let stop = server.stop_flag();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        stop.store(true, Ordering::Relaxed);
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.snapshot.total_requests(), 0);
+        assert_eq!(summary.connections, 0);
+    }
+
+    #[test]
+    fn garbage_input_kills_only_that_connection() {
+        let server = Server::bind("127.0.0.1:0", EngineConfig::new(1, 1)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_flag();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        // A frame with a zero length prefix is unrecoverable.
+        let mut bad = TcpStream::connect(addr).unwrap();
+        bad.write_all(&[0u8; 8]).unwrap();
+        let mut buf = [0u8; 16];
+        // Server closes the connection: read returns 0 (or a reset).
+        let n = bad.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "bad connection must be closed without a response");
+
+        // A fresh, well-behaved connection still works.
+        let mut good = TcpStream::connect(addr).unwrap();
+        let mut fb = FrameBuf::new();
+        let mut wire = Vec::new();
+        encode_request(&Request::Stats { seq: 9 }, &mut wire);
+        good.write_all(&wire).unwrap();
+        assert!(matches!(
+            read_response(&mut good, &mut fb),
+            Response::Stats { seq: 9, .. }
+        ));
+
+        stop.store(true, Ordering::Relaxed);
+        drop(good);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,397 @@
+//! Shard engines: one [`BlockCache`](pc_cache::BlockCache) plus one
+//! virtual disk-array timeline per shard, advanced in virtual time.
+//!
+//! The service hash-partitions `(disk, block)` across shards, so each
+//! shard owns an independent cache partition *and* an independent
+//! energy timeline over its own replica of the disk array. Cluster
+//! totals are the sum of the per-shard books; the paper's batch
+//! experiments remain the ground truth for single-timeline energy.
+
+use std::hash::{Hash, Hasher};
+
+use pc_sim::{OnlineStepper, PolicySpec, SimConfig, StepOutcome};
+use pc_trace::{IoOp, Record, Trace};
+use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+use rustc_hash::FxHasher;
+
+use crate::stats::{ClusterSnapshot, ShardSnapshot};
+
+/// The replacement policies an online server can run: every policy in
+/// the workspace except the offline ones (Belady and OPG need the
+/// future trace).
+pub const ONLINE_POLICIES: &[&str] = &[
+    "lru", "fifo", "arc", "mq", "lirs", "2q", "pa-lru", "pa-arc", "pa-mq", "pa-lirs", "pa-2q",
+];
+
+/// Parses an online policy name into its [`PolicySpec`].
+///
+/// Power-aware wrapper parameters are derived from the power model at
+/// build time, so the spec carries a placeholder config that
+/// [`EngineConfig::build_policy`] replaces.
+#[must_use]
+pub fn online_policy(name: &str) -> Option<PolicySpec> {
+    use pc_cache::policy::PaLruConfig;
+    match name {
+        "lru" => Some(PolicySpec::Lru),
+        "fifo" => Some(PolicySpec::Fifo),
+        "arc" => Some(PolicySpec::Arc),
+        "mq" => Some(PolicySpec::Mq),
+        "lirs" => Some(PolicySpec::Lirs),
+        "2q" => Some(PolicySpec::TwoQ),
+        "pa-lru" => Some(PolicySpec::PaLru),
+        "pa-arc" => Some(PolicySpec::PaArc(PaLruConfig::default())),
+        "pa-mq" => Some(PolicySpec::PaMq(PaLruConfig::default())),
+        "pa-lirs" => Some(PolicySpec::PaLirs(PaLruConfig::default())),
+        "pa-2q" => Some(PolicySpec::PaTwoQ(PaLruConfig::default())),
+        _ => None,
+    }
+}
+
+/// Parses a write-policy name: `write-back`, `write-through`, `wtdu`,
+/// or `wbeu[:dirty_limit]` (default limit 64).
+#[must_use]
+pub fn parse_write_policy(name: &str) -> Option<pc_cache::WritePolicy> {
+    use pc_cache::WritePolicy;
+    match name {
+        "write-back" | "wb" => Some(WritePolicy::WriteBack),
+        "write-through" | "wt" => Some(WritePolicy::WriteThrough),
+        "wtdu" => Some(WritePolicy::Wtdu),
+        "wbeu" => Some(WritePolicy::Wbeu { dirty_limit: 64 }),
+        _ => name.strip_prefix("wbeu:").and_then(|n| {
+            n.parse()
+                .ok()
+                .map(|dirty_limit| WritePolicy::Wbeu { dirty_limit })
+        }),
+    }
+}
+
+/// Routes a block to its shard: FxHash of `(disk, block)` modulo the
+/// shard count. Multi-block requests route by their first block, so a
+/// request never straddles shards.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn shard_of(disk: DiskId, block: BlockNo, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    let mut h = FxHasher::default();
+    disk.index().hash(&mut h);
+    block.number().hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// Configuration shared by every shard of a cluster.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Disks in each shard's virtual array (client disk indices are
+    /// reduced modulo this).
+    pub disks: u32,
+    /// Replacement policy (must be online).
+    pub policy: PolicySpec,
+    /// Simulator configuration (cache capacity *per shard*, write
+    /// policy, DPM, disk model).
+    pub sim: SimConfig,
+}
+
+impl EngineConfig {
+    /// A cluster of `shards` shards over `disks` disks, LRU write-back
+    /// with the paper's default simulator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `disks` is zero.
+    #[must_use]
+    pub fn new(shards: usize, disks: u32) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(disks > 0, "need at least one disk");
+        EngineConfig {
+            shards,
+            disks,
+            policy: PolicySpec::Lru,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Sets the replacement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the simulator configuration.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Builds one shard's policy instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is offline (Belady / OPG) — those need the
+    /// future trace, which an online server does not have.
+    #[must_use]
+    pub fn build_policy(&self) -> Box<dyn pc_cache::ReplacementPolicy> {
+        assert!(
+            !matches!(self.policy, PolicySpec::Belady | PolicySpec::Opg { .. }),
+            "offline policies (belady/opg) cannot serve an online cluster"
+        );
+        let power = self.sim.power_model();
+        // Online policies ignore the trace; hand build() an empty one.
+        let empty = Trace::new(self.disks);
+        self.policy
+            .build(&empty, &power, self.sim.dpm, self.sim.cache_blocks)
+    }
+}
+
+/// One shard: a policy-driven cache over its own virtual disk array,
+/// advanced by a monotone virtual clock.
+///
+/// Arrival times may be handed in out of order (wall-clock timestamps
+/// race across connections); the shard clamps its clock forward so the
+/// underlying discrete-event timeline only advances.
+#[derive(Debug)]
+pub struct ShardEngine {
+    id: usize,
+    disks: u32,
+    stepper: OnlineStepper,
+    now: SimTime,
+}
+
+impl ShardEngine {
+    /// Builds shard `id` of a cluster described by `cfg`.
+    #[must_use]
+    pub fn new(id: usize, cfg: &EngineConfig) -> Self {
+        ShardEngine {
+            id,
+            disks: cfg.disks,
+            stepper: OnlineStepper::new(cfg.disks, cfg.build_policy(), &cfg.sim),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// This shard's index.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Processes one request arriving at virtual time `at`. The disk
+    /// index is reduced modulo the array size and `blocks` is clamped
+    /// to at least 1.
+    pub fn ingest(
+        &mut self,
+        at: SimTime,
+        disk: u32,
+        block: u64,
+        blocks: u64,
+        write: bool,
+    ) -> StepOutcome {
+        self.now = self.now.max(at);
+        let mut record = Record::new(
+            self.now,
+            BlockId::new(DiskId::new(disk % self.disks), BlockNo::new(block)),
+            if write { IoOp::Write } else { IoOp::Read },
+        );
+        record.blocks = blocks.max(1);
+        self.stepper.step(&record)
+    }
+
+    /// A live snapshot: counters are exact, energy covers each disk up
+    /// to its last power event (the disks account lazily).
+    #[must_use]
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            shard: self.id,
+            requests: self.stepper.requests(),
+            cache: self.stepper.cache_stats(),
+            energy: self.stepper.live_energy(),
+            response_total: self.stepper.response_total(),
+            response_hist: self.stepper.response_hist().clone(),
+            horizon: self.stepper.horizon(),
+        }
+    }
+
+    /// Closes the energy books through the horizon and returns the
+    /// final snapshot (what the daemon reports after a drain).
+    #[must_use]
+    pub fn into_snapshot(self) -> ShardSnapshot {
+        let id = self.id;
+        let report = self.stepper.into_report();
+        ShardSnapshot {
+            shard: id,
+            requests: report.requests,
+            cache: report.cache,
+            energy: report.total_energy(),
+            response_total: report.response_total,
+            response_hist: report.response_hist.clone(),
+            horizon: report.horizon,
+        }
+    }
+}
+
+/// A whole cluster in one thread: the deterministic in-process mode.
+///
+/// Drives the same request → shard → cache → energy path as the TCP
+/// server, but arrival times come from the records themselves, so two
+/// runs over the same stream produce identical counters — the
+/// foundation of the end-to-end determinism tests.
+#[derive(Debug)]
+pub struct InProcCluster {
+    policy: String,
+    write_policy: String,
+    shards: Vec<ShardEngine>,
+}
+
+impl InProcCluster {
+    /// Builds all shards of `cfg`.
+    #[must_use]
+    pub fn new(cfg: &EngineConfig) -> Self {
+        InProcCluster {
+            policy: cfg.policy.name(),
+            write_policy: cfg.sim.write_policy.name().to_owned(),
+            shards: (0..cfg.shards).map(|i| ShardEngine::new(i, cfg)).collect(),
+        }
+    }
+
+    /// Routes and processes one record, returning the shard that served
+    /// it and the outcome.
+    pub fn submit(&mut self, record: &Record) -> (usize, StepOutcome) {
+        let s = shard_of(record.block.disk(), record.block.block(), self.shards.len());
+        let outcome = self.shards[s].ingest(
+            record.time,
+            record.block.disk().index(),
+            record.block.block().number(),
+            record.blocks,
+            record.op == IoOp::Write,
+        );
+        (s, outcome)
+    }
+
+    /// A live cluster snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot::new(
+            self.policy.clone(),
+            self.write_policy.clone(),
+            self.shards.iter().map(ShardEngine::snapshot).collect(),
+        )
+    }
+
+    /// Closes every shard's books and returns the final snapshot.
+    #[must_use]
+    pub fn into_snapshot(self) -> ClusterSnapshot {
+        ClusterSnapshot::new(
+            self.policy,
+            self.write_policy,
+            self.shards
+                .into_iter()
+                .map(ShardEngine::into_snapshot)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_trace::Workload;
+    use pc_units::Joules;
+
+    #[test]
+    fn routing_is_deterministic_and_covers_all_shards() {
+        let mut seen = [false; 8];
+        for d in 0..4u32 {
+            for b in 0..1_000u64 {
+                let s = shard_of(DiskId::new(d), BlockNo::new(b), 8);
+                assert_eq!(s, shard_of(DiskId::new(d), BlockNo::new(b), 8));
+                seen[s] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "4k blocks must touch all 8 shards");
+    }
+
+    #[test]
+    fn every_online_policy_builds_a_shard() {
+        for name in ONLINE_POLICIES {
+            let spec = online_policy(name).unwrap();
+            let cfg = EngineConfig::new(2, 4).with_policy(spec);
+            let mut shard = ShardEngine::new(0, &cfg);
+            let out = shard.ingest(SimTime::from_millis(1), 0, 7, 1, false);
+            assert!(!out.hit, "{name}: first access must miss");
+        }
+        assert_eq!(ONLINE_POLICIES.len(), 11);
+        assert!(online_policy("belady").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "offline")]
+    fn offline_policies_are_rejected() {
+        let cfg = EngineConfig::new(1, 1).with_policy(PolicySpec::Belady);
+        let _ = ShardEngine::new(0, &cfg);
+    }
+
+    #[test]
+    fn clock_is_monotone_under_reordered_arrivals() {
+        let cfg = EngineConfig::new(1, 2);
+        let mut shard = ShardEngine::new(0, &cfg);
+        shard.ingest(SimTime::from_millis(10), 0, 1, 1, false);
+        // An earlier wall timestamp must not rewind the timeline.
+        let out = shard.ingest(SimTime::from_millis(5), 0, 1, 1, false);
+        assert!(out.hit);
+        assert_eq!(shard.snapshot().horizon, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn disk_indices_reduce_modulo_the_array() {
+        let cfg = EngineConfig::new(1, 3);
+        let mut shard = ShardEngine::new(0, &cfg);
+        // disk 7 % 3 == 1: must not panic, and hits the same line as disk 1.
+        shard.ingest(SimTime::from_millis(1), 7, 42, 1, false);
+        let out = shard.ingest(SimTime::from_millis(2), 1, 42, 1, false);
+        assert!(out.hit);
+    }
+
+    #[test]
+    fn in_process_cluster_is_deterministic() {
+        let w = Workload::parse("synthetic").unwrap().with_requests(5_000);
+        let run = |seed: u64| {
+            let mut cluster = InProcCluster::new(&EngineConfig::new(4, 4));
+            for r in w.stream(seed) {
+                cluster.submit(&r);
+            }
+            cluster.into_snapshot()
+        };
+        let (a, b) = (run(42), run(42));
+        assert_eq!(a.total_requests(), 5_000);
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(sa.cache, sb.cache, "shard {} counters diverged", sa.shard);
+            assert_eq!(sa.energy, sb.energy, "shard {} energy diverged", sa.shard);
+            assert!(sa.requests > 0, "shard {} starved", sa.shard);
+            assert!(sa.energy > Joules::ZERO, "shard {} has no energy", sa.shard);
+        }
+        assert_eq!(a.to_json(), b.to_json());
+        // A different seed gives a different stream.
+        assert_ne!(run(43).to_json(), a.to_json());
+    }
+
+    #[test]
+    fn final_snapshot_closes_the_energy_books() {
+        let w = Workload::parse("synthetic").unwrap().with_requests(2_000);
+        let mut cluster = InProcCluster::new(&EngineConfig::new(2, 4));
+        for r in w.stream(1) {
+            cluster.submit(&r);
+        }
+        let live = cluster.snapshot().total_energy();
+        let fin = cluster.into_snapshot().total_energy();
+        // Closing the books accounts the tail the lazy disks had not
+        // charged yet.
+        assert!(fin >= live, "final {fin} < live {live}");
+        assert!(fin > Joules::ZERO);
+    }
+}

@@ -1,0 +1,380 @@
+//! Live statistics snapshots: per-shard and cluster-wide counters,
+//! energy, and response-time quantiles, rendered as deterministic JSON
+//! for the `STATS` opcode.
+
+use pc_cache::{CacheStats, IntervalHistogram};
+use pc_sim::SimReport;
+use pc_units::{Joules, SimDuration, SimTime};
+
+/// One shard's view of the world at snapshot time.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests stepped so far.
+    pub requests: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Energy accounted so far (live snapshots lag by the disks' lazy
+    /// accounting; final snapshots close the books).
+    pub energy: Joules,
+    /// Sum of virtual response times.
+    pub response_total: SimDuration,
+    /// Virtual response-time distribution.
+    pub response_hist: IntervalHistogram,
+    /// Latest virtual request time seen.
+    pub horizon: SimTime,
+}
+
+impl ShardSnapshot {
+    /// An empty snapshot for shard `shard` (all counters zero).
+    #[must_use]
+    pub fn empty(shard: usize) -> Self {
+        ShardSnapshot {
+            shard,
+            requests: 0,
+            cache: CacheStats::default(),
+            energy: Joules::ZERO,
+            response_total: SimDuration::ZERO,
+            response_hist: SimReport::response_histogram(),
+            horizon: SimTime::ZERO,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"shard\":{},\"requests\":{},\"accesses\":{},\"hits\":{},",
+                "\"hit_ratio\":{:?},\"disk_reads\":{},\"disk_writes\":{},",
+                "\"log_writes\":{},\"energy_j\":{:?},\"mean_us\":{},",
+                "\"p50_us\":{},\"p99_us\":{},\"horizon_us\":{}}}"
+            ),
+            self.shard,
+            self.requests,
+            self.cache.accesses,
+            self.cache.hits,
+            self.cache.hit_ratio(),
+            self.cache.disk_reads,
+            self.cache.disk_writes,
+            self.cache.log_writes,
+            self.energy.as_joules(),
+            mean_us(self.response_total, self.requests),
+            quantile_us(&self.response_hist, 0.5),
+            quantile_us(&self.response_hist, 0.99),
+            (self.horizon - SimTime::ZERO).as_micros(),
+        )
+    }
+}
+
+fn mean_us(total: SimDuration, requests: u64) -> u64 {
+    if requests == 0 {
+        0
+    } else {
+        (total / requests).as_micros()
+    }
+}
+
+fn quantile_us(hist: &IntervalHistogram, p: f64) -> u64 {
+    hist.quantile(p).as_micros()
+}
+
+/// The whole cluster's statistics: one [`ShardSnapshot`] per shard plus
+/// the policy identity, merged totals on demand.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    /// Replacement-policy name.
+    pub policy: String,
+    /// Write-policy name.
+    pub write_policy: String,
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ClusterSnapshot {
+    /// Assembles a cluster snapshot, sorting the shards by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or has duplicate/missing indices.
+    #[must_use]
+    pub fn new(policy: String, write_policy: String, mut shards: Vec<ShardSnapshot>) -> Self {
+        assert!(!shards.is_empty(), "a cluster has at least one shard");
+        shards.sort_by_key(|s| s.shard);
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.shard, i, "shard snapshots must be dense");
+        }
+        ClusterSnapshot {
+            policy,
+            write_policy,
+            shards,
+        }
+    }
+
+    /// Total requests across shards.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Merged cache counters across shards.
+    #[must_use]
+    pub fn total_cache(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total.merge(&s.cache);
+        }
+        total
+    }
+
+    /// Total energy across shards (each shard accounts its own virtual
+    /// disk array).
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.shards.iter().map(|s| s.energy).sum()
+    }
+
+    /// The merged response-time distribution across shards.
+    #[must_use]
+    pub fn merged_hist(&self) -> IntervalHistogram {
+        let mut merged = SimReport::response_histogram();
+        for s in &self.shards {
+            merged.merge(&s.response_hist);
+        }
+        merged
+    }
+
+    /// Renders the snapshot as JSON with a fixed key order: shard
+    /// objects in shard order, then merged totals. Deterministic for a
+    /// given snapshot — no hash-map iteration anywhere.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 192 * self.shards.len());
+        out.push_str("{\"policy\":\"");
+        out.push_str(&self.policy);
+        out.push_str("\",\"write_policy\":\"");
+        out.push_str(&self.write_policy);
+        out.push_str("\",\"shards\":[");
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_json());
+        }
+        let cache = self.total_cache();
+        let hist = self.merged_hist();
+        let requests = self.total_requests();
+        let response_total: SimDuration = self.shards.iter().map(|s| s.response_total).sum();
+        out.push_str("],\"total\":");
+        out.push_str(&format!(
+            concat!(
+                "{{\"requests\":{},\"accesses\":{},\"hits\":{},\"hit_ratio\":{:?},",
+                "\"disk_reads\":{},\"disk_writes\":{},\"log_writes\":{},",
+                "\"energy_j\":{:?},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{}}}"
+            ),
+            requests,
+            cache.accesses,
+            cache.hits,
+            cache.hit_ratio(),
+            cache.disk_reads,
+            cache.disk_writes,
+            cache.log_writes,
+            self.total_energy().as_joules(),
+            mean_us(response_total, requests),
+            quantile_us(&hist, 0.5),
+            quantile_us(&hist, 0.99),
+        ));
+        out.push('}');
+        out
+    }
+
+    /// A human-readable closing report (the daemon prints this after a
+    /// graceful drain).
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "policy={} write_policy={}\n",
+            self.policy, self.write_policy
+        ));
+        out.push_str("shard     requests  hit_ratio     energy_j   p50_us   p99_us\n");
+        for s in &self.shards {
+            out.push_str(&format!(
+                "{:<5} {:>12} {:>10.4} {:>12.2} {:>8} {:>8}\n",
+                s.shard,
+                s.requests,
+                s.cache.hit_ratio(),
+                s.energy.as_joules(),
+                quantile_us(&s.response_hist, 0.5),
+                quantile_us(&s.response_hist, 0.99),
+            ));
+        }
+        let hist = self.merged_hist();
+        out.push_str(&format!(
+            "total {:>12} {:>10.4} {:>12.2} {:>8} {:>8}\n",
+            self.total_requests(),
+            self.total_cache().hit_ratio(),
+            self.total_energy().as_joules(),
+            quantile_us(&hist, 0.5),
+            quantile_us(&hist, 0.99),
+        ));
+        out
+    }
+}
+
+/// The fields a client needs from a STATS JSON payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSummary {
+    /// Total requests served.
+    pub requests: u64,
+    /// Total cache hits.
+    pub hits: u64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Per-shard energy in joules, indexed by shard.
+    pub shard_energy_j: Vec<f64>,
+}
+
+/// Extracts a [`StatsSummary`] from a STATS JSON payload, validating
+/// that braces and brackets balance. Returns `None` on anything
+/// malformed — the load generator treats that as a failed run.
+///
+/// This is a purpose-built extractor for the snapshot format above, not
+/// a general JSON parser (the workspace is dependency-free by design).
+#[must_use]
+pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
+    let mut depth = 0i64;
+    for b in s.bytes() {
+        match b {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return None;
+    }
+    let total_at = s.rfind("\"total\":{")?;
+    let (shard_part, total_part) = s.split_at(total_at);
+    let requests = num_after(total_part, "\"requests\":")?.parse().ok()?;
+    let hits = num_after(total_part, "\"hits\":")?.parse().ok()?;
+    let energy_j = num_after(total_part, "\"energy_j\":")?.parse().ok()?;
+    let mut shard_energy_j = Vec::new();
+    let mut rest = shard_part;
+    while let Some(at) = rest.find("\"energy_j\":") {
+        rest = &rest[at..];
+        shard_energy_j.push(num_after(rest, "\"energy_j\":")?.parse().ok()?);
+        rest = &rest[11..];
+    }
+    Some(StatsSummary {
+        requests,
+        hits,
+        energy_j,
+        shard_energy_j,
+    })
+}
+
+fn num_after<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let at = s.find(key)? + key.len();
+    let rest = &s[at..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_with(shard: usize, requests: u64, hits: u64, energy: f64) -> ShardSnapshot {
+        let mut s = ShardSnapshot::empty(shard);
+        s.requests = requests;
+        s.cache.accesses = requests;
+        s.cache.hits = hits;
+        s.energy = Joules::new(energy);
+        for _ in 0..requests {
+            s.response_hist.record(SimDuration::from_micros(300));
+            s.response_total += SimDuration::from_micros(300);
+        }
+        s
+    }
+
+    fn cluster() -> ClusterSnapshot {
+        ClusterSnapshot::new(
+            "pa-lru".into(),
+            "write-back".into(),
+            vec![snapshot_with(1, 10, 5, 2.5), snapshot_with(0, 30, 15, 7.5)],
+        )
+    }
+
+    #[test]
+    fn totals_merge_across_shards() {
+        let c = cluster();
+        assert_eq!(c.total_requests(), 40);
+        assert_eq!(c.total_cache().hits, 20);
+        assert!((c.total_energy().as_joules() - 10.0).abs() < 1e-9);
+        assert_eq!(c.merged_hist().total(), 40);
+        // new() sorted the shards dense.
+        assert_eq!(c.shards[0].shard, 0);
+        assert_eq!(c.shards[1].shard, 1);
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_summary_extractor() {
+        let c = cluster();
+        let json = c.to_json();
+        let summary = parse_stats_json(&json).expect("snapshot JSON must parse");
+        assert_eq!(summary.requests, 40);
+        assert_eq!(summary.hits, 20);
+        assert!((summary.energy_j - 10.0).abs() < 1e-9);
+        assert_eq!(summary.shard_energy_j, vec![7.5, 2.5]);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_shard_ordered() {
+        let c = cluster();
+        assert_eq!(c.to_json(), c.to_json());
+        let json = c.to_json();
+        let s0 = json.find("\"shard\":0").unwrap();
+        let s1 = json.find("\"shard\":1").unwrap();
+        assert!(s0 < s1, "shards must serialize in index order");
+        assert!(json.starts_with("{\"policy\":\"pa-lru\""));
+    }
+
+    #[test]
+    fn extractor_rejects_malformed_payloads() {
+        assert_eq!(parse_stats_json("{\"total\":{"), None);
+        assert_eq!(parse_stats_json("not json at all"), None);
+        assert_eq!(parse_stats_json("}{"), None);
+        let c = cluster();
+        let truncated = &c.to_json()[..40];
+        assert_eq!(parse_stats_json(truncated), None);
+    }
+
+    #[test]
+    fn render_table_mentions_every_shard_and_the_total() {
+        let t = cluster().render_table();
+        assert!(t.contains("policy=pa-lru"));
+        assert!(t.lines().count() >= 5);
+        assert!(t.contains("total"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_shard_indices_are_rejected() {
+        let _ = ClusterSnapshot::new(
+            "lru".into(),
+            "write-back".into(),
+            vec![snapshot_with(0, 1, 1, 0.0), snapshot_with(2, 1, 1, 0.0)],
+        );
+    }
+}

@@ -36,4 +36,4 @@ mod runner;
 
 pub use config::{PolicySpec, SimConfig};
 pub use report::{RunTiming, SimReport};
-pub use runner::{run_replacement, run_write_policy};
+pub use runner::{run_replacement, run_write_policy, OnlineStepper, StepOutcome};

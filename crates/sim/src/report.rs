@@ -148,6 +148,17 @@ impl SimReport {
         self.disks.iter().map(|d| d.spin_ups).sum()
     }
 
+    /// Per-disk total energy, **disk-indexed** (element `i` is disk `i`).
+    ///
+    /// Downstream consumers (loadgen closing reports, per-policy energy
+    /// breakdowns) must iterate this vector — never collect disks into a
+    /// hash map first — so the serialized breakdown is byte-stable across
+    /// runs and hosts.
+    #[must_use]
+    pub fn energy_by_disk(&self) -> Vec<Joules> {
+        self.disks.iter().map(DiskReport::total_energy).collect()
+    }
+
     /// Serializes the report as a deterministic JSON document.
     ///
     /// Hand-rolled (the workspace is fully self-contained, no serde):
@@ -164,7 +175,17 @@ impl SimReport {
         push_str_field(&mut out, "write_policy", &self.write_policy);
         out.push_str(",\"cache\":");
         push_cache_json(&mut out, &self.cache);
-        out.push_str(",\"disks\":[");
+        out.push_str(",\"energy_by_disk_j\":[");
+        // Disk-indexed, not map-ordered: element i is disk i, so the
+        // document is byte-stable run over run.
+        for (i, e) in self.energy_by_disk().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            use std::fmt::Write as _;
+            let _ = write!(out, "{:?}", e.as_joules());
+        }
+        out.push_str("],\"disks\":[");
         for (i, d) in self.disks.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -322,5 +343,20 @@ mod tests {
         let r = report_with_energy(1.0);
         assert_eq!(r.mean_response(), SimDuration::from_millis(500));
         assert_eq!(SimReport::default().mean_response(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn energy_breakdown_is_disk_indexed_and_byte_stable() {
+        let mut r = report_with_energy(10.0);
+        let mut d1 = DiskReport::new(1);
+        d1.service_energy = Joules::new(3.0);
+        r.disks.push(d1);
+        let by_disk = r.energy_by_disk();
+        assert_eq!(by_disk.len(), 2);
+        assert!((by_disk[0].as_joules() - 10.0).abs() < 1e-12);
+        assert!((by_disk[1].as_joules() - 3.0).abs() < 1e-12);
+        let json = r.to_json();
+        assert!(json.contains("\"energy_by_disk_j\":[10.0,3.0]"), "{json}");
+        assert_eq!(json, r.clone().to_json(), "serialization is stable");
     }
 }

@@ -3,7 +3,7 @@
 use pc_cache::{BlockCache, Effect, WritePolicy};
 use pc_diskmodel::ServiceRequest;
 use pc_disksim::{DiskArray, DiskSim, DpmPolicy};
-use pc_trace::{IoOp, Trace};
+use pc_trace::{IoOp, Record, Trace};
 use pc_units::{BlockNo, DiskId, SimDuration, SimTime};
 
 use crate::{PolicySpec, SimConfig, SimReport};
@@ -40,60 +40,158 @@ pub fn run_write_policy(trace: &Trace, policy: &PolicySpec, config: &SimConfig) 
     run(trace, policy, config)
 }
 
-/// The single simulation loop both entry points share. The cache consults
-/// live disk power state (used only by WBEU/WTDU); the disks lazily
-/// account idle periods, which is what lets Oracle DPM make clairvoyant
-/// per-gap decisions in the same pass.
+/// The single simulation loop both entry points share: build the policy
+/// for the trace, then drive an [`OnlineStepper`] over it record by
+/// record.
 fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
     let wall_start = std::time::Instant::now();
     let power = config.power_model();
-    let power_aware_writes = matches!(
-        config.write_policy,
-        WritePolicy::Wbeu { .. } | WritePolicy::Wtdu
-    );
-    assert!(
-        !(power_aware_writes && config.dpm == DpmPolicy::Oracle),
-        "WBEU/WTDU require a causal DPM"
-    );
-
-    let mut cache = BlockCache::new(
-        config.cache_blocks,
-        policy.build(trace, &power, config.dpm, config.cache_blocks),
-        config.write_policy,
-    )
-    .with_prefetch_depth(config.prefetch_depth);
-    let mut array = DiskArray::new_configured(
-        trace.disk_count().max(1),
-        power.clone(),
-        config.service.clone(),
-        config.dpm,
-        config.serve_at_speed,
-    );
-    // The WTDU log device: always active; only its service energy is ever
-    // charged (see SimReport::total_energy).
-    let mut log_disk = DiskSim::new(
-        DiskId::new(trace.disk_count()),
-        power.clone(),
-        config.service.clone(),
-        DpmPolicy::AlwaysOn,
-    );
-    let mut log_cursor: u64 = 0;
-
-    let mut response_total = SimDuration::ZERO;
-    let mut response_hist = SimReport::response_histogram();
-    let mut horizon = SimTime::ZERO;
-
-    // One scratch buffer for the whole run: the cache fills it on each
-    // access and `coalesce` walks it in place, so the steady-state
-    // per-request path performs no heap allocation.
-    let mut effects: Vec<Effect> = Vec::new();
-
+    let built = policy.build(trace, &power, config.dpm, config.cache_blocks);
+    let mut stepper = OnlineStepper::new(trace.disk_count(), built, config);
     for record in trace {
-        horizon = horizon.max(record.time);
-        let _ = cache.access(
+        stepper.step(record);
+    }
+    let mut report = stepper.into_report();
+    report.timing = crate::RunTiming::from_wall(wall_start.elapsed(), report.requests);
+    report
+}
+
+/// The outcome of one online request step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Whether every block of the request was resident in the cache.
+    pub hit: bool,
+    /// The client-visible response time (cache hit time plus any
+    /// synchronous disk work the request waited for).
+    pub response: SimDuration,
+}
+
+/// The reusable per-request service/energy step: one cache, one virtual
+/// disk array (plus the WTDU log device), advanced request by request.
+///
+/// This is the integrated simulation loop of [`run_replacement`] /
+/// [`run_write_policy`] factored out so an *online* host — the `pc-server`
+/// daemon, a shard thread, a REPL — can push requests as they arrive
+/// instead of replaying a prebuilt [`Trace`]. Each [`step`](Self::step)
+/// drives the cache, services the emitted effects (coalescing contiguous
+/// blocks into multi-block transfers), and records the client-visible
+/// response; [`into_report`](Self::into_report) closes the energy books
+/// and returns the same [`SimReport`] a batch run would have produced.
+///
+/// Request times must be non-decreasing — the stepper is a discrete-event
+/// timeline, not a scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use pc_sim::{OnlineStepper, SimConfig};
+/// use pc_cache::policy::Lru;
+/// use pc_trace::{IoOp, Record};
+/// use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+///
+/// let mut stepper = OnlineStepper::new(1, Box::new(Lru::new()), &SimConfig::default());
+/// let block = BlockId::new(DiskId::new(0), BlockNo::new(7));
+/// let miss = stepper.step(&Record::new(SimTime::from_millis(1), block, IoOp::Read));
+/// let hit = stepper.step(&Record::new(SimTime::from_millis(2), block, IoOp::Read));
+/// assert!(!miss.hit && hit.hit);
+/// assert!(stepper.live_energy() > pc_units::Joules::ZERO);
+/// ```
+pub struct OnlineStepper {
+    cache: BlockCache,
+    array: DiskArray,
+    log_disk: DiskSim,
+    log_cursor: u64,
+    write_policy: WritePolicy,
+    hit_time: SimDuration,
+    response_total: SimDuration,
+    response_hist: pc_cache::IntervalHistogram,
+    horizon: SimTime,
+    requests: u64,
+    // One scratch buffer for the stepper's lifetime: the cache fills it on
+    // each access and `coalesce` walks it in place, so the steady-state
+    // per-request path performs no heap allocation.
+    effects: Vec<Effect>,
+}
+
+impl std::fmt::Debug for OnlineStepper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineStepper")
+            .field("cache", &self.cache)
+            .field("requests", &self.requests)
+            .field("horizon", &self.horizon)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OnlineStepper {
+    /// Creates a stepper over `disk_count` disks with the given (already
+    /// built) replacement policy and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration combines Oracle DPM with a power-aware
+    /// write policy (WBEU/WTDU) — the cache reads live disk state, so the
+    /// combination is not causally well-defined (see DESIGN.md §2).
+    #[must_use]
+    pub fn new(
+        disk_count: u32,
+        policy: Box<dyn pc_cache::ReplacementPolicy>,
+        config: &SimConfig,
+    ) -> Self {
+        let power_aware_writes = matches!(
+            config.write_policy,
+            WritePolicy::Wbeu { .. } | WritePolicy::Wtdu
+        );
+        assert!(
+            !(power_aware_writes && config.dpm == DpmPolicy::Oracle),
+            "WBEU/WTDU require a causal DPM"
+        );
+        let power = config.power_model();
+        let cache = BlockCache::new(config.cache_blocks, policy, config.write_policy)
+            .with_prefetch_depth(config.prefetch_depth);
+        let array = DiskArray::new_configured(
+            disk_count.max(1),
+            power.clone(),
+            config.service.clone(),
+            config.dpm,
+            config.serve_at_speed,
+        );
+        // The WTDU log device: always active; only its service energy is
+        // ever charged (see SimReport::total_energy).
+        let log_disk = DiskSim::new(
+            DiskId::new(disk_count),
+            power,
+            config.service.clone(),
+            DpmPolicy::AlwaysOn,
+        );
+        OnlineStepper {
+            cache,
+            array,
+            log_disk,
+            log_cursor: 0,
+            write_policy: config.write_policy,
+            hit_time: config.hit_time,
+            response_total: SimDuration::ZERO,
+            response_hist: SimReport::response_histogram(),
+            horizon: SimTime::ZERO,
+            requests: 0,
+            effects: Vec::new(),
+        }
+    }
+
+    /// Processes one request: cache access, disk-side effect servicing,
+    /// and response accounting. The cache consults live disk power state
+    /// (used only by WBEU/WTDU); the disks lazily account idle periods,
+    /// which is what lets Oracle DPM make clairvoyant per-gap decisions in
+    /// the same pass.
+    pub fn step(&mut self, record: &Record) -> StepOutcome {
+        self.requests += 1;
+        self.horizon = self.horizon.max(record.time);
+        let array = &mut self.array;
+        let outcome = self.cache.access(
             record,
             |d| array.disk(d).is_sleeping(record.time),
-            &mut effects,
+            &mut self.effects,
         );
 
         // Service the disk-side work in order, coalescing contiguous
@@ -102,14 +200,14 @@ fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
         // the response of the transfer that carries the client's own I/O.
         let mut own_read = None;
         let mut own_write = None;
-        for run in coalesce(&effects) {
+        for run in coalesce(&self.effects) {
             match run {
                 EffectRun::Disk {
                     first,
                     blocks,
                     read,
                 } => {
-                    let served = array.service(
+                    let served = self.array.service(
                         first.disk(),
                         record.time,
                         ServiceRequest {
@@ -132,14 +230,14 @@ fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
                     // Log appends are sequential on the log device; they
                     // are always the client's own write (only the current
                     // request's write handler emits them).
-                    let served = log_disk.service(
+                    let served = self.log_disk.service(
                         record.time,
                         ServiceRequest {
-                            block: BlockNo::new(log_cursor + 1),
+                            block: BlockNo::new(self.log_cursor + 1),
                             blocks,
                         },
                     );
-                    log_cursor += blocks;
+                    self.log_cursor += blocks;
                     own_write = Some(served.response);
                 }
             }
@@ -151,41 +249,94 @@ fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
         // persistence; read misses wait for the fetch.
         let synchronous = match record.op {
             IoOp::Read => own_read.unwrap_or(SimDuration::ZERO),
-            IoOp::Write => match config.write_policy {
+            IoOp::Write => match self.write_policy {
                 WritePolicy::WriteThrough | WritePolicy::Wtdu => {
                     own_write.unwrap_or(SimDuration::ZERO)
                 }
                 WritePolicy::WriteBack | WritePolicy::Wbeu { .. } => SimDuration::ZERO,
             },
         };
-        let response = config.hit_time + synchronous;
-        response_total += response;
-        response_hist.record(response);
+        let response = self.hit_time + synchronous;
+        self.response_total += response;
+        self.response_hist.record(response);
+        StepOutcome {
+            hit: outcome.hit,
+            response,
+        }
     }
 
-    let end = horizon
-        .max(array.latest_completion())
-        .max(log_disk.ready_at());
-    array.finish(end);
-    log_disk.finish(end);
+    /// The cache's counters so far (a `Copy` snapshot — safe to hand
+    /// across threads).
+    #[must_use]
+    pub fn cache_stats(&self) -> pc_cache::CacheStats {
+        self.cache.stats()
+    }
 
-    let log = if cache.stats().log_writes > 0 || config.write_policy == WritePolicy::Wtdu {
-        Some(log_disk.report().clone())
-    } else {
-        None
-    };
+    /// Requests stepped so far.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
 
-    SimReport {
-        policy: cache.policy_name(),
-        write_policy: config.write_policy.name().to_owned(),
-        cache: cache.stats(),
-        disks: array.reports().into_iter().cloned().collect(),
-        log,
-        response_total,
-        response_hist,
-        requests: trace.len() as u64,
-        horizon: end,
-        timing: crate::RunTiming::from_wall(wall_start.elapsed(), trace.len() as u64),
+    /// The latest request time seen.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Energy accounted so far: all data-disk energy plus the log
+    /// device's incremental service energy. The disks account lazily, so
+    /// this covers each disk up to its most recent power event; the final
+    /// [`into_report`](Self::into_report) closes the books through the
+    /// full horizon.
+    #[must_use]
+    pub fn live_energy(&self) -> pc_units::Joules {
+        let disks: pc_units::Joules = self.array.reports().iter().map(|d| d.total_energy()).sum();
+        disks + self.log_disk.report().service_energy
+    }
+
+    /// The per-request response-time distribution so far.
+    #[must_use]
+    pub fn response_hist(&self) -> &pc_cache::IntervalHistogram {
+        &self.response_hist
+    }
+
+    /// Sum of client-visible response times so far.
+    #[must_use]
+    pub fn response_total(&self) -> SimDuration {
+        self.response_total
+    }
+
+    /// Finishes the timeline (accounting every disk through the horizon)
+    /// and returns the complete report. `timing` is left default — batch
+    /// drivers stamp their own wall-clock measurement.
+    #[must_use]
+    pub fn into_report(mut self) -> SimReport {
+        let end = self
+            .horizon
+            .max(self.array.latest_completion())
+            .max(self.log_disk.ready_at());
+        self.array.finish(end);
+        self.log_disk.finish(end);
+
+        let log = if self.cache.stats().log_writes > 0 || self.write_policy == WritePolicy::Wtdu {
+            Some(self.log_disk.report().clone())
+        } else {
+            None
+        };
+
+        SimReport {
+            policy: self.cache.policy_name(),
+            write_policy: self.write_policy.name().to_owned(),
+            cache: self.cache.stats(),
+            disks: self.array.reports().into_iter().cloned().collect(),
+            log,
+            response_total: self.response_total,
+            response_hist: self.response_hist,
+            requests: self.requests,
+            horizon: end,
+            timing: crate::RunTiming::default(),
+        }
     }
 }
 

@@ -34,6 +34,7 @@ mod oltp;
 mod record;
 mod samplers;
 mod stats;
+mod stream;
 mod synthetic;
 
 pub use cello::CelloConfig;
@@ -42,4 +43,5 @@ pub use oltp::OltpConfig;
 pub use record::{IoOp, Record, Trace};
 pub use samplers::{GapDistribution, ZipfSampler};
 pub use stats::{DiskStats, TraceStats};
-pub use synthetic::SyntheticConfig;
+pub use stream::{RecordStream, Workload};
+pub use synthetic::{SyntheticConfig, SyntheticStream};

@@ -163,6 +163,13 @@ impl Trace {
         &self.records
     }
 
+    /// Consumes the trace, returning its records (for adapters that
+    /// stream an eagerly-generated trace, e.g. [`crate::RecordStream`]).
+    #[must_use]
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+
     /// Iterates over the records in arrival order.
     pub fn iter(&self) -> std::slice::Iter<'_, Record> {
         self.records.iter()

@@ -1,0 +1,189 @@
+//! Streaming record iteration over the named workloads.
+//!
+//! Batch drivers materialize a whole [`Trace`] up front; an online load
+//! generator instead wants to *draw* requests while it runs, without
+//! bounding the run length at allocation time. [`Workload`] names the
+//! three standard workload families and [`Workload::stream`] yields their
+//! records one at a time:
+//!
+//! * `synthetic` streams truly lazily ([`crate::SyntheticConfig::stream`])
+//!   — memory use is O(recency stack), so an unbounded request budget is
+//!   fine.
+//! * `oltp` / `cello96` are two-phase generators (they sort an arrival
+//!   skeleton before materializing blocks), so their streams iterate an
+//!   eagerly generated trace; bound `requests` to what you will actually
+//!   send.
+
+use crate::synthetic::SyntheticStream;
+use crate::{CelloConfig, OltpConfig, Record, SyntheticConfig};
+
+/// One of the standard workload families, configured and ready to stream.
+///
+/// # Examples
+///
+/// ```
+/// use pc_trace::Workload;
+///
+/// let w = Workload::parse("synthetic").unwrap().with_requests(100);
+/// let records: Vec<_> = w.stream(7).collect();
+/// assert_eq!(records.len(), 100);
+/// // Same seed, same records — streams are deterministic.
+/// assert_eq!(records, w.stream(7).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// The Table-3 synthetic generator (lazy streaming).
+    Synthetic(SyntheticConfig),
+    /// The OLTP-like generator (eagerly generated, then streamed).
+    Oltp(OltpConfig),
+    /// The Cello96-like generator (eagerly generated, then streamed).
+    Cello(CelloConfig),
+}
+
+impl Workload {
+    /// Parses a workload name: `synthetic`, `oltp` or `cello96` (also
+    /// accepts `cello`), each with its default configuration.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Workload> {
+        match name {
+            "synthetic" => Some(Workload::Synthetic(SyntheticConfig::default())),
+            "oltp" => Some(Workload::Oltp(OltpConfig::default())),
+            "cello96" | "cello" => Some(Workload::Cello(CelloConfig::default())),
+            _ => None,
+        }
+    }
+
+    /// The canonical workload name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Synthetic(_) => "synthetic",
+            Workload::Oltp(_) => "oltp",
+            Workload::Cello(_) => "cello96",
+        }
+    }
+
+    /// Number of disks the workload addresses.
+    #[must_use]
+    pub fn disk_count(&self) -> u32 {
+        match self {
+            Workload::Synthetic(c) => c.disks,
+            Workload::Oltp(c) => c.disk_count(),
+            Workload::Cello(c) => c.disks,
+        }
+    }
+
+    /// Bounds the stream to `requests` records.
+    #[must_use]
+    pub fn with_requests(mut self, requests: usize) -> Workload {
+        match &mut self {
+            Workload::Synthetic(c) => c.requests = requests,
+            Workload::Oltp(c) => c.requests = requests,
+            Workload::Cello(c) => c.requests = requests,
+        }
+        self
+    }
+
+    /// The configured request bound.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        match self {
+            Workload::Synthetic(c) => c.requests,
+            Workload::Oltp(c) => c.requests,
+            Workload::Cello(c) => c.requests,
+        }
+    }
+
+    /// Streams the workload's records deterministically from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying generator rejects its configuration (see
+    /// each config type's `generate`).
+    #[must_use]
+    pub fn stream(&self, seed: u64) -> RecordStream {
+        let inner = match self {
+            Workload::Synthetic(c) => StreamInner::Lazy(c.stream(seed)),
+            Workload::Oltp(c) => StreamInner::Eager(c.generate(seed).into_records().into_iter()),
+            Workload::Cello(c) => StreamInner::Eager(c.generate(seed).into_records().into_iter()),
+        };
+        RecordStream { inner }
+    }
+}
+
+/// A deterministic iterator of workload records — see [`Workload::stream`].
+#[derive(Debug, Clone)]
+pub struct RecordStream {
+    inner: StreamInner,
+}
+
+#[derive(Debug, Clone)]
+enum StreamInner {
+    Lazy(SyntheticStream),
+    Eager(std::vec::IntoIter<Record>),
+}
+
+impl Iterator for RecordStream {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        match &mut self.inner {
+            StreamInner::Lazy(s) => s.next(),
+            StreamInner::Eager(s) => s.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    /// Load generators move streams into connection threads.
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn streams_are_send() {
+        assert_send::<RecordStream>();
+    }
+
+    #[test]
+    fn synthetic_stream_matches_eager_generate() {
+        let cfg = SyntheticConfig::default().with_requests(2_000);
+        let eager = cfg.generate(11);
+        let streamed: Vec<Record> = Workload::Synthetic(cfg).stream(11).collect();
+        assert_eq!(eager.records(), streamed.as_slice());
+    }
+
+    #[test]
+    fn eager_workloads_stream_their_generated_trace() {
+        for name in ["oltp", "cello96"] {
+            let w = Workload::parse(name).unwrap().with_requests(500);
+            let streamed: Vec<Record> = w.stream(3).collect();
+            assert_eq!(streamed.len(), 500, "{name}");
+            // Streamed records form a valid trace over the workload's disks.
+            let t = Trace::from_records(w.disk_count(), streamed);
+            assert_eq!(t.disk_count(), w.disk_count());
+        }
+    }
+
+    #[test]
+    fn parse_covers_the_three_families() {
+        assert_eq!(Workload::parse("synthetic").unwrap().name(), "synthetic");
+        assert_eq!(Workload::parse("oltp").unwrap().name(), "oltp");
+        assert_eq!(Workload::parse("cello96").unwrap().name(), "cello96");
+        assert_eq!(Workload::parse("cello").unwrap().name(), "cello96");
+        assert!(Workload::parse("nope").is_none());
+    }
+
+    #[test]
+    fn request_bound_is_respected_lazily() {
+        let w = Workload::parse("synthetic")
+            .unwrap()
+            .with_requests(usize::MAX);
+        // An effectively unbounded stream still yields on demand.
+        let first_10: Vec<Record> = w.stream(1).take(10).collect();
+        assert_eq!(first_10.len(), 10);
+        assert_eq!(w.requests(), usize::MAX);
+    }
+}

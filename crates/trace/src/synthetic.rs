@@ -128,62 +128,115 @@ impl SyntheticConfig {
 
     /// Generates a trace deterministically from a seed.
     ///
+    /// Collects [`SyntheticConfig::stream`], so the eager and streaming
+    /// paths produce identical records by construction.
+    ///
     /// # Panics
     ///
     /// Panics if the spatial probabilities sum to more than 1.
     #[must_use]
     pub fn generate(&self, seed: u64) -> Trace {
+        let mut trace = Trace::new(self.disks);
+        for record in self.stream(seed) {
+            trace.push(record);
+        }
+        trace
+    }
+
+    /// Lazily generates the trace, one record per `next()` call, without
+    /// materializing anything.
+    ///
+    /// This is the load-generator entry point: an online client can draw
+    /// requests for hours from a fixed-size iterator (set `requests` to
+    /// `usize::MAX` for an effectively unbounded stream). The stream and
+    /// [`SyntheticConfig::generate`] perform the identical sequence of RNG
+    /// draws, so for the same seed they yield the same records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spatial probabilities sum to more than 1.
+    #[must_use]
+    pub fn stream(&self, seed: u64) -> SyntheticStream {
         assert!(
             self.seq_probability + self.local_probability <= 1.0 + 1e-12,
             "sequential + local probabilities must not exceed 1"
         );
         let mut rng = StdRng::seed_from_u64(seed);
         let zipf = ZipfSampler::new(self.stack_depth.max(1), self.zipf_theta);
-        let mut trace = Trace::new(self.disks);
-        let mut now = SimTime::ZERO;
-        let mut last_block: Vec<u64> = (0..self.disks)
+        let last_block: Vec<u64> = (0..self.disks)
             .map(|_| rng.gen_range(0..self.disk_blocks))
             .collect();
-        let mut stacks: Vec<Vec<u64>> = vec![Vec::new(); self.disks as usize];
-
-        for _ in 0..self.requests {
-            now += self.gaps.sample(&mut rng);
-            let disk = rng.gen_range(0..self.disks);
-            let d = disk as usize;
-            let mut run = 1u64;
-            let block = if rng.gen::<f64>() < self.reuse_probability && !stacks[d].is_empty() {
-                // Temporal reuse: Zipf stack distance from the top.
-                let depth = zipf.sample(&mut rng).min(stacks[d].len());
-                let idx = stacks[d].len() - depth;
-                stacks[d][idx]
-            } else {
-                let spatial: f64 = rng.gen();
-                if spatial < self.seq_probability {
-                    // Sequential accesses stream a multi-block run.
-                    run = rng.gen_range(1..=self.max_run_blocks.max(1));
-                    ((last_block[d] + 1) % self.disk_blocks).min(self.disk_blocks - run)
-                } else if spatial < self.seq_probability + self.local_probability {
-                    let dist = rng.gen_range(1..=self.max_local_distance);
-                    (last_block[d] + dist) % self.disk_blocks
-                } else {
-                    rng.gen_range(0..self.disk_blocks)
-                }
-            };
-            last_block[d] = block + run - 1;
-            touch(&mut stacks[d], block, self.stack_depth);
-            let op = if rng.gen::<f64>() < self.write_ratio {
-                IoOp::Write
-            } else {
-                IoOp::Read
-            };
-            trace.push(Record {
-                time: now,
-                block: BlockId::new(DiskId::new(disk), BlockNo::new(block)),
-                blocks: run,
-                op,
-            });
+        let stacks: Vec<Vec<u64>> = vec![Vec::new(); self.disks as usize];
+        SyntheticStream {
+            cfg: self.clone(),
+            rng,
+            zipf,
+            now: SimTime::ZERO,
+            last_block,
+            stacks,
+            remaining: self.requests,
         }
-        trace
+    }
+}
+
+/// Lazy record iterator over a [`SyntheticConfig`] — see
+/// [`SyntheticConfig::stream`].
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    cfg: SyntheticConfig,
+    rng: StdRng,
+    zipf: ZipfSampler,
+    now: SimTime,
+    last_block: Vec<u64>,
+    stacks: Vec<Vec<u64>>,
+    remaining: usize,
+}
+
+impl Iterator for SyntheticStream {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let cfg = &self.cfg;
+        let rng = &mut self.rng;
+        self.now += cfg.gaps.sample(rng);
+        let disk = rng.gen_range(0..cfg.disks);
+        let d = disk as usize;
+        let mut run = 1u64;
+        let block = if rng.gen::<f64>() < cfg.reuse_probability && !self.stacks[d].is_empty() {
+            // Temporal reuse: Zipf stack distance from the top.
+            let depth = self.zipf.sample(rng).min(self.stacks[d].len());
+            let idx = self.stacks[d].len() - depth;
+            self.stacks[d][idx]
+        } else {
+            let spatial: f64 = rng.gen();
+            if spatial < cfg.seq_probability {
+                // Sequential accesses stream a multi-block run.
+                run = rng.gen_range(1..=cfg.max_run_blocks.max(1));
+                ((self.last_block[d] + 1) % cfg.disk_blocks).min(cfg.disk_blocks - run)
+            } else if spatial < cfg.seq_probability + cfg.local_probability {
+                let dist = rng.gen_range(1..=cfg.max_local_distance);
+                (self.last_block[d] + dist) % cfg.disk_blocks
+            } else {
+                rng.gen_range(0..cfg.disk_blocks)
+            }
+        };
+        self.last_block[d] = block + run - 1;
+        touch(&mut self.stacks[d], block, cfg.stack_depth);
+        let op = if rng.gen::<f64>() < cfg.write_ratio {
+            IoOp::Write
+        } else {
+            IoOp::Read
+        };
+        Some(Record {
+            time: self.now,
+            block: BlockId::new(DiskId::new(disk), BlockNo::new(block)),
+            blocks: run,
+            op,
+        })
     }
 }
 

@@ -1,0 +1,73 @@
+//! End-to-end tests of the serving layer: a real `pc-server` on a
+//! loopback socket driven by the real load generator, plus the
+//! deterministic in-process path the CI smoke job leans on.
+
+use std::sync::atomic::Ordering;
+
+use pc_server::{parse_stats_json, run_in_process, run_tcp, EngineConfig, LoadgenConfig, Server};
+use pc_sim::PolicySpec;
+use pc_trace::Workload;
+use pc_units::Joules;
+
+#[test]
+fn loadgen_drives_a_sharded_server_end_to_end() {
+    let shards = 4;
+    let engine = EngineConfig::new(shards, 4).with_policy(PolicySpec::PaLru);
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind loopback");
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = server.stop_flag();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+
+    let report = run_tcp(&LoadgenConfig {
+        conns: 4,
+        secs: 0.5,
+        ..LoadgenConfig::new(addr)
+    })
+    .expect("load generation");
+
+    assert!(report.responses > 0, "no responses came back");
+    assert_eq!(report.sent, report.responses, "responses were lost");
+    assert!(report.hit_ratio() > 0.0, "zipf traffic must hit sometimes");
+
+    // The STATS snapshot parsed and covers every shard with real energy.
+    let summary = parse_stats_json(&report.stats_json).expect("stats JSON parses");
+    assert_eq!(summary.shard_energy_j.len(), shards);
+    assert!(
+        summary.shard_energy_j.iter().all(|&e| e > 0.0),
+        "every active shard accounts energy: {:?}",
+        summary.shard_energy_j
+    );
+    assert!(summary.requests >= report.responses);
+
+    // Graceful drain: flag, join, closed books in the final snapshot.
+    stop.store(true, Ordering::Relaxed);
+    let run = daemon.join().expect("daemon thread");
+    assert_eq!(run.snapshot.total_requests(), report.responses);
+    assert!(run.snapshot.total_energy() > Joules::ZERO);
+    // Final (closed-books) energy is at least the live STATS energy.
+    assert!(run.snapshot.total_energy().as_joules() >= summary.energy_j - 1e-9);
+}
+
+#[test]
+fn shutdown_opcode_drains_the_server() {
+    let server = Server::bind("127.0.0.1:0", EngineConfig::new(2, 2)).expect("bind");
+    let addr = server.local_addr().unwrap().to_string();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+    pc_server::loadgen::send_shutdown(&addr).expect("shutdown handshake");
+    let run = daemon.join().expect("daemon thread");
+    assert_eq!(run.snapshot.total_requests(), 0);
+}
+
+#[test]
+fn in_process_mode_matches_itself_across_runs_for_every_workload() {
+    for name in ["synthetic", "oltp", "cello96"] {
+        let workload = Workload::parse(name).unwrap().with_requests(3_000);
+        let engine = EngineConfig::new(3, workload.disk_count());
+        let (r1, h1, s1) = run_in_process(&engine, &workload, 11);
+        let (r2, h2, s2) = run_in_process(&engine, &workload, 11);
+        assert_eq!(r1, 3_000, "{name}");
+        assert_eq!((r1, h1), (r2, h2), "{name}");
+        assert_eq!(s1.to_json(), s2.to_json(), "{name}: snapshots diverged");
+        assert!(s1.total_energy() > Joules::ZERO, "{name}");
+    }
+}
