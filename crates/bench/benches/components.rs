@@ -5,11 +5,12 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use pc_cache::policy::{Opg, OpgDpm};
 use pc_cache::{BloomFilter, IntervalHistogram};
 use pc_diskmodel::{DiskPowerSpec, PowerModel, ServiceModel, ServiceRequest};
 use pc_disksim::{DiskSim, DpmPolicy};
 use pc_trace::{CelloConfig, OltpConfig, SyntheticConfig};
-use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
+use pc_units::{BlockId, BlockNo, DiskId, Joules, SimDuration, SimTime};
 
 fn bench_power_model(c: &mut Criterion) {
     let model = PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15());
@@ -31,6 +32,55 @@ fn bench_power_model(c: &mut Criterion) {
     g.bench_function("build_multi_speed", |b| {
         b.iter(|| black_box(PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15())))
     });
+    g.finish();
+}
+
+/// The precomputed [`pc_diskmodel::IdleEnergyTable`] segment lookups
+/// against the mode/ladder scans they replaced (the `*_scan` twins are
+/// bit-identical by construction — see the pricing equivalence tests —
+/// so these pairs isolate the speedup itself). Gaps sweep 0–600 s in
+/// pseudo-random microsecond steps, covering every table segment.
+fn bench_pricing_table_vs_scan(c: &mut Criterion) {
+    let model = PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15());
+    let next_gap = |s: &mut u64| {
+        *s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        SimDuration::from_micros(*s % 600_000_000)
+    };
+    let mut g = c.benchmark_group("pricing");
+    g.bench_function("lower_envelope/table", |b| {
+        let mut s = 1u64;
+        b.iter(|| black_box(model.lower_envelope(next_gap(&mut s))))
+    });
+    g.bench_function("lower_envelope/scan", |b| {
+        let mut s = 1u64;
+        b.iter(|| black_box(model.lower_envelope_scan(next_gap(&mut s))))
+    });
+    g.bench_function("practical_idle_energy/table", |b| {
+        let mut s = 1u64;
+        b.iter(|| black_box(model.practical_idle_energy(next_gap(&mut s))))
+    });
+    g.bench_function("practical_idle_energy/scan", |b| {
+        let mut s = 1u64;
+        b.iter(|| black_box(model.practical_idle_energy_scan(next_gap(&mut s))))
+    });
+    // The full OPG penalty (three idle-energy prices per call) over real
+    // deterministic-miss times from a cello-like trace.
+    let trace = CelloConfig::default().with_requests(2_000).generate(1);
+    let disk = DiskId::new(0);
+    for (name, scan) in [("penalty_at/table", false), ("penalty_at/scan", true)] {
+        let opg = Opg::new(&trace, model.clone(), OpgDpm::Practical, Joules::ZERO);
+        g.bench_function(name, |b| {
+            let mut s = 1u64;
+            b.iter(|| {
+                let x = next_gap(&mut s).as_micros();
+                black_box(if scan {
+                    opg.penalty_probe_scan(disk, x)
+                } else {
+                    opg.penalty_probe(disk, x)
+                })
+            })
+        });
+    }
     g.finish();
 }
 
@@ -100,6 +150,7 @@ fn bench_trace_generation(c: &mut Criterion) {
 criterion_group!(
     components,
     bench_power_model,
+    bench_pricing_table_vs_scan,
     bench_disk_state_machine,
     bench_bloom_and_histogram,
     bench_trace_generation

@@ -1,0 +1,190 @@
+//! A hierarchical dense bitset with ordered-neighbour queries.
+//!
+//! [`DenseBits`] stores membership over a fixed universe `0..len` and
+//! answers *predecessor* ([`last_set_before`](DenseBits::last_set_before))
+//! and *successor* ([`first_set_at_or_after`](DenseBits::first_set_at_or_after))
+//! queries in O(log₆₄ n) word operations: each level summarizes 64 words
+//! of the level below with one bit, so a query walks up until a word has
+//! a candidate bit and back down to the exact index. This replaces the
+//! `BTreeMap`/`BTreeSet` range scans on OPG's per-disk deterministic-miss
+//! and residency structures with flat `Vec<u64>` arithmetic.
+
+/// A fixed-universe bitset answering predecessor/successor queries via a
+/// 64-ary summary hierarchy.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseBits {
+    /// `layers[0]` is the bit array; bit `i` of `layers[k + 1]` is set iff
+    /// word `i` of `layers[k]` is non-zero. The top layer is one word.
+    layers: Vec<Vec<u64>>,
+    len: usize,
+}
+
+impl DenseBits {
+    /// An empty set over the universe `0..len`.
+    pub(crate) fn new(len: usize) -> Self {
+        let mut layers = Vec::new();
+        let mut n = len.max(1);
+        loop {
+            let words = n.div_ceil(64);
+            layers.push(vec![0u64; words]);
+            if words <= 1 {
+                break;
+            }
+            n = words;
+        }
+        DenseBits { layers, len }
+    }
+
+    /// Whether `i` is in the set.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        self.layers[0][i >> 6] & (1 << (i & 63)) != 0
+    }
+
+    /// Inserts `i`.
+    #[inline]
+    pub(crate) fn set(&mut self, mut i: usize) {
+        debug_assert!(i < self.len);
+        for layer in &mut self.layers {
+            let word = &mut layer[i >> 6];
+            let was = *word;
+            *word |= 1 << (i & 63);
+            if was != 0 {
+                break; // summaries above are already set
+            }
+            i >>= 6;
+        }
+    }
+
+    /// Removes `i` (no-op if absent).
+    #[inline]
+    pub(crate) fn clear(&mut self, mut i: usize) {
+        debug_assert!(i < self.len);
+        for layer in &mut self.layers {
+            let word = &mut layer[i >> 6];
+            *word &= !(1 << (i & 63));
+            if *word != 0 {
+                break; // summary bit above stays set
+            }
+            i >>= 6;
+        }
+    }
+
+    /// The smallest member `>= from`, if any.
+    pub(crate) fn first_set_at_or_after(&self, from: usize) -> Option<usize> {
+        let mut i = from;
+        let mut level = 0;
+        loop {
+            let word_idx = i >> 6;
+            let &word = self.layers[level].get(word_idx)?;
+            let masked = word & (!0u64 << (i & 63));
+            if masked != 0 {
+                i = (word_idx << 6) + masked.trailing_zeros() as usize;
+                while level > 0 {
+                    level -= 1;
+                    let word = self.layers[level][i];
+                    i = (i << 6) + word.trailing_zeros() as usize;
+                }
+                return Some(i);
+            }
+            level += 1;
+            if level == self.layers.len() {
+                return None;
+            }
+            i = word_idx + 1;
+        }
+    }
+
+    /// The largest member `< before`, if any.
+    pub(crate) fn last_set_before(&self, before: usize) -> Option<usize> {
+        if before == 0 {
+            return None;
+        }
+        let mut i = (before - 1).min(self.len.saturating_sub(1));
+        let mut level = 0;
+        loop {
+            let word_idx = i >> 6;
+            let masked = self.layers[level][word_idx] & (!0u64 >> (63 - (i & 63)));
+            if masked != 0 {
+                i = (word_idx << 6) + 63 - masked.leading_zeros() as usize;
+                while level > 0 {
+                    level -= 1;
+                    let word = self.layers[level][i];
+                    i = (i << 6) + 63 - word.leading_zeros() as usize;
+                }
+                return Some(i);
+            }
+            if word_idx == 0 {
+                return None;
+            }
+            level += 1;
+            if level == self.layers.len() {
+                return None;
+            }
+            i = word_idx - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn neighbour_queries_match_a_btreeset_oracle() {
+        let mut state = 0xD15Cu64;
+        let mut rand = move |m: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % m as u64) as usize
+        };
+        for len in [1usize, 63, 64, 65, 4096, 4097, 100_000] {
+            let mut bits = DenseBits::new(len);
+            let mut oracle = BTreeSet::new();
+            for _ in 0..2_000 {
+                let i = rand(len);
+                match rand(3) {
+                    0 => {
+                        bits.set(i);
+                        oracle.insert(i);
+                    }
+                    1 => {
+                        bits.clear(i);
+                        oracle.remove(&i);
+                    }
+                    _ => {
+                        assert_eq!(bits.get(i), oracle.contains(&i), "get({i}) len {len}");
+                        assert_eq!(
+                            bits.first_set_at_or_after(i),
+                            oracle.range(i..).next().copied(),
+                            "succ({i}) len {len}"
+                        );
+                        assert_eq!(
+                            bits.last_set_before(i),
+                            oracle.range(..i).next_back().copied(),
+                            "pred({i}) len {len}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(bits.first_set_at_or_after(len), None);
+            assert_eq!(bits.last_set_before(0), None);
+        }
+    }
+
+    #[test]
+    fn empty_and_boundary_universes() {
+        let bits = DenseBits::new(0);
+        assert_eq!(bits.first_set_at_or_after(0), None);
+        assert_eq!(bits.last_set_before(0), None);
+
+        let mut one = DenseBits::new(1);
+        one.set(0);
+        assert_eq!(one.first_set_at_or_after(0), Some(0));
+        assert_eq!(one.last_set_before(1), Some(0));
+        one.clear(0);
+        assert_eq!(one.first_set_at_or_after(0), None);
+    }
+}

@@ -5,10 +5,22 @@
 //! paper uses a Bloom filter: for an estimated 10⁷ blocks, 4 hash
 //! functions and a vector of a few megabits keep the false-positive
 //! probability negligible.
+//!
+//! This implementation is *blocked* (Putze, Sanders & Singler, "Cache-,
+//! hash- and space-efficient Bloom filters"): each key's probe bits all
+//! land in one 512-bit line, so `insert_check` — called once per cache
+//! access on PA-LRU's hot path — costs a single cache-line touch instead
+//! of `hashes` scattered ones. The false-positive rate is marginally
+//! higher than a fully scattered layout at the same size, which is
+//! irrelevant at the sizing above.
 
 use pc_units::BlockId;
 
-/// A fixed-size Bloom filter over [`BlockId`]s.
+/// Bits per probe line. One line = eight `u64` words = 64 bytes, one
+/// hardware cache line.
+const LINE_BITS: u64 = 512;
+
+/// A fixed-size blocked Bloom filter over [`BlockId`]s.
 ///
 /// `insert_check` returns whether the block was *possibly present*; a
 /// `false` answer is definitive ("definitely never seen" → cold miss).
@@ -27,14 +39,15 @@ use pc_units::BlockId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BloomFilter {
     bits: Vec<u64>,
-    mask: u64,
+    /// Number of 512-bit lines minus one (line count is a power of two).
+    line_mask: u64,
     hashes: u32,
     insertions: u64,
 }
 
 impl BloomFilter {
     /// Creates a filter with `bits` bits (rounded up to a power of two,
-    /// minimum 64) and `hashes` hash functions.
+    /// minimum one 512-bit line) and `hashes` hash functions.
     ///
     /// # Panics
     ///
@@ -42,10 +55,10 @@ impl BloomFilter {
     #[must_use]
     pub fn new(bits: usize, hashes: u32) -> Self {
         assert!(hashes > 0, "need at least one hash function");
-        let bits = bits.next_power_of_two().max(64);
+        let bits = bits.next_power_of_two().max(LINE_BITS as usize);
         BloomFilter {
             bits: vec![0; bits / 64],
-            mask: bits as u64 - 1,
+            line_mask: bits as u64 / LINE_BITS - 1,
             hashes,
             insertions: 0,
         }
@@ -64,10 +77,35 @@ impl BloomFilter {
     /// inserts it. A `false` return is a guaranteed first sighting.
     pub fn insert_check(&mut self, block: BlockId) -> bool {
         let (h1, h2) = self.base_hashes(block);
+        let base = self.line_base(h1);
+        if self.hashes == 4 {
+            // Unrolled hot path (the paper's k = 4). With an odd stride
+            // the four in-line positions are pairwise distinct mod 512,
+            // so reading the pre-insert state with independent loads and
+            // OR-storing afterwards is exactly the generic loop's result.
+            let b0 = h1 % LINE_BITS;
+            let b1 = h1.wrapping_add(h2) % LINE_BITS;
+            let b2 = h1.wrapping_add(h2.wrapping_mul(2)) % LINE_BITS;
+            let b3 = h1.wrapping_add(h2.wrapping_mul(3)) % LINE_BITS;
+            let (i0, m0) = (base + (b0 / 64) as usize, 1u64 << (b0 % 64));
+            let (i1, m1) = (base + (b1 / 64) as usize, 1u64 << (b1 % 64));
+            let (i2, m2) = (base + (b2 / 64) as usize, 1u64 << (b2 % 64));
+            let (i3, m3) = (base + (b3 / 64) as usize, 1u64 << (b3 % 64));
+            let (w0, w1, w2, w3) = (self.bits[i0], self.bits[i1], self.bits[i2], self.bits[i3]);
+            let present = (w0 & m0 != 0) & (w1 & m1 != 0) & (w2 & m2 != 0) & (w3 & m3 != 0);
+            if !present {
+                self.bits[i0] |= m0;
+                self.bits[i1] |= m1;
+                self.bits[i2] |= m2;
+                self.bits[i3] |= m3;
+                self.insertions += 1;
+            }
+            return present;
+        }
         let mut present = true;
         for k in 0..u64::from(self.hashes) {
-            let bit = h1.wrapping_add(k.wrapping_mul(h2)) & self.mask;
-            let (word, shift) = ((bit / 64) as usize, bit % 64);
+            let bit = h1.wrapping_add(k.wrapping_mul(h2)) % LINE_BITS;
+            let (word, shift) = (base + (bit / 64) as usize, bit % 64);
             if self.bits[word] & (1 << shift) == 0 {
                 present = false;
                 self.bits[word] |= 1 << shift;
@@ -83,9 +121,10 @@ impl BloomFilter {
     #[must_use]
     pub fn contains(&self, block: BlockId) -> bool {
         let (h1, h2) = self.base_hashes(block);
+        let base = self.line_base(h1);
         (0..u64::from(self.hashes)).all(|k| {
-            let bit = h1.wrapping_add(k.wrapping_mul(h2)) & self.mask;
-            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+            let bit = h1.wrapping_add(k.wrapping_mul(h2)) % LINE_BITS;
+            self.bits[base + (bit / 64) as usize] & (1 << (bit % 64)) != 0
         })
     }
 
@@ -93,6 +132,13 @@ impl BloomFilter {
     #[must_use]
     pub fn distinct_insertions(&self) -> u64 {
         self.insertions
+    }
+
+    /// First word index of the probe line for `h1`. The line is chosen
+    /// by h1's *high* bits; in-line positions use the low bits.
+    #[inline]
+    fn line_base(&self, h1: u64) -> usize {
+        (((h1 >> 32) & self.line_mask) * (LINE_BITS / 64)) as usize
     }
 
     /// Double hashing: two independent 64-bit hashes of the block address.
@@ -170,5 +216,61 @@ mod tests {
     #[should_panic(expected = "hash")]
     fn rejects_zero_hashes() {
         let _ = BloomFilter::new(64, 0);
+    }
+
+    #[test]
+    fn unrolled_four_hash_path_matches_the_generic_loop() {
+        // Reference: the generic probe loop, replayed on a shadow bit
+        // array. The unrolled fast path must produce identical bits,
+        // identical return values and an identical insertion count.
+        let mut f = BloomFilter::new(1 << 12, 4);
+        let mut shadow = vec![0u64; (1usize << 12) / 64];
+        let mut shadow_insertions = 0u64;
+        let mut state = 0x5EEDu64;
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let block = blk((state % 5) as u32, state % 300);
+            let (h1, h2) = f.base_hashes(block);
+            let base = f.line_base(h1);
+            let mut present = true;
+            for k in 0..4u64 {
+                let bit = h1.wrapping_add(k.wrapping_mul(h2)) % LINE_BITS;
+                let (word, shift) = (base + (bit / 64) as usize, bit % 64);
+                if shadow[word] & (1 << shift) == 0 {
+                    present = false;
+                    shadow[word] |= 1 << shift;
+                }
+            }
+            if !present {
+                shadow_insertions += 1;
+            }
+            assert_eq!(f.insert_check(block), present);
+        }
+        assert_eq!(f.bits, shadow);
+        assert_eq!(f.distinct_insertions(), shadow_insertions);
+    }
+
+    #[test]
+    fn probes_stay_within_one_line() {
+        // The blocked layout's contract: all of a key's probe words fall
+        // inside one 512-bit line, so an insert touches one cache line.
+        let f = BloomFilter::new(1 << 14, 4);
+        let mut state = 0xB10Cu64;
+        for _ in 0..5_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let block = blk((state % 9) as u32, state);
+            let (h1, h2) = f.base_hashes(block);
+            let base = f.line_base(h1);
+            for k in 0..4u64 {
+                let bit = h1.wrapping_add(k.wrapping_mul(h2)) % LINE_BITS;
+                let word = base + (bit / 64) as usize;
+                assert!(word >= base && word < base + 8);
+                assert!(word < f.bits.len());
+            }
+        }
     }
 }

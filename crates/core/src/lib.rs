@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bits;
 mod bloom;
 mod cache;
 mod effects;

@@ -358,6 +358,65 @@ mod tests {
     }
 
     #[test]
+    fn opg_never_beats_the_exact_optimum_on_tiny_traces() {
+        // Property: OPG's schedule is one of the demand-paging schedules
+        // `min_energy` searches over, so its evaluated energy can never
+        // fall below the exact optimum — under either pricing mode, on
+        // randomized tiny multi-disk traces. A violation means either the
+        // cache drove OPG outside the demand-paging space or the exact
+        // search is missing schedules.
+        use crate::policy::{Opg, OpgDpm};
+        use pc_diskmodel::{DiskPowerSpec, PowerModel};
+        use pc_trace::{IoOp, Record};
+        use pc_units::{BlockNo, DiskId};
+
+        let e = fig3_energy();
+        let mut state = 0x0D15_C0DEu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..40 {
+            let disks = 2u32;
+            let len = 8 + (rng() % 5) as usize; // 8..=12 accesses
+            let mut t = Trace::new(disks);
+            let mut time = 0u64;
+            for _ in 0..len {
+                time += 1 + rng() % 8; // strictly increasing, 1..=8 s gaps
+                let block = BlockId::new(
+                    DiskId::new((rng() % u64::from(disks)) as u32),
+                    BlockNo::new(rng() % 4),
+                );
+                t.push(Record::new(SimTime::from_secs(time), block, IoOp::Read));
+            }
+            let capacity = 2 + (rng() % 2) as usize;
+            let horizon = SimTime::from_secs(time + 15);
+            let optimal = min_energy(&t, capacity, horizon, Joules::ZERO, &e);
+            for dpm in [OpgDpm::Oracle, OpgDpm::Practical] {
+                let power = PowerModel::multi_speed(&DiskPowerSpec::ultrastar_36z15());
+                let opg = Opg::new(&t, power, dpm, Joules::ZERO);
+                let mut cache = BlockCache::new(capacity, Box::new(opg), WritePolicy::WriteBack);
+                let mut per_disk: Vec<Vec<SimTime>> = vec![Vec::new(); disks as usize];
+                for r in &t {
+                    if !cache.access_alloc(r, |_| false).hit {
+                        per_disk[r.block.disk().as_usize()].push(r.time);
+                    }
+                }
+                let opg_energy = per_disk.iter().fold(Joules::ZERO, |acc, activities| {
+                    acc + miss_sequence_energy(activities, horizon, Joules::ZERO, &e)
+                });
+                assert!(
+                    optimal.energy <= opg_energy + Joules::new(1e-9),
+                    "case {case} {dpm:?} cap {capacity}: optimal {} beat by opg {opg_energy}",
+                    optimal.energy
+                );
+            }
+        }
+    }
+
+    #[test]
     fn multi_disk_instances_search_correctly() {
         use pc_trace::Record;
         use pc_units::{BlockNo, DiskId};

@@ -7,8 +7,6 @@
 //! (histogram), and classifies each disk as *priority* (few cold
 //! accesses **and** long intervals with high probability) or *regular*.
 
-use rustc_hash::FxHashMap;
-
 use pc_units::{DiskId, SimDuration, SimTime};
 
 use crate::policy::PaLruConfig;
@@ -47,8 +45,10 @@ struct DiskTracker {
 pub struct DiskClassifier {
     config: PaLruConfig,
     bloom: BloomFilter,
-    trackers: FxHashMap<DiskId, DiskTracker>,
-    priority: FxHashMap<DiskId, bool>,
+    /// Per-epoch statistics, indexed by disk (`DiskId` is dense).
+    trackers: Vec<DiskTracker>,
+    /// Current class per disk (`true` = priority); grows with `trackers`.
+    priority: Vec<bool>,
     epoch_end: Option<SimTime>,
     epochs_completed: u64,
 }
@@ -61,10 +61,18 @@ impl DiskClassifier {
         DiskClassifier {
             config,
             bloom,
-            trackers: FxHashMap::default(),
-            priority: FxHashMap::default(),
+            trackers: Vec::new(),
+            priority: Vec::new(),
             epoch_end: None,
             epochs_completed: 0,
+        }
+    }
+
+    /// Grows the disk-indexed arrays to cover `disk`.
+    fn ensure_disk(&mut self, disk: usize) {
+        if disk >= self.trackers.len() {
+            self.trackers.resize_with(disk + 1, DiskTracker::default);
+            self.priority.resize(disk + 1, false);
         }
     }
 
@@ -72,9 +80,10 @@ impl DiskClassifier {
     /// the disk). Must be called for every access, in time order.
     pub fn observe(&mut self, block: pc_units::BlockId, time: SimTime, miss: bool) {
         self.maybe_roll_epoch(time);
-        let disk = block.disk();
+        let d = block.disk().as_usize();
+        self.ensure_disk(d);
         let seen_before = self.bloom.insert_check(block);
-        let tracker = self.trackers.entry(disk).or_default();
+        let tracker = &mut self.trackers[d];
         tracker.accesses += 1;
         if !seen_before {
             tracker.cold += 1;
@@ -93,8 +102,9 @@ impl DiskClassifier {
 
     /// Whether `disk` is currently classified as priority.
     #[must_use]
+    #[inline]
     pub fn is_priority(&self, disk: DiskId) -> bool {
-        self.priority.get(&disk).copied().unwrap_or(false)
+        self.priority.get(disk.as_usize()).copied().unwrap_or(false)
     }
 
     /// Number of completed classification epochs.
@@ -106,7 +116,8 @@ impl DiskClassifier {
     /// Test-only hook: force a disk into the priority class.
     #[cfg(test)]
     pub(crate) fn force_priority(&mut self, disk: DiskId) {
-        self.priority.insert(disk, true);
+        self.ensure_disk(disk.as_usize());
+        self.priority[disk.as_usize()] = true;
     }
 
     fn maybe_roll_epoch(&mut self, time: SimTime) {
@@ -114,7 +125,7 @@ impl DiskClassifier {
         if time < end {
             return;
         }
-        for (&disk, tracker) in &mut self.trackers {
+        for (disk, tracker) in self.trackers.iter_mut().enumerate() {
             if tracker.accesses == 0 {
                 continue; // silent disk: keep its previous class
             }
@@ -127,7 +138,7 @@ impl DiskClassifier {
             };
             let is_priority = cold_fraction <= self.config.cold_threshold
                 && quantile >= self.config.interval_threshold;
-            self.priority.insert(disk, is_priority);
+            self.priority[disk] = is_priority;
             tracker.accesses = 0;
             tracker.cold = 0;
             if let Some(h) = tracker.intervals.as_mut() {
@@ -188,6 +199,50 @@ mod tests {
             c.observe(blk(0, i % 3), SimTime::from_secs(i * 20), true);
         }
         assert!(c.is_priority(DiskId::new(0)));
+    }
+
+    #[test]
+    fn epoch_roll_decisions_are_pinned() {
+        // Pins the exact classification sequence across two epoch rolls,
+        // guarding the disk-indexed rewrite against semantic drift: the
+        // same accesses must yield the same decisions and the same epoch
+        // count as the map-based implementation did.
+        let mut c = DiskClassifier::new(config(100));
+        let disk = |d| DiskId::new(d);
+        // Epoch 1 (t < 100):
+        //   disk 0 — warm 2-block set, 25 s gaps  → priority
+        //   disk 1 — all-cold stream, 25 s gaps   → regular (cold fraction 1)
+        //   disk 2 — warm 2-block set, 5 s gaps   → regular (short intervals)
+        for i in 0..4u64 {
+            c.observe(blk(0, i % 2), SimTime::from_secs(i * 25), true);
+            c.observe(blk(1, 100 + i), SimTime::from_secs(i * 25), true);
+        }
+        for i in 0..16u64 {
+            c.observe(blk(2, 200 + i % 2), SimTime::from_secs(i * 5), true);
+        }
+        assert_eq!(c.epochs_completed(), 0, "still inside the first epoch");
+        // First access at t >= 100 rolls the epoch before being counted.
+        c.observe(blk(0, 0), SimTime::from_secs(100), true);
+        assert_eq!(c.epochs_completed(), 1);
+        assert!(c.is_priority(disk(0)), "warm long-gap disk is priority");
+        assert!(!c.is_priority(disk(1)), "cold stream stays regular");
+        assert!(!c.is_priority(disk(2)), "short-gap disk stays regular");
+        // Epoch 2 (100 <= t < 200): disk 0 turns into an all-cold stream
+        // and must flip to regular at the next roll, while disk 1 re-uses
+        // its epoch-1 blocks with long gaps and must flip to priority.
+        for i in 1..4u64 {
+            c.observe(blk(0, 1_000 + i), SimTime::from_secs(100 + i * 25), true);
+            c.observe(blk(1, 100 + i), SimTime::from_secs(100 + i * 25), true);
+        }
+        c.observe(blk(0, 0), SimTime::from_secs(200), true);
+        assert_eq!(c.epochs_completed(), 2);
+        assert!(!c.is_priority(disk(0)), "disk 0 flips to regular");
+        assert!(c.is_priority(disk(1)), "disk 1 flips to priority");
+        assert!(
+            !c.is_priority(disk(2)),
+            "silent disk 2 keeps its previous class"
+        );
+        assert!(!c.is_priority(disk(3)), "never-seen disks default regular");
     }
 
     #[test]

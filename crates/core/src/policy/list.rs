@@ -203,6 +203,150 @@ impl IndexList {
     }
 }
 
+/// Marker for "not linked into either list" in [`PairedList`].
+const UNLINKED: u8 = u8::MAX;
+
+/// Two intrusive lists sharing one set of link arrays.
+///
+/// PA-LRU keeps every resident block in exactly one of two LRU stacks
+/// (LRU0 = regular disks, LRU1 = priority disks). With two independent
+/// [`IndexList`]s, re-homing a block means speculative removes against
+/// both lists' link arrays — four parallel `Vec`s of random-index
+/// traffic per access. Sharing `prev`/`next` across the pair makes a
+/// removal one splice regardless of which stack holds the slot, with a
+/// per-slot membership byte selecting the head/tail pair to patch.
+///
+/// # Examples
+///
+/// ```
+/// use pc_cache::policy::PairedList;
+/// use pc_cache::Slot;
+///
+/// let mut stacks = PairedList::new();
+/// stacks.push_front(Slot::new(0), 0);
+/// stacks.push_front(Slot::new(1), 1);
+/// stacks.remove(Slot::new(0)); // no need to know which stack held it
+/// assert_eq!(stacks.pop_back(1), Some(Slot::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PairedList {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    /// Which list (`0` or `1`) each slot is linked into, or [`UNLINKED`].
+    member: Vec<u8>,
+    head: [u32; 2],
+    tail: [u32; 2],
+    len: [usize; 2],
+}
+
+impl Default for PairedList {
+    fn default() -> Self {
+        PairedList::new()
+    }
+}
+
+impl PairedList {
+    /// Creates an empty pair of lists.
+    #[must_use]
+    pub fn new() -> Self {
+        PairedList {
+            prev: Vec::new(),
+            next: Vec::new(),
+            member: Vec::new(),
+            head: [NIL; 2],
+            tail: [NIL; 2],
+            len: [0; 2],
+        }
+    }
+
+    /// Number of slots linked into list `which`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `which > 1`.
+    #[must_use]
+    pub fn len(&self, which: usize) -> usize {
+        self.len[which]
+    }
+
+    /// Which list `slot` is linked into, if any.
+    #[must_use]
+    pub fn list_of(&self, slot: Slot) -> Option<usize> {
+        match self.member.get(slot.index()).copied() {
+            Some(m) if m != UNLINKED => Some(usize::from(m)),
+            _ => None,
+        }
+    }
+
+    fn ensure(&mut self, index: usize) {
+        if index >= self.member.len() {
+            self.prev.resize(index + 1, NIL);
+            self.next.resize(index + 1, NIL);
+            self.member.resize(index + 1, UNLINKED);
+        }
+    }
+
+    /// Links `slot` at the front of list `which`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `which > 1`, and (in debug builds) if `slot` is already
+    /// linked into either list.
+    pub fn push_front(&mut self, slot: Slot, which: usize) {
+        let i = slot.index() as u32;
+        self.ensure(slot.index());
+        debug_assert!(self.member[slot.index()] == UNLINKED, "slot already linked");
+        self.prev[slot.index()] = NIL;
+        self.next[slot.index()] = self.head[which];
+        if self.head[which] != NIL {
+            self.prev[self.head[which] as usize] = i;
+        } else {
+            self.tail[which] = i;
+        }
+        self.head[which] = i;
+        self.member[slot.index()] = which as u8;
+        self.len[which] += 1;
+    }
+
+    /// Unlinks `slot` from whichever list holds it; returns whether it
+    /// was linked.
+    pub fn remove(&mut self, slot: Slot) -> bool {
+        let i = slot.index();
+        let Some(which) = self.list_of(slot) else {
+            return false;
+        };
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head[which] = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail[which] = p;
+        }
+        self.member[i] = UNLINKED;
+        self.len[which] -= 1;
+        true
+    }
+
+    /// Unlinks and returns the back (coldest) slot of list `which`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `which > 1`.
+    pub fn pop_back(&mut self, which: usize) -> Option<Slot> {
+        let tail = self.tail[which];
+        if tail == NIL {
+            return None;
+        }
+        let slot = Slot::new(tail);
+        self.remove(slot);
+        Some(slot)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +424,57 @@ mod tests {
         assert_eq!(l.pop_back(), Some(s(9)));
         assert!(l.is_empty());
         assert_eq!(l.pop_front(), None);
+    }
+
+    #[test]
+    fn paired_list_matches_two_index_lists() {
+        // Oracle: a PairedList must behave exactly like two independent
+        // IndexLists under a randomized push/remove/pop workload.
+        let mut paired = PairedList::new();
+        let mut oracle = [IndexList::new(), IndexList::new()];
+        let mut state = 0x9A17u64;
+        let mut rand = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _ in 0..20_000 {
+            let slot = s(rand(64) as u32);
+            let which = rand(2) as usize;
+            match rand(3) {
+                0 => {
+                    let linked = paired.list_of(slot).is_some();
+                    assert_eq!(linked, oracle[0].contains(slot) || oracle[1].contains(slot));
+                    if !linked {
+                        paired.push_front(slot, which);
+                        oracle[which].push_front(slot);
+                    }
+                }
+                1 => {
+                    let removed = paired.remove(slot);
+                    let expect = oracle[0].remove(slot) || oracle[1].remove(slot);
+                    assert_eq!(removed, expect);
+                }
+                _ => {
+                    assert_eq!(paired.pop_back(which), oracle[which].pop_back());
+                }
+            }
+            assert_eq!(paired.len(0), oracle[0].len());
+            assert_eq!(paired.len(1), oracle[1].len());
+        }
+    }
+
+    #[test]
+    fn paired_list_tracks_membership() {
+        let mut p = PairedList::new();
+        assert_eq!(p.list_of(s(3)), None);
+        p.push_front(s(3), 1);
+        assert_eq!(p.list_of(s(3)), Some(1));
+        assert!(p.remove(s(3)));
+        assert_eq!(p.list_of(s(3)), None);
+        assert!(!p.remove(s(3)));
+        assert_eq!(p.pop_back(0), None);
+        assert_eq!(p.pop_back(1), None);
     }
 }

@@ -39,7 +39,7 @@ pub use belady::{min_misses, Belady};
 pub use classifier::DiskClassifier;
 pub use fifo::Fifo;
 pub use lirs::Lirs;
-pub use list::IndexList;
+pub use list::{IndexList, PairedList};
 pub use lru::Lru;
 pub use mq::Mq;
 pub use opg::{Opg, OpgDpm};

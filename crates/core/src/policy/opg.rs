@@ -30,19 +30,29 @@
 //! blocks whose next access falls inside the gap that contained `t`; and
 //! servicing a miss at `t` replaces "leader = det-miss at `t`" with
 //! "leader = disk last active at `t`", leaving every penalty unchanged.
-//! Victims come from an ordered set keyed by
-//! `(rounded penalty, −next-access-time, block)`, so eviction is O(log n).
-//! A naive re-scan eviction mode is kept for property-testing equivalence.
+//!
+//! All state lives in dense arrays — no maps or trees on the per-access
+//! path. Every deterministic-miss or next-access instant is a trace access
+//! time, so each disk gets a *position space*: its accesses in trace order,
+//! with equal-time runs collapsed onto a canonical position
+//! (`canon`/`pos_of`). Deterministic-miss multiplicities and resident
+//! next-access buckets are per-position arrays, with a hierarchical bitset
+//! ([`DenseBits`]) per disk giving predecessor/successor instants in
+//! O(log₆₄ n) word steps. Resident blocks are slot-indexed (`Slot` is
+//! dense): per-slot parallel arrays hold the block, its raw next index,
+//! its eviction key, and intrusive bucket links. Victims come from an
+//! index-tracking binary min-heap over slots ordered by
+//! `(rounded penalty, −next-access-time, block)` — the same total order
+//! the previous `BTreeSet` used, so victim selection is unchanged. A naive
+//! re-scan eviction mode is kept for property-testing equivalence.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet};
-use std::ops::Bound::Excluded;
 
 use pc_diskmodel::PowerModel;
 use pc_trace::Trace;
-use pc_units::{BlockId, DiskId, Joules, SimDuration, SimTime};
-use rustc_hash::FxHashMap;
+use pc_units::{BlockId, BlockNo, DiskId, Joules, SimDuration, SimTime};
 
+use crate::bits::DenseBits;
 use crate::offline::{OfflineIndex, NO_NEXT};
 use crate::policy::ReplacementPolicy;
 use crate::table::Slot;
@@ -60,6 +70,9 @@ pub enum OpgDpm {
 /// Eviction priority key: rounded penalty (as ordered bits), then furthest
 /// next access first, then block id.
 type Key = (u64, Reverse<u64>, BlockId);
+
+/// Null link for slot arrays and bucket lists.
+const NIL: u32 = u32::MAX;
 
 /// The off-line power-aware greedy replacement policy.
 ///
@@ -96,23 +109,48 @@ pub struct Opg {
     cursor: usize,
     naive_eviction: bool,
 
-    /// Future deterministic-miss times per disk (µs → multiplicity).
-    det: FxHashMap<DiskId, BTreeMap<u64, u32>>,
+    /// Access index → position within its disk's access list.
+    pos_of: Vec<u32>,
+    /// Per disk: arrival time (µs) of each position (non-decreasing).
+    disk_times: Vec<Vec<u64>>,
+    /// Per disk: canonical position (the first with the same time) of each
+    /// position, so distinct canonical positions carry distinct times.
+    canon: Vec<Vec<u32>>,
+
+    /// Per disk: future deterministic-miss multiplicity per canonical
+    /// position.
+    det_count: Vec<Vec<u32>>,
+    /// Per disk: canonical positions with `det_count > 0`.
+    det_bits: Vec<DenseBits>,
     /// When each disk last serviced a (deterministic) miss, µs.
-    last_active: FxHashMap<DiskId, u64>,
-    /// Resident block → raw next-occurrence index (`NO_NEXT` = never) and
-    /// cache slot.
-    resident_next: FxHashMap<BlockId, (u32, Slot)>,
-    /// Resident blocks by next-access time, per disk (only blocks with a
-    /// future access).
-    by_x: FxHashMap<DiskId, BTreeMap<u64, BTreeSet<BlockId>>>,
-    /// Eviction order.
-    heap: BTreeSet<Key>,
-    /// Block → its current heap key.
-    key_of: FxHashMap<BlockId, Key>,
-    /// Reusable buffer for blocks collected during re-pricing, so the
+    last_active: Vec<u64>,
+
+    /// Per disk: canonical positions holding ≥ 1 resident block's next
+    /// access.
+    res_bits: Vec<DenseBits>,
+    /// Per disk: head slot of each canonical position's resident bucket.
+    res_head: Vec<Vec<u32>>,
+
+    /// Slot → block occupying it (valid while resident).
+    slot_block: Vec<BlockId>,
+    /// Slot → raw next-occurrence index (`NO_NEXT` = never).
+    slot_next: Vec<u32>,
+    /// Slot → its position in `heap` (`NIL` = not resident).
+    heap_pos: Vec<u32>,
+    /// Intrusive links of the per-position resident buckets.
+    bucket_prev: Vec<u32>,
+    bucket_next: Vec<u32>,
+
+    /// 4-ary min-heap of `(key, slot)` entries. Keys are stored inline so
+    /// a sift comparison reads contiguous heap entries instead of
+    /// indirecting through a slot-indexed side array; the wider fan-out
+    /// halves the depth at the same comparison count. Unique keys (they
+    /// embed the `BlockId`) make the root identical to the old
+    /// `BTreeSet` minimum, so victim selection is unchanged.
+    heap: Vec<(Key, u32)>,
+    /// Reusable buffer for slots collected during re-pricing, so the
     /// per-record path performs no heap allocation in steady state.
-    scratch: Vec<BlockId>,
+    scratch: Vec<u32>,
 }
 
 impl std::fmt::Debug for Opg {
@@ -121,7 +159,7 @@ impl std::fmt::Debug for Opg {
             .field("dpm", &self.dpm)
             .field("epsilon", &self.epsilon)
             .field("cursor", &self.cursor)
-            .field("resident", &self.resident_next.len())
+            .field("resident", &self.heap.len())
             .finish()
     }
 }
@@ -143,15 +181,35 @@ impl Opg {
             .iter()
             .flat_map(|r| std::iter::repeat_n(r.block.disk(), r.blocks as usize))
             .collect();
-        let mut det: FxHashMap<DiskId, BTreeMap<u64, u32>> = FxHashMap::default();
-        for (i, disk) in disk_of.iter().enumerate() {
+        let disks = trace.disk_count() as usize;
+        let mut pos_of = Vec::with_capacity(disk_of.len());
+        let mut disk_times: Vec<Vec<u64>> = vec![Vec::new(); disks];
+        let mut canon: Vec<Vec<u32>> = vec![Vec::new(); disks];
+        for (i, d) in disk_of.iter().enumerate() {
+            let di = d.as_usize();
+            let t = index.time_of(i).as_micros();
+            let pos = disk_times[di].len() as u32;
+            let cp = match disk_times[di].last() {
+                Some(&prev) if prev == t => canon[di][pos as usize - 1],
+                _ => pos,
+            };
+            disk_times[di].push(t);
+            canon[di].push(cp);
+            pos_of.push(pos);
+        }
+        let mut det_count: Vec<Vec<u32>> = disk_times.iter().map(|v| vec![0; v.len()]).collect();
+        let mut det_bits: Vec<DenseBits> =
+            disk_times.iter().map(|v| DenseBits::new(v.len())).collect();
+        for (i, d) in disk_of.iter().enumerate() {
             if index.is_first(i) {
-                *det.entry(*disk)
-                    .or_default()
-                    .entry(index.time_of(i).as_micros())
-                    .or_insert(0) += 1;
+                let di = d.as_usize();
+                let cp = canon[di][pos_of[i] as usize] as usize;
+                det_count[di][cp] += 1;
+                det_bits[di].set(cp);
             }
         }
+        let res_bits = disk_times.iter().map(|v| DenseBits::new(v.len())).collect();
+        let res_head = disk_times.iter().map(|v| vec![NIL; v.len()]).collect();
         Opg {
             index,
             disk_of,
@@ -160,12 +218,20 @@ impl Opg {
             epsilon: epsilon.as_joules(),
             cursor: 0,
             naive_eviction: false,
-            det,
-            last_active: FxHashMap::default(),
-            resident_next: FxHashMap::default(),
-            by_x: FxHashMap::default(),
-            heap: BTreeSet::new(),
-            key_of: FxHashMap::default(),
+            pos_of,
+            disk_times,
+            canon,
+            det_count,
+            det_bits,
+            last_active: vec![0; disks],
+            res_bits,
+            res_head,
+            slot_block: Vec::new(),
+            slot_next: Vec::new(),
+            heap_pos: Vec::new(),
+            bucket_prev: Vec::new(),
+            bucket_next: Vec::new(),
+            heap: Vec::new(),
             scratch: Vec::new(),
         }
     }
@@ -178,6 +244,19 @@ impl Opg {
         self
     }
 
+    /// Grows the slot-parallel arrays to cover `slot`.
+    fn ensure_slot(&mut self, slot: usize) {
+        if slot >= self.slot_block.len() {
+            let n = slot + 1;
+            let dummy = BlockId::new(DiskId::new(0), BlockNo::new(0));
+            self.slot_block.resize(n, dummy);
+            self.slot_next.resize(n, NO_NEXT);
+            self.heap_pos.resize(n, NIL);
+            self.bucket_prev.resize(n, NIL);
+            self.bucket_next.resize(n, NIL);
+        }
+    }
+
     /// The idle-period energy function being priced against.
     fn idle_energy(&self, gap: SimDuration) -> f64 {
         match self.dpm {
@@ -186,140 +265,336 @@ impl Opg {
         }
     }
 
-    /// Raw (un-rounded) penalty for a resident block of `disk` whose next
-    /// access is at `x` µs.
-    fn penalty_at(&self, disk: DiskId, x: u64) -> f64 {
-        let det = self.det.get(&disk);
-        if det.is_some_and(|m| m.contains_key(&x)) {
+    /// Ladder/mode-scanning variant of [`idle_energy`](Self::idle_energy),
+    /// for the pricing-table micro-benchmarks.
+    fn idle_energy_scan(&self, gap: SimDuration) -> f64 {
+        match self.dpm {
+            OpgDpm::Oracle => self.power.lower_envelope_scan(gap).as_joules(),
+            OpgDpm::Practical => self.power.practical_idle_energy_scan(gap).as_joules(),
+        }
+    }
+
+    /// Raw (un-rounded) penalty for a resident block of disk `d` whose
+    /// next access sits at canonical position `cp`.
+    #[inline]
+    fn penalty_at_pos(&self, d: usize, cp: u32) -> f64 {
+        let cp = cp as usize;
+        if self.det_count[d][cp] > 0 {
             // The disk is provably active at x anyway.
             return 0.0;
         }
-        let floor = self.last_active.get(&disk).copied().unwrap_or(0);
-        let leader = det
-            .and_then(|m| m.range(..x).next_back().map(|(&t, _)| t))
-            .map_or(floor, |l| l.max(floor));
+        let times = &self.disk_times[d];
+        let x = times[cp];
+        let floor = self.last_active[d];
+        let leader = self.det_bits[d]
+            .last_set_before(cp)
+            .map_or(floor, |p| times[p].max(floor));
         let leader = leader.min(x);
-        let follower = det.and_then(|m| m.range(x + 1..).next().map(|(&t, _)| t));
+        let follower = self.det_bits[d]
+            .first_set_at_or_after(cp + 1)
+            .map(|p| times[p]);
+        self.penalty_from(x, leader, follower, false)
+    }
+
+    /// The leader/follower penalty arithmetic shared by the position-space
+    /// hot path and the arbitrary-time probes.
+    fn penalty_from(&self, x: u64, leader: u64, follower: Option<u64>, scan: bool) -> f64 {
+        let e = |gap| {
+            if scan {
+                self.idle_energy_scan(gap)
+            } else {
+                self.idle_energy(gap)
+            }
+        };
         let dl = SimDuration::from_micros(x - leader);
         let pen = match follower {
             Some(f) => {
                 let df = SimDuration::from_micros(f - x);
                 let whole = SimDuration::from_micros(f - leader);
-                self.idle_energy(dl) + self.idle_energy(df) - self.idle_energy(whole)
+                e(dl) + e(df) - e(whole)
             }
             None => {
                 // No future deterministic miss: waking the disk at x costs
                 // the idle-period energy above the keep-sleeping floor.
                 let standby = self.power.mode(self.power.standby()).power;
-                self.idle_energy(dl) - (standby * dl).as_joules()
+                e(dl) - (standby * dl).as_joules()
             }
         };
         pen.max(0.0)
     }
 
+    /// Penalty for a hypothetical re-fetch of `disk` at an arbitrary time
+    /// `x` µs (not necessarily an access instant). Exposed for tests and
+    /// the pricing micro-benchmarks; the replay hot path uses
+    /// [`penalty_at_pos`](Self::penalty_at_pos).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn penalty_probe(&self, disk: DiskId, x: u64) -> f64 {
+        self.probe(disk, x, false)
+    }
+
+    /// [`penalty_probe`](Self::penalty_probe) priced through the
+    /// mode/ladder scans instead of the precomputed tables (bit-identical
+    /// by construction; exists to benchmark the difference).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn penalty_probe_scan(&self, disk: DiskId, x: u64) -> f64 {
+        self.probe(disk, x, true)
+    }
+
+    fn probe(&self, disk: DiskId, x: u64, scan: bool) -> f64 {
+        let d = disk.as_usize();
+        let times = &self.disk_times[d];
+        let at = times.partition_point(|&t| t < x);
+        if at < times.len() && times[at] == x && self.det_count[d][at] > 0 {
+            // `at` is the first position with time x, i.e. the canonical
+            // position of the instant — the disk is active at x anyway.
+            return 0.0;
+        }
+        let floor = self.last_active[d];
+        let leader = self.det_bits[d]
+            .last_set_before(at)
+            .map_or(floor, |p| times[p].max(floor));
+        let leader = leader.min(x);
+        let after = times.partition_point(|&t| t <= x);
+        let follower = self.det_bits[d]
+            .first_set_at_or_after(after)
+            .map(|p| times[p]);
+        self.penalty_from(x, leader, follower, scan)
+    }
+
     /// The eviction key for a block given its raw next index.
+    #[inline]
     fn key_for(&self, block: BlockId, next: u32) -> Key {
         if next == NO_NEXT {
             // Never used again: zero penalty, infinite forward distance.
             return (rounded_bits(0.0, self.epsilon), Reverse(u64::MAX), block);
         }
-        let x = self.index.time_of(next as usize).as_micros();
-        let pen = self.penalty_at(block.disk(), x);
+        let d = block.disk().as_usize();
+        let pos = self.pos_of[next as usize] as usize;
+        let cp = self.canon[d][pos];
+        let x = self.disk_times[d][pos];
+        let pen = self.penalty_at_pos(d, cp);
         (rounded_bits(pen, self.epsilon), Reverse(x), block)
     }
 
-    /// (Re)inserts a block into the eviction order.
-    fn reprice(&mut self, block: BlockId) {
-        let (next, _) = self.resident_next[&block];
-        let key = self.key_for(block, next);
-        if let Some(old) = self.key_of.insert(block, key) {
-            self.heap.remove(&old);
-        }
-        self.heap.insert(key);
-    }
-
-    /// Re-prices every resident block of `disk` whose next access lies
-    /// strictly inside `(lo, hi)`.
-    fn reprice_range(&mut self, disk: DiskId, lo: u64, hi: u64) {
-        let Some(xs) = self.by_x.get(&disk) else {
-            return;
-        };
-        // `reprice` needs `&mut self`, so the affected set is staged in
-        // the persistent scratch buffer instead of a fresh Vec per call.
-        let mut affected = std::mem::take(&mut self.scratch);
-        affected.extend(
-            xs.range((Excluded(lo), Excluded(hi)))
-                .flat_map(|(_, blocks)| blocks.iter().copied()),
+    /// Recomputes a resident slot's key and restores heap order.
+    fn reprice(&mut self, slot: u32) {
+        let key = self.key_for(
+            self.slot_block[slot as usize],
+            self.slot_next[slot as usize],
         );
-        for &b in &affected {
-            self.reprice(b);
+        if self.heap_pos[slot as usize] == NIL {
+            self.heap.push((key, slot));
+            self.heap_pos[slot as usize] = (self.heap.len() - 1) as u32;
+            self.sift_up(self.heap.len() - 1);
+        } else {
+            let at = self.heap_pos[slot as usize] as usize;
+            self.heap[at].0 = key;
+            let at = self.sift_up(at);
+            self.sift_down(at);
         }
-        affected.clear();
-        self.scratch = affected;
     }
 
-    /// Registers a future deterministic miss at `x` µs on `disk`,
-    /// re-pricing the blocks in the gap it splits.
-    fn add_det(&mut self, disk: DiskId, x: u64) {
-        let map = self.det.entry(disk).or_default();
-        let count = map.entry(x).or_insert(0);
+    /// Heap fan-out. Four children sit in one or two cache lines of the
+    /// entry array, so a descent level costs about one memory touch.
+    const ARITY: usize = 4;
+
+    fn sift_up(&mut self, mut i: usize) -> usize {
+        // Hole technique: carry the moving entry in a register and shift
+        // displaced parents down with one write per level.
+        let entry = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / Self::ARITY;
+            if entry.0 < self.heap[parent].0 {
+                self.heap[i] = self.heap[parent];
+                self.heap_pos[self.heap[i].1 as usize] = i as u32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = entry;
+        self.heap_pos[entry.1 as usize] = i as u32;
+        i
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        loop {
+            let first = Self::ARITY * i + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let last = (first + Self::ARITY).min(self.heap.len());
+            let mut child = first;
+            for c in first + 1..last {
+                if self.heap[c].0 < self.heap[child].0 {
+                    child = c;
+                }
+            }
+            if self.heap[child].0 < entry.0 {
+                self.heap[i] = self.heap[child];
+                self.heap_pos[self.heap[i].1 as usize] = i as u32;
+                i = child;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = entry;
+        self.heap_pos[entry.1 as usize] = i as u32;
+    }
+
+    fn heap_remove(&mut self, slot: u32) {
+        let at = self.heap_pos[slot as usize] as usize;
+        debug_assert_ne!(at as u32, NIL, "slot was resident");
+        self.heap_pos[slot as usize] = NIL;
+        self.heap.swap_remove(at);
+        if at < self.heap.len() {
+            self.heap_pos[self.heap[at].1 as usize] = at as u32;
+            let at = self.sift_up(at);
+            self.sift_down(at);
+        }
+    }
+
+    /// Links `slot` into the resident bucket of its next-access instant.
+    #[inline]
+    fn bucket_insert(&mut self, slot: u32, next: u32) {
+        let (d, cp) = self.instant_of(next);
+        let head = self.res_head[d][cp as usize];
+        self.bucket_prev[slot as usize] = NIL;
+        self.bucket_next[slot as usize] = head;
+        if head == NIL {
+            self.res_bits[d].set(cp as usize);
+        } else {
+            self.bucket_prev[head as usize] = slot;
+        }
+        self.res_head[d][cp as usize] = slot;
+    }
+
+    /// Unlinks `slot` from the resident bucket of its next-access instant.
+    #[inline]
+    fn bucket_remove(&mut self, slot: u32, next: u32) {
+        let (d, cp) = self.instant_of(next);
+        let prev = self.bucket_prev[slot as usize];
+        let after = self.bucket_next[slot as usize];
+        if prev == NIL {
+            self.res_head[d][cp as usize] = after;
+            if after == NIL {
+                self.res_bits[d].clear(cp as usize);
+            }
+        } else {
+            self.bucket_next[prev as usize] = after;
+        }
+        if after != NIL {
+            self.bucket_prev[after as usize] = prev;
+        }
+    }
+
+    /// The (disk, canonical position) of a raw access index.
+    #[inline]
+    fn instant_of(&self, next: u32) -> (usize, u32) {
+        let d = self.disk_of[next as usize].as_usize();
+        (d, self.canon[d][self.pos_of[next as usize] as usize])
+    }
+
+    /// Registers a future deterministic miss at canonical position `cp` of
+    /// disk `d`, re-pricing the blocks in the gap it splits.
+    fn add_det(&mut self, d: usize, cp: u32) {
+        let count = &mut self.det_count[d][cp as usize];
         *count += 1;
         if *count > 1 {
             return; // structurally unchanged
         }
-        let lo = map
-            .range(..x)
-            .next_back()
-            .map(|(&t, _)| t)
-            .unwrap_or_else(|| self.last_active.get(&disk).copied().unwrap_or(0));
-        let hi = map.range(x + 1..).next().map_or(u64::MAX, |(&t, _)| t);
-        self.reprice_range(disk, lo, hi);
+        self.det_bits[d].set(cp as usize);
+        let times = &self.disk_times[d];
+        let lo = self.det_bits[d]
+            .last_set_before(cp as usize)
+            .map_or(self.last_active[d], |p| times[p]);
+        let hi = self.det_bits[d]
+            .first_set_at_or_after(cp as usize + 1)
+            .map_or(u64::MAX, |p| times[p]);
+        self.reprice_range(d, lo, hi);
         // Blocks at exactly x become free to evict (penalty 0).
-        if let Some(blocks) = self.by_x.get(&disk).and_then(|m| m.get(&x)) {
+        if self.res_bits[d].get(cp as usize) {
             let mut at_x = std::mem::take(&mut self.scratch);
-            at_x.extend(blocks.iter().copied());
-            for &b in &at_x {
-                self.reprice(b);
+            let mut slot = self.res_head[d][cp as usize];
+            while slot != NIL {
+                at_x.push(slot);
+                slot = self.bucket_next[slot as usize];
+            }
+            for &s in &at_x {
+                self.reprice(s);
             }
             at_x.clear();
             self.scratch = at_x;
         }
     }
 
-    /// Removes a block from all structures, returning its next index and
-    /// cache slot.
-    fn forget(&mut self, block: BlockId) -> (u32, Slot) {
-        let (next, slot) = self
-            .resident_next
-            .remove(&block)
-            .expect("block was resident");
-        if let Some(key) = self.key_of.remove(&block) {
-            self.heap.remove(&key);
-        }
-        if next != NO_NEXT {
-            let x = self.index.time_of(next as usize).as_micros();
-            let disk = block.disk();
-            if let Some(m) = self.by_x.get_mut(&disk) {
-                if let Some(set) = m.get_mut(&x) {
-                    set.remove(&block);
-                    if set.is_empty() {
-                        m.remove(&x);
-                    }
-                }
+    /// Re-prices every resident block of disk `d` whose next access lies
+    /// strictly inside `(lo, hi)` (times in µs).
+    fn reprice_range(&mut self, d: usize, lo: u64, hi: u64) {
+        let times = &self.disk_times[d];
+        let start = times.partition_point(|&t| t <= lo);
+        let end = times.partition_point(|&t| t < hi);
+        // `reprice` needs `&mut self`, so the affected set is staged in
+        // the persistent scratch buffer instead of a fresh Vec per call.
+        let mut affected = std::mem::take(&mut self.scratch);
+        let mut p = self.res_bits[d].first_set_at_or_after(start);
+        while let Some(pos) = p {
+            if pos >= end {
+                break;
             }
+            let mut slot = self.res_head[d][pos];
+            while slot != NIL {
+                affected.push(slot);
+                slot = self.bucket_next[slot as usize];
+            }
+            p = self.res_bits[d].first_set_at_or_after(pos + 1);
         }
-        (next, slot)
+        for &s in &affected {
+            self.reprice(s);
+        }
+        affected.clear();
+        self.scratch = affected;
+    }
+
+    /// Removes a resident slot from all structures, returning its raw next
+    /// index.
+    fn forget(&mut self, slot: u32) -> u32 {
+        let next = self.slot_next[slot as usize];
+        self.heap_remove(slot);
+        if next != NO_NEXT {
+            self.bucket_remove(slot, next);
+        }
+        next
     }
 
     /// Naive victim selection: scan every resident block with fresh
     /// penalties (reference implementation).
-    fn scan_victim(&self) -> BlockId {
-        self.resident_next
+    fn scan_victim(&self) -> u32 {
+        self.heap
             .iter()
-            .map(|(&b, &(next, _))| (self.key_for(b, next), b))
+            .map(|&(_, s)| {
+                (
+                    self.key_for(self.slot_block[s as usize], self.slot_next[s as usize]),
+                    s,
+                )
+            })
             .min()
-            .map(|(_, b)| b)
+            .map(|(_, s)| s)
             .expect("no block to evict")
+    }
+
+    /// Drops every future deterministic miss of `disk` (test scaffolding
+    /// for probing penalties against an artificially quiet disk).
+    #[cfg(test)]
+    fn clear_det(&mut self, disk: DiskId) {
+        let d = disk.as_usize();
+        while let Some(p) = self.det_bits[d].first_set_at_or_after(0) {
+            self.det_bits[d].clear(p);
+            self.det_count[d][p] = 0;
+        }
     }
 }
 
@@ -345,55 +620,48 @@ impl ReplacementPolicy for Opg {
         );
         let i = self.cursor;
         self.cursor += 1;
-        let disk = self.disk_of[i];
         let t = time.as_micros();
         if let Some(slot) = slot {
             // The block's stored next access is this very one; advance it.
-            let (old, _) = self.forget(block);
+            let s = slot.index() as u32;
+            let old = self.slot_next[s as usize];
             debug_assert_eq!(old as usize, i, "hit must match the stored next use");
+            debug_assert_eq!(self.slot_block[s as usize], block);
+            self.bucket_remove(s, old);
             let next = self.index.next_raw(i);
-            self.resident_next.insert(block, (next, slot));
+            self.slot_next[s as usize] = next;
             if next != NO_NEXT {
-                let x = self.index.time_of(next as usize).as_micros();
-                self.by_x
-                    .entry(disk)
-                    .or_default()
-                    .entry(x)
-                    .or_default()
-                    .insert(block);
+                self.bucket_insert(s, next);
             }
-            self.reprice(block);
+            self.reprice(s);
         } else {
             // A deterministic miss happens now: the disk is active at t.
             // Replacing "leader = det miss at t" with "leader = last
             // active at t" leaves all penalties unchanged, so no
             // re-pricing is needed.
-            if let Some(map) = self.det.get_mut(&disk) {
-                if let Some(count) = map.get_mut(&t) {
-                    *count -= 1;
-                    if *count == 0 {
-                        map.remove(&t);
-                    }
+            let d = self.disk_of[i].as_usize();
+            let cp = self.canon[d][self.pos_of[i] as usize] as usize;
+            let count = &mut self.det_count[d][cp];
+            if *count > 0 {
+                *count -= 1;
+                if *count == 0 {
+                    self.det_bits[d].clear(cp);
                 }
             }
-            let last = self.last_active.entry(disk).or_insert(0);
-            *last = (*last).max(t);
+            self.last_active[d] = self.last_active[d].max(t);
         }
     }
 
     fn on_insert(&mut self, slot: Slot, block: BlockId, _time: SimTime) {
+        let s = slot.index() as u32;
+        self.ensure_slot(slot.index());
+        self.slot_block[s as usize] = block;
         let next = self.index.next_raw(self.cursor - 1);
-        self.resident_next.insert(block, (next, slot));
+        self.slot_next[s as usize] = next;
         if next != NO_NEXT {
-            let x = self.index.time_of(next as usize).as_micros();
-            self.by_x
-                .entry(block.disk())
-                .or_default()
-                .entry(x)
-                .or_default()
-                .insert(block);
+            self.bucket_insert(s, next);
         }
-        self.reprice(block);
+        self.reprice(s);
     }
 
     fn on_prefetch_insert(&mut self, _slot: Slot, _block: BlockId, _time: SimTime) {
@@ -404,15 +672,15 @@ impl ReplacementPolicy for Opg {
         let victim = if self.naive_eviction {
             self.scan_victim()
         } else {
-            self.heap.first().expect("no block to evict").2
+            self.heap.first().expect("no block to evict").1
         };
-        let (next, slot) = self.forget(victim);
+        let next = self.forget(victim);
         if next != NO_NEXT {
             // The victim's next reference is now bound to miss.
-            let x = self.index.time_of(next as usize).as_micros();
-            self.add_det(victim.disk(), x);
+            let (d, cp) = self.instant_of(next);
+            self.add_det(d, cp);
         }
-        slot
+        Slot::new(victim)
     }
 }
 
@@ -510,6 +778,46 @@ mod tests {
     }
 
     #[test]
+    fn indexed_and_naive_evictions_agree_on_large_practical_trace() {
+        // Satellite hardening for the slot/bitset rebuild: ≥ 2k accesses
+        // over ≥ 8 disks, same-instant collisions (integer-second arrival
+        // clock with multiple records per tick), and both pricing modes.
+        let mut state = 0xBEEF5EEDu64;
+        let mut rand = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        let mut accesses: Vec<(u64, u32, u64)> = (0..2500)
+            .map(|i| (i / 2 + rand(2), (rand(8)) as u32, rand(60)))
+            .collect();
+        accesses.sort_unstable();
+        let t = trace_of(8, &accesses);
+        for dpm in [OpgDpm::Oracle, OpgDpm::Practical] {
+            for eps in [0.0, 5.0] {
+                let build = || Opg::new(&t, power(), dpm, Joules::new(eps));
+                let mut fast = BlockCache::new(24, Box::new(build()), WritePolicy::WriteBack);
+                let mut slow = BlockCache::new(
+                    24,
+                    Box::new(build().with_naive_eviction()),
+                    WritePolicy::WriteBack,
+                );
+                for r in &t {
+                    let a = fast.access_alloc(r, |_| false);
+                    let b = slow.access_alloc(r, |_| false);
+                    assert_eq!(a.hit, b.hit, "hit mismatch at {:?} {dpm:?}/{eps}", r.time);
+                    assert_eq!(
+                        a.evicted, b.evicted,
+                        "victim mismatch at {:?} {dpm:?}/{eps}",
+                        r.time
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn prefers_evicting_blocks_whose_disk_is_active_anyway() {
         // Disk 0 has a dense stream of deterministic (cold) misses: its
         // blocks are cheap to evict. Disk 1 is quiet: re-fetching its
@@ -539,18 +847,35 @@ mod tests {
     fn penalty_is_nonnegative_and_zero_on_det_instants() {
         let t = trace_of(1, &[(0, 0, 1), (100, 0, 2), (200, 0, 3)]);
         let mut o = opg(&t, 0.0);
-        // Fabricate: disk 0 has det misses at 100 s and 200 s (cold set).
+        // Disk 0 has det misses at 0, 100 and 200 s (the cold set).
         let d = DiskId::new(0);
-        assert_eq!(o.penalty_at(d, SimTime::from_secs(100).as_micros()), 0.0);
-        let p = o.penalty_at(d, SimTime::from_secs(150).as_micros());
+        assert_eq!(o.penalty_probe(d, SimTime::from_secs(100).as_micros()), 0.0);
+        let p = o.penalty_probe(d, SimTime::from_secs(150).as_micros());
         assert!(p >= 0.0);
         // A miss right between two close det misses is cheap; one far from
         // any activity is expensive.
         let far = {
-            o.det.get_mut(&d).unwrap().clear();
-            o.penalty_at(d, SimTime::from_secs(10_000).as_micros())
+            o.clear_det(d);
+            o.penalty_probe(d, SimTime::from_secs(10_000).as_micros())
         };
         assert!(far > p, "far {far} vs between {p}");
+    }
+
+    #[test]
+    fn probe_agrees_with_scan_pricing_bit_for_bit() {
+        let accesses: Vec<(u64, u32, u64)> = (0..64u64).map(|i| (i * 9, 0, i % 11)).collect();
+        let t = trace_of(1, &accesses);
+        let d = DiskId::new(0);
+        for dpm in [OpgDpm::Oracle, OpgDpm::Practical] {
+            let o = Opg::new(&t, power(), dpm, Joules::ZERO);
+            for x in (0..600).map(|s| SimTime::from_millis(s * 997).as_micros()) {
+                assert_eq!(
+                    o.penalty_probe(d, x).to_bits(),
+                    o.penalty_probe_scan(d, x).to_bits(),
+                    "{dpm:?} probe at {x} µs"
+                );
+            }
+        }
     }
 
     #[test]

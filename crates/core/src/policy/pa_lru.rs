@@ -11,7 +11,7 @@
 use pc_diskmodel::{ModeId, PowerModel};
 use pc_units::{BlockId, DiskId, SimDuration, SimTime};
 
-use crate::policy::{DiskClassifier, IndexList, ReplacementPolicy};
+use crate::policy::{DiskClassifier, PairedList, ReplacementPolicy};
 use crate::table::Slot;
 
 /// Tuning knobs for PA classification (used by [`PaLru`] and the generic
@@ -77,11 +77,15 @@ impl Default for PaLruConfig {
 #[derive(Debug)]
 pub struct PaLru {
     classifier: DiskClassifier,
-    /// LRU0: regular-class blocks (drained first).
-    lru0: IndexList,
-    /// LRU1: priority-class blocks.
-    lru1: IndexList,
+    /// The two LRU stacks sharing one set of link arrays: list 0 holds
+    /// regular-class blocks (drained first), list 1 priority-class ones.
+    stacks: PairedList,
 }
+
+/// [`PairedList`] index of the regular-class stack.
+const LRU0: usize = 0;
+/// [`PairedList`] index of the priority-class stack.
+const LRU1: usize = 1;
 
 impl PaLru {
     /// Creates PA-LRU with the given configuration.
@@ -89,8 +93,7 @@ impl PaLru {
     pub fn new(config: PaLruConfig) -> Self {
         PaLru {
             classifier: DiskClassifier::new(config),
-            lru0: IndexList::new(),
-            lru1: IndexList::new(),
+            stacks: PairedList::new(),
         }
     }
 
@@ -109,7 +112,7 @@ impl PaLru {
     /// Sizes of (LRU0, LRU1).
     #[must_use]
     pub fn stack_sizes(&self) -> (usize, usize) {
-        (self.lru0.len(), self.lru1.len())
+        (self.stacks.len(LRU0), self.stacks.len(LRU1))
     }
 
     /// Test-only hook: force a disk's class.
@@ -121,13 +124,9 @@ impl PaLru {
     /// Places (or re-homes) a slot at the top of the stack matching its
     /// disk's current class.
     fn place(&mut self, slot: Slot, disk: DiskId) {
-        self.lru0.remove(slot);
-        self.lru1.remove(slot);
-        if self.is_priority(disk) {
-            self.lru1.push_front(slot);
-        } else {
-            self.lru0.push_front(slot);
-        }
+        self.stacks.remove(slot);
+        let which = if self.is_priority(disk) { LRU1 } else { LRU0 };
+        self.stacks.push_front(slot, which);
     }
 }
 
@@ -148,9 +147,9 @@ impl ReplacementPolicy for PaLru {
     }
 
     fn evict(&mut self) -> Slot {
-        self.lru0
-            .pop_back()
-            .or_else(|| self.lru1.pop_back())
+        self.stacks
+            .pop_back(LRU0)
+            .or_else(|| self.stacks.pop_back(LRU1))
             .expect("no block to evict")
     }
 }
@@ -194,8 +193,7 @@ mod tests {
                     // Force future misses: evict it right back out of the
                     // notional cache (it sits atop one of the stacks).
                     let slot = f.slot_of(b);
-                    pa.lru0.remove(slot);
-                    pa.lru1.remove(slot);
+                    pa.stacks.remove(slot);
                     let _ = f.release(b);
                 }
             }
@@ -248,8 +246,7 @@ mod tests {
             feed(&mut pa, &mut f, b, t);
             if !was_resident {
                 let slot = f.slot_of(b);
-                pa.lru0.remove(slot);
-                pa.lru1.remove(slot);
+                pa.stacks.remove(slot);
             }
             let _ = f.release(b);
         }

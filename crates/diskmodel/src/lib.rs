@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod model;
+mod pricing;
 mod service;
 mod spec;
 

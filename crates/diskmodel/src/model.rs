@@ -29,6 +29,7 @@ use std::fmt;
 
 use pc_units::{Joules, SimDuration, Watts};
 
+use crate::pricing::{scan_oracle_mode, IdleEnergyTable};
 use crate::DiskPowerSpec;
 
 /// Index of a power mode within a [`PowerModel`].
@@ -125,6 +126,7 @@ pub struct PowerModel {
     seek_power: Watts,
     modes: Vec<ModeSpec>,
     ladder: Vec<LadderStep>,
+    pub(crate) pricing: IdleEnergyTable,
 }
 
 impl PowerModel {
@@ -198,11 +200,13 @@ impl PowerModel {
             })
             .collect::<Vec<_>>();
         let ladder = compute_ladder(&modes);
+        let pricing = IdleEnergyTable::build(&modes, &ladder);
         PowerModel {
             active_power: spec.active_power,
             seek_power: spec.seek_power,
             modes,
             ladder,
+            pricing,
         }
     }
 
@@ -262,29 +266,41 @@ impl PowerModel {
     /// The lower envelope `LE(gap) = min_i E_i(gap)`: the minimum energy any
     /// power-management decision can achieve for an idle gap (what Oracle
     /// DPM consumes).
+    ///
+    /// Served from the precomputed segment table; bit-identical to
+    /// [`lower_envelope_scan`](Self::lower_envelope_scan).
     #[must_use]
+    #[inline]
     pub fn lower_envelope(&self, gap: SimDuration) -> Joules {
-        self.energy_line(self.oracle_mode_for_gap(gap), gap)
+        self.pricing.lower_envelope(gap)
+    }
+
+    /// Reference implementation of [`lower_envelope`](Self::lower_envelope):
+    /// scans every mode's energy line. Kept for equivalence tests and
+    /// micro-benchmarks of the pricing table.
+    #[must_use]
+    pub fn lower_envelope_scan(&self, gap: SimDuration) -> Joules {
+        self.energy_line(self.oracle_mode_for_gap_scan(gap), gap)
     }
 
     /// The mode Oracle DPM selects for an idle gap: the feasible mode with
     /// minimal energy line. A mode is feasible if its round-trip transition
     /// time fits inside the gap; full speed is always feasible.
+    ///
+    /// Served from the precomputed segment table; identical to
+    /// [`oracle_mode_for_gap_scan`](Self::oracle_mode_for_gap_scan).
     #[must_use]
+    #[inline]
     pub fn oracle_mode_for_gap(&self, gap: SimDuration) -> ModeId {
-        let mut best = ModeId::FULL_SPEED;
-        let mut best_energy = self.energy_line(best, gap);
-        for (id, m) in self.modes().skip(1) {
-            if m.spin_down.time + m.spin_up.time > gap {
-                continue;
-            }
-            let e = self.energy_line(id, gap);
-            if e < best_energy {
-                best = id;
-                best_energy = e;
-            }
-        }
-        best
+        self.pricing.oracle_mode(gap)
+    }
+
+    /// Reference implementation of
+    /// [`oracle_mode_for_gap`](Self::oracle_mode_for_gap): scans every
+    /// mode's energy line, keeping the shallowest mode on ties.
+    #[must_use]
+    pub fn oracle_mode_for_gap_scan(&self, gap: SimDuration) -> ModeId {
+        scan_oracle_mode(&self.modes, gap)
     }
 
     /// The Figure-4 savings line: energy saved versus staying at full-speed
@@ -355,8 +371,21 @@ impl PowerModel {
     /// This is the `E_practical` used for OPG's eviction penalties when the
     /// underlying disks use Practical DPM. (The cycle-accurate state machine
     /// in `pc-disksim` additionally models transition *durations*.)
+    ///
+    /// Served from the precomputed segment table; bit-identical to
+    /// [`practical_idle_energy_scan`](Self::practical_idle_energy_scan).
     #[must_use]
+    #[inline]
     pub fn practical_idle_energy(&self, gap: SimDuration) -> Joules {
+        self.pricing.practical_idle_energy(gap)
+    }
+
+    /// Reference implementation of
+    /// [`practical_idle_energy`](Self::practical_idle_energy): walks the
+    /// demotion ladder step by step. Kept for equivalence tests and
+    /// micro-benchmarks of the pricing table.
+    #[must_use]
+    pub fn practical_idle_energy_scan(&self, gap: SimDuration) -> Joules {
         let mut energy = Joules::ZERO;
         let mut prev_down = Joules::ZERO;
         let mut current = ModeId::FULL_SPEED;

@@ -1,29 +1,60 @@
 //! `repro bench` — wall-clock throughput of the simulation hot path.
 //!
 //! Runs a fixed matrix of replacement policies over the two standard
-//! workloads and reports each run's wall time and request throughput,
+//! workloads and reports each cell's wall time and request throughput,
 //! taken from the simulator's own [`pc_sim::RunTiming`] self-timing.
 //! Rows run serially (never through the sweep executor) so the numbers
 //! measure the single-threaded hot path, not scheduling luck.
+//!
+//! Each cell is measured [`DEFAULT_REPS`] times (rounds interleave the
+//! whole matrix so a transient load burst cannot land on every repeat of
+//! one cell) and reported as the **median** wall time plus the min-to-max
+//! spread; `--check` therefore compares medians, not single samples.
 
 use pc_sim::{run_replacement, PolicySpec, SimConfig};
 use pc_units::Joules;
 
 use crate::{Params, Table, TraceKind};
 
-/// One cell of the benchmark matrix.
+/// Default number of measurements per matrix cell.
+pub const DEFAULT_REPS: usize = 3;
+
+/// One cell of the benchmark matrix: the median of its repeats.
 #[derive(Debug, Clone)]
 pub struct BenchRow {
     /// Replacement policy name, as reported by the simulator.
     pub policy: String,
     /// Workload name (`oltp` / `cello96`).
     pub workload: String,
-    /// Requests simulated.
+    /// Requests simulated (per repeat; every repeat runs the same trace).
     pub requests: u64,
-    /// Wall time of the `run()` call in milliseconds.
+    /// Median wall time of the `run()` call in milliseconds.
     pub wall_ms: f64,
-    /// Simulated requests per wall-clock second.
+    /// Simulated requests per wall-clock second, at the median wall time.
     pub req_per_sec: f64,
+    /// Number of repeats the median was taken over.
+    pub reps: usize,
+    /// Noise band: `(max - min) / median` of the wall times, in percent.
+    pub spread_pct: f64,
+}
+
+/// Median of a non-empty sample set (mean of the middle two when even).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// `(max - min) / median`, as a percentage; 0 for a single sample.
+fn spread_pct(sorted: &[f64], median: f64) -> f64 {
+    match (sorted.first(), sorted.last()) {
+        (Some(min), Some(max)) if median > 0.0 => (max - min) / median * 100.0,
+        _ => 0.0,
+    }
 }
 
 /// The fixed policy column of the matrix: the cheap baseline, the
@@ -42,30 +73,51 @@ fn policies(params: &Params, cfg: &SimConfig) -> Vec<(&'static str, PolicySpec)>
     ]
 }
 
-/// Runs the benchmark matrix and returns its rows.
+/// Runs the benchmark matrix `reps` times (`reps.max(1)`) and returns
+/// one median row per cell.
 #[must_use]
-pub fn run(params: &Params) -> Vec<BenchRow> {
+pub fn run(params: &Params, reps: usize) -> Vec<BenchRow> {
+    let reps = reps.max(1);
     let cfg = SimConfig::default();
-    let mut rows = Vec::new();
-    for kind in [TraceKind::Oltp, TraceKind::Cello] {
-        let trace = params.trace(kind);
-        for (_, spec) in policies(params, &cfg) {
-            let r = run_replacement(&trace, &spec, &cfg);
-            rows.push(BenchRow {
-                policy: r.policy.clone(),
-                workload: kind.name().to_owned(),
-                requests: r.requests,
-                wall_ms: r.timing.wall_ms(),
-                req_per_sec: r.timing.req_per_sec,
-            });
+    // Rows in matrix order; per-row wall-time samples across rounds.
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut samples: Vec<Vec<f64>> = Vec::new();
+    for round in 0..reps {
+        let mut cell = 0;
+        for kind in [TraceKind::Oltp, TraceKind::Cello] {
+            let trace = params.trace(kind);
+            for (_, spec) in policies(params, &cfg) {
+                let r = run_replacement(&trace, &spec, &cfg);
+                if round == 0 {
+                    rows.push(BenchRow {
+                        policy: r.policy.clone(),
+                        workload: kind.name().to_owned(),
+                        requests: r.requests,
+                        wall_ms: 0.0,
+                        req_per_sec: 0.0,
+                        reps,
+                        spread_pct: 0.0,
+                    });
+                    samples.push(Vec::with_capacity(reps));
+                }
+                samples[cell].push(r.timing.wall_ms());
+                cell += 1;
+            }
         }
+    }
+    for (row, walls) in rows.iter_mut().zip(&mut samples) {
+        let med = median(walls);
+        row.wall_ms = med;
+        row.req_per_sec = row.requests as f64 / (med / 1_000.0);
+        row.spread_pct = spread_pct(walls, med);
     }
     rows
 }
 
 /// Aggregate throughput per policy across every workload: total requests
-/// over total wall time, in first-appearance order. This is the
-/// perf-trajectory number tracked release over release.
+/// over total (median) wall time, in first-appearance order. This is the
+/// perf-trajectory number tracked release over release, and what
+/// `--check` compares against the committed baseline.
 #[must_use]
 pub fn aggregate(rows: &[BenchRow]) -> Vec<(String, f64)> {
     let mut order: Vec<String> = Vec::new();
@@ -98,15 +150,20 @@ pub fn to_json(params: &Params, rows: &[BenchRow]) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"scale\": {:?},\n", params.scale));
     s.push_str(&format!("  \"seed\": {},\n", params.seed));
+    s.push_str(&format!(
+        "  \"reps\": {},\n",
+        rows.first().map_or(0, |r| r.reps)
+    ));
     s.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_sec\": {:.1}}}{}\n",
+            "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_sec\": {:.1}, \"spread_pct\": {:.1}}}{}\n",
             row.policy,
             row.workload,
             row.requests,
             row.wall_ms,
             row.req_per_sec,
+            row.spread_pct,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -218,7 +275,14 @@ pub fn check(
 /// Renders rows as a human-readable table for the CLI.
 #[must_use]
 pub fn render(rows: &[BenchRow]) -> String {
-    let mut t = Table::new(["policy", "workload", "requests", "wall (ms)", "req/s"]);
+    let mut t = Table::new([
+        "policy",
+        "workload",
+        "requests",
+        "wall (ms)",
+        "req/s",
+        "spread",
+    ]);
     for row in rows {
         t.row([
             row.policy.clone(),
@@ -226,14 +290,16 @@ pub fn render(rows: &[BenchRow]) -> String {
             row.requests.to_string(),
             format!("{:.1}", row.wall_ms),
             format!("{:.0}", row.req_per_sec),
+            format!("{:.1}%", row.spread_pct),
         ]);
     }
     let mut a = Table::new(["policy", "aggregate req/s"]);
     for (policy, rps) in aggregate(rows) {
         a.row([policy, format!("{rps:.0}")]);
     }
+    let reps = rows.first().map_or(0, |r| r.reps);
     format!(
-        "Benchmark: simulation hot-path throughput\n\n{}\n{}",
+        "Benchmark: simulation hot-path throughput (median of {reps} reps)\n\n{}\n{}",
         t.render(),
         a.render()
     )
@@ -249,15 +315,46 @@ mod tests {
             scale: 0.02,
             ..Params::quick()
         };
-        let rows = run(&params);
+        let rows = run(&params, 2);
         assert_eq!(rows.len(), 6);
         assert!(rows.iter().all(|r| r.requests > 0));
         assert!(rows.iter().all(|r| r.req_per_sec > 0.0));
+        assert!(rows.iter().all(|r| r.reps == 2));
+        assert!(rows.iter().all(|r| r.spread_pct >= 0.0));
         let json = to_json(&params, &rows);
         assert!(json.contains("\"rows\": ["));
+        assert!(json.contains("\"reps\": 2"));
         assert!(json.contains("\"workload\": \"cello96\""));
         assert_eq!(json.matches("\"policy\"").count(), 6);
+        assert_eq!(json.matches("\"spread_pct\"").count(), 6);
         assert!(json.contains("\"aggregate_req_per_sec\""));
+    }
+
+    #[test]
+    fn reps_are_clamped_to_at_least_one() {
+        let params = Params {
+            scale: 0.02,
+            ..Params::quick()
+        };
+        let rows = run(&params, 0);
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.reps == 1));
+        // A single sample has no spread.
+        assert!(rows.iter().all(|r| r.spread_pct == 0.0));
+    }
+
+    #[test]
+    fn median_and_spread_summarize_samples() {
+        assert_eq!(median(&mut [3.0]), 3.0);
+        assert_eq!(median(&mut [9.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        // Sorted samples 1..9 around median 3: (9 - 1) / 3.
+        let mut s = [9.0, 1.0, 3.0];
+        let m = median(&mut s);
+        let pct = spread_pct(&s, m);
+        assert!((pct - 800.0 / 3.0).abs() < 1e-9);
+        assert_eq!(spread_pct(&[5.0], 5.0), 0.0);
+        assert_eq!(spread_pct(&[], 0.0), 0.0);
     }
 
     #[test]
@@ -266,7 +363,7 @@ mod tests {
             scale: 0.02,
             ..Params::quick()
         };
-        let rows = run(&params);
+        let rows = run(&params, 1);
         let json = to_json(&params, &rows);
         let (scale, committed) = parse_committed(&json).expect("own JSON must parse");
         assert!((scale - 0.02).abs() < 1e-12);
@@ -314,6 +411,8 @@ mod tests {
             requests,
             wall_ms,
             req_per_sec: 0.0,
+            reps: 1,
+            spread_pct: 0.0,
         };
         let agg = aggregate(&[
             row("lru", 1_000, 100.0),

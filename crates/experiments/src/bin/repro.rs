@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment> [--scale X] [--seed N] [--jobs N]
 //! repro all [--scale X] [--seed N] [--jobs N]
-//! repro bench [--scale X] [--seed N]
+//! repro bench [--scale X] [--seed N] [--reps N] [--check]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b
@@ -16,10 +16,12 @@
 //! unset means one per core. Results are identical for any job count.
 //!
 //! `repro bench` times the single-threaded simulation hot path on a
-//! fixed policy × workload matrix and writes `BENCH_repro.json`.
-//! `repro bench --check` instead compares the fresh run against the
-//! committed `BENCH_repro.json` and exits non-zero if any policy's
-//! aggregate throughput regressed by more than 15%.
+//! fixed policy × workload matrix — each cell measured `--reps N`
+//! times (default 3), reported as median + spread — and writes
+//! `BENCH_repro.json`. `repro bench --check` instead compares the
+//! fresh medians against the committed `BENCH_repro.json` and exits
+//! non-zero if any policy's aggregate throughput regressed by more
+//! than 15%.
 
 use std::env;
 use std::process::ExitCode;
@@ -56,6 +58,8 @@ const EXPERIMENTS: [&str; 25] = [
 ];
 
 const BENCH_PATH: &str = "BENCH_repro.json";
+/// Where `bench --check` records the fresh (uncommitted) run.
+const FRESH_PATH: &str = "BENCH_fresh.json";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -63,6 +67,8 @@ fn main() -> ExitCode {
     let mut params = Params::paper();
     let mut jobs_flag = None;
     let mut check = false;
+    let mut reps = bench::DEFAULT_REPS;
+    let mut reps_flag = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -78,6 +84,13 @@ fn main() -> ExitCode {
             "--jobs" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => jobs_flag = Some(n),
                 None => return usage("--jobs needs a worker count (0 = one per core)"),
+            },
+            "--reps" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    reps = n;
+                    reps_flag = true;
+                }
+                _ => return usage("--reps needs a positive repeat count"),
             },
             "--help" | "-h" => return usage(""),
             name if which.is_none() => which = Some(name.to_owned()),
@@ -98,10 +111,13 @@ fn main() -> ExitCode {
     };
 
     if which == "bench" {
-        return run_bench(&params, check);
+        return run_bench(&params, reps, check);
     }
     if check {
         return usage("--check only applies to `repro bench`");
+    }
+    if reps_flag {
+        return usage("--reps only applies to `repro bench`");
     }
     if which == "all" {
         for name in EXPERIMENTS {
@@ -151,10 +167,18 @@ fn run_one(name: &str, params: &Params) {
     println!("[{name} done in {:.1?}]\n", started.elapsed());
 }
 
-fn run_bench(params: &Params, check: bool) -> ExitCode {
-    let rows = bench::run(params);
+fn run_bench(params: &Params, reps: usize, check: bool) -> ExitCode {
+    let rows = bench::run(params, reps);
     println!("{}", bench::render(&rows));
+    let json = bench::to_json(params, &rows);
     if check {
+        // Record the fresh run next to the baseline (never committed;
+        // CI uploads it as an artifact) before comparing, so the data
+        // survives even when the check fails.
+        match std::fs::write(FRESH_PATH, &json) {
+            Ok(()) => println!("[wrote {FRESH_PATH}]"),
+            Err(e) => eprintln!("warning: writing {FRESH_PATH}: {e}"),
+        }
         let committed = match std::fs::read_to_string(BENCH_PATH) {
             Ok(s) => s,
             Err(e) => {
@@ -183,7 +207,6 @@ fn run_bench(params: &Params, check: bool) -> ExitCode {
             }
         };
     }
-    let json = bench::to_json(params, &rows);
     match std::fs::write(BENCH_PATH, &json) {
         Ok(()) => {
             println!("[wrote {BENCH_PATH}]");
@@ -200,7 +223,12 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
     }
-    eprintln!("usage: repro <experiment|all|bench> [--scale X] [--seed N] [--jobs N] [--check]");
+    eprintln!(
+        "usage: repro <experiment|all|bench> [--scale X] [--seed N] [--jobs N] [--reps N] [--check]"
+    );
+    eprintln!(
+        "       repro bench --reps N  measures each cell N times, reporting medians (default 3)"
+    );
     eprintln!("       repro bench --check   compares against the committed BENCH_repro.json");
     eprintln!("       REPRO_JOBS=N repro ...   (used when --jobs is absent; 0 = one per core)");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
