@@ -3,15 +3,19 @@
 //! and print a closing report.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use pc_server::{
-    online_policy, parse_write_policy, run_in_process, run_tcp, EngineConfig, LoadgenConfig,
+    online_policy, parse_slow_shard, parse_write_policy, run_in_process, run_tcp, EngineConfig,
+    LoadgenConfig, SlowShard, DEFAULT_QUEUE_BOUND,
 };
 use pc_trace::Workload;
 
 const USAGE: &str = "usage: pc-loadgen [--addr HOST:PORT] [--workload synthetic|oltp|cello96] \
 [--conns N] [--secs S] [--seed N] [--rate REQ_PER_SEC] [--shutdown] \
-[--in-process] [--shards N] [--policy NAME] [--write-policy NAME] [--reqs N]";
+[--retry-budget N] [--backoff-us N] [--backoff-cap-us N] [--io-timeout-secs S] \
+[--in-process] [--shards N] [--policy NAME] [--write-policy NAME] [--reqs N] \
+[--shard-queue N] [--slow-shard IDX:MICROS]";
 
 struct Args {
     load: LoadgenConfig,
@@ -21,6 +25,8 @@ struct Args {
     policy: String,
     write_policy: String,
     reqs: Option<usize>,
+    shard_queue: usize,
+    slow_shard: Option<SlowShard>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +37,8 @@ fn parse_args() -> Result<Args, String> {
     let mut policy = "pa-lru".to_owned();
     let mut write_policy = "write-back".to_owned();
     let mut reqs = None;
+    let mut shard_queue = DEFAULT_QUEUE_BOUND;
+    let mut slow_shard = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -71,12 +79,51 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--reqs: {e}"))?,
                 )
             }
+            "--retry-budget" => {
+                load.retry_budget = value("--retry-budget")?
+                    .parse()
+                    .map_err(|e| format!("--retry-budget: {e}"))?
+            }
+            "--backoff-us" => {
+                load.backoff_us = value("--backoff-us")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-us: {e}"))?
+            }
+            "--backoff-cap-us" => {
+                load.backoff_cap_us = value("--backoff-cap-us")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-cap-us: {e}"))?
+            }
+            "--io-timeout-secs" => {
+                let secs: f64 = value("--io-timeout-secs")?
+                    .parse()
+                    .map_err(|e| format!("--io-timeout-secs: {e}"))?;
+                if secs <= 0.0 {
+                    return Err("--io-timeout-secs must be positive".to_owned());
+                }
+                load.io_timeout = Duration::from_secs_f64(secs);
+            }
             "--shutdown" => shutdown = true,
             "--in-process" => in_process = true,
             "--shards" => {
                 shards = value("--shards")?
                     .parse()
                     .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--shard-queue" => {
+                shard_queue = value("--shard-queue")?
+                    .parse()
+                    .map_err(|e| format!("--shard-queue: {e}"))?;
+                if shard_queue == 0 {
+                    return Err("--shard-queue must be at least 1".to_owned());
+                }
+            }
+            "--slow-shard" => {
+                let spec = value("--slow-shard")?;
+                slow_shard =
+                    Some(parse_slow_shard(&spec).ok_or_else(|| {
+                        format!("--slow-shard: expected IDX:MICROS, got {spec:?}")
+                    })?);
             }
             "--policy" => policy = value("--policy")?,
             "--write-policy" => write_policy = value("--write-policy")?,
@@ -95,6 +142,8 @@ fn parse_args() -> Result<Args, String> {
         policy,
         write_policy,
         reqs,
+        shard_queue,
+        slow_shard,
     })
 }
 
@@ -144,6 +193,16 @@ fn main() -> ExitCode {
         eprintln!("pc-loadgen: a shard reported zero energy");
         return ExitCode::FAILURE;
     }
+    // BUSY handled by backoff is a healthy protocol exchange; BUSY that
+    // persisted past the whole retry budget means the server stayed
+    // saturated, and the run failed to deliver those requests.
+    if report.exhausted > 0 {
+        eprintln!(
+            "pc-loadgen: {} requests exhausted the retry budget",
+            report.exhausted
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -156,21 +215,39 @@ fn run_in_process_mode(args: &Args) -> ExitCode {
         eprintln!("unknown write policy {:?}", args.write_policy);
         return ExitCode::FAILURE;
     };
-    let engine = EngineConfig::new(args.shards, args.load.workload.disk_count())
+    let mut engine = EngineConfig::new(args.shards, args.load.workload.disk_count())
         .with_policy(policy)
-        .with_sim(pc_sim::SimConfig::default().with_write_policy(write_policy));
+        .with_sim(pc_sim::SimConfig::default().with_write_policy(write_policy))
+        .with_queue_bound(args.shard_queue);
+    if let Some(slow) = args.slow_shard {
+        if slow.shard >= args.shards {
+            eprintln!(
+                "--slow-shard index {} out of range (shards={})",
+                slow.shard, args.shards
+            );
+            return ExitCode::FAILURE;
+        }
+        engine = engine.with_slow_shard(slow);
+    }
     let workload = args
         .load
         .workload
         .clone()
         .with_requests(args.reqs.unwrap_or(100_000));
-    let (requests, hits, snapshot) = run_in_process(&engine, &workload, args.load.seed);
+    let report = run_in_process(&engine, &workload, args.load.seed);
     println!(
-        "pc-loadgen (in-process): {} requests={requests} hits={hits} seed={}",
+        "pc-loadgen (in-process): {} submitted={} served={} hits={} seed={}",
         workload.name(),
+        report.submitted,
+        report.served,
+        report.hits,
         args.load.seed,
     );
-    print!("{}", snapshot.render_table());
-    println!("{}", snapshot.to_json());
+    println!(
+        "backpressure: busy_rejects={} retries=0 exhausted=0",
+        report.busy_rejects
+    );
+    print!("{}", report.snapshot.render_table());
+    println!("{}", report.snapshot.to_json());
     ExitCode::SUCCESS
 }

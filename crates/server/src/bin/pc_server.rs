@@ -5,7 +5,10 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use pc_server::{online_policy, parse_write_policy, EngineConfig, Server, ONLINE_POLICIES};
+use pc_server::{
+    online_policy, parse_slow_shard, parse_write_policy, EngineConfig, Server, DEFAULT_QUEUE_BOUND,
+    ONLINE_POLICIES,
+};
 
 /// Set by the C signal handler; bridged to the server's stop flag by a
 /// watcher thread (the handler itself must stay async-signal-safe).
@@ -30,9 +33,13 @@ fn install_signal_handlers() {
 }
 
 const USAGE: &str = "usage: pc-server [--addr HOST:PORT] [--shards N] [--disks N] \
-[--policy NAME] [--write-policy NAME] [--cache-blocks N] [--prefetch N]\n\
+[--policy NAME] [--write-policy NAME] [--cache-blocks N] [--prefetch N] \
+[--shard-queue N] [--slow-shard IDX:MICROS]\n\
   policies: lru fifo arc mq lirs 2q pa-lru pa-arc pa-mq pa-lirs pa-2q\n\
-  write policies: write-back write-through wbeu[:limit] wtdu";
+  write policies: write-back write-through wbeu[:limit] wtdu\n\
+  --shard-queue bounds each shard's admission queue (requests); a full\n\
+  queue answers BUSY. --slow-shard injects a per-request service delay\n\
+  into one shard (fault injection for backpressure tests).";
 
 struct Args {
     addr: String,
@@ -49,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
     let mut write_name = "write-back".to_owned();
     let mut cache_blocks = 4_096usize;
     let mut prefetch = 0u64;
+    let mut shard_queue = DEFAULT_QUEUE_BOUND;
+    let mut slow_shard = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -77,6 +86,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--prefetch: {e}"))?
             }
+            "--shard-queue" => {
+                shard_queue = value("--shard-queue")?
+                    .parse()
+                    .map_err(|e| format!("--shard-queue: {e}"))?;
+                if shard_queue == 0 {
+                    return Err("--shard-queue must be at least 1".to_owned());
+                }
+            }
+            "--slow-shard" => {
+                let spec = value("--slow-shard")?;
+                slow_shard =
+                    Some(parse_slow_shard(&spec).ok_or_else(|| {
+                        format!("--slow-shard: expected IDX:MICROS, got {spec:?}")
+                    })?);
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -90,9 +114,19 @@ fn parse_args() -> Result<Args, String> {
         .with_cache_blocks(cache_blocks)
         .with_write_policy(write_policy)
         .with_prefetch_depth(prefetch);
-    let engine = EngineConfig::new(shards, disks)
+    let mut engine = EngineConfig::new(shards, disks)
         .with_policy(policy)
-        .with_sim(sim);
+        .with_sim(sim)
+        .with_queue_bound(shard_queue);
+    if let Some(slow) = slow_shard {
+        if slow.shard >= shards {
+            return Err(format!(
+                "--slow-shard index {} out of range (shards={shards})",
+                slow.shard
+            ));
+        }
+        engine = engine.with_slow_shard(slow);
+    }
     Ok(Args {
         addr,
         engine,
@@ -122,8 +156,17 @@ fn main() -> ExitCode {
         .map(|a| a.to_string())
         .unwrap_or(args.addr);
     println!(
-        "pc-server listening on {addr} shards={} disks={} policy={} write_policy={} cache_blocks={}",
-        args.engine.shards, args.engine.disks, args.policy_name, args.write_name, args.engine.sim.cache_blocks,
+        "pc-server listening on {addr} shards={} disks={} policy={} write_policy={} cache_blocks={} shard_queue={}{}",
+        args.engine.shards,
+        args.engine.disks,
+        args.policy_name,
+        args.write_name,
+        args.engine.sim.cache_blocks,
+        args.engine.queue_bound,
+        args.engine
+            .slow_shard
+            .map(|s| format!(" slow_shard={}:{}us", s.shard, s.micros))
+            .unwrap_or_default(),
     );
 
     let stop = server.stop_flag();

@@ -42,14 +42,15 @@
 
 pub mod loadgen;
 pub mod protocol;
+pub mod queue;
 pub mod server;
 pub mod shard;
 pub mod stats;
 
-pub use loadgen::{run_in_process, run_tcp, LoadReport, LoadgenConfig};
+pub use loadgen::{run_in_process, run_tcp, InProcReport, LoadReport, LoadgenConfig};
 pub use server::{RunSummary, Server};
 pub use shard::{
-    online_policy, parse_write_policy, shard_of, EngineConfig, InProcCluster, ShardEngine,
-    ONLINE_POLICIES,
+    online_policy, parse_slow_shard, parse_write_policy, shard_of, EngineConfig, InProcCluster,
+    ShardEngine, SlowShard, SubmitOutcome, DEFAULT_QUEUE_BOUND, ONLINE_POLICIES,
 };
 pub use stats::{parse_stats_json, ClusterSnapshot, ShardSnapshot, StatsSummary};

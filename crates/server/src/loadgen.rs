@@ -2,22 +2,34 @@
 //! `pc-server` over M concurrent connections, open-loop, and collects a
 //! closing report (client-measured latency plus the server's own STATS
 //! snapshot).
+//!
+//! The client speaks the overload protocol: a `BUSY` response parks the
+//! request for a retry round paced by capped exponential backoff with
+//! seeded jitter, up to a per-request retry budget; requests whose
+//! budget runs out are counted as `exhausted` — the caller's signal
+//! that the server stayed saturated beyond what backing off could
+//! absorb. All sockets carry read *and* write timeouts, so a server
+//! that accepts connections and then goes silent (or stops reading)
+//! surfaces as an error instead of a hang.
 
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pc_cache::IntervalHistogram;
 use pc_trace::{IoOp, Workload};
 use pc_units::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::protocol::{encode_request, FrameBuf, Request, Response};
-use crate::stats::{parse_stats_json, StatsSummary};
+use crate::stats::{parse_stats_json, ClusterSnapshot, StatsSummary};
 
-/// Outstanding-request ring size per connection (latency timestamps are
-/// stored by `seq % RING`).
+/// Outstanding-request ring size per connection (latency timestamps and
+/// retry metadata are stored by `seq % RING`).
 const RING: usize = 1 << 16;
 
 /// Maximum in-flight requests per connection: half the ring, so a
@@ -44,10 +56,23 @@ pub struct LoadgenConfig {
     /// Open-loop target rate in requests/second across all connections
     /// (`None` = as fast as the window allows).
     pub rate: Option<f64>,
+    /// Resend attempts granted to a request answered `BUSY` before it
+    /// counts as exhausted.
+    pub retry_budget: u32,
+    /// Base backoff before the first retry, in microseconds; doubles
+    /// per attempt.
+    pub backoff_us: u64,
+    /// Backoff ceiling in microseconds.
+    pub backoff_cap_us: u64,
+    /// Socket read/write timeout: a server that stops reading or never
+    /// replies surfaces as an error instead of a hang.
+    pub io_timeout: Duration,
 }
 
 impl LoadgenConfig {
-    /// A default run: synthetic workload, 8 connections, 2 seconds.
+    /// A default run: synthetic workload, 8 connections, 2 seconds,
+    /// 8 retries starting at 200 µs backoff capped at 20 ms, 10 s
+    /// socket timeouts.
     #[must_use]
     pub fn new(addr: String) -> Self {
         LoadgenConfig {
@@ -57,6 +82,10 @@ impl LoadgenConfig {
             secs: 2.0,
             seed: 42,
             rate: None,
+            retry_budget: 8,
+            backoff_us: 200,
+            backoff_cap_us: 20_000,
+            io_timeout: Duration::from_secs(10),
         }
     }
 
@@ -83,18 +112,40 @@ struct ConnStats {
     sent: u64,
     responses: u64,
     hits: u64,
+    busy: u64,
+    retries: u64,
+    exhausted: u64,
     lat_ns_total: u64,
+}
+
+/// The retry/backoff knobs a connection worker needs, detached from
+/// [`LoadgenConfig`] so worker threads can own a copy.
+#[derive(Debug, Clone, Copy)]
+struct RetryKnobs {
+    budget: u32,
+    backoff_us: u64,
+    backoff_cap_us: u64,
+    io_timeout: Duration,
+    seed: u64,
 }
 
 /// The closing report of a load-generation run.
 #[derive(Debug)]
 pub struct LoadReport {
-    /// Requests written to the sockets.
+    /// Requests written to the sockets (first sends plus retries).
     pub sent: u64,
-    /// Responses received.
+    /// I/O responses received.
     pub responses: u64,
     /// Responses flagged as cache hits.
     pub hits: u64,
+    /// `BUSY` responses received (each retried send that bounces again
+    /// counts again).
+    pub busy_rejects: u64,
+    /// Requests re-sent after a `BUSY`.
+    pub retries: u64,
+    /// Requests dropped after exhausting the retry budget — non-zero
+    /// means the server stayed saturated beyond what backoff absorbed.
+    pub exhausted: u64,
     /// Wall-clock duration of the request phase.
     pub elapsed: Duration,
     /// Client-measured round-trip latency distribution.
@@ -147,11 +198,17 @@ impl LoadReport {
             self.mean_latency, p50, p99,
         ));
         out.push_str(&format!(
-            "server: requests={} hits={} energy_j={:.2} shards={} (all energies > 0: {})\n",
+            "backpressure: busy_rejects={} retries={} exhausted={}\n",
+            self.busy_rejects, self.retries, self.exhausted,
+        ));
+        out.push_str(&format!(
+            "server: requests={} hits={} energy_j={:.2} shards={} busy_rejects={} queue_hw={} (all energies > 0: {})\n",
             self.stats.requests,
             self.stats.hits,
             self.stats.energy_j,
             self.stats.shard_energy_j.len(),
+            self.stats.busy_rejects,
+            self.stats.queue_high_water,
             self.stats.shard_energy_j.iter().all(|&e| e > 0.0),
         ));
         out
@@ -175,13 +232,23 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         let pace_ns = cfg
             .rate
             .map(|r| ((1e9 * cfg.conns as f64) / r.max(1.0)) as u64);
+        let knobs = RetryKnobs {
+            budget: cfg.retry_budget,
+            backoff_us: cfg.backoff_us.max(1),
+            backoff_cap_us: cfg.backoff_cap_us.max(cfg.backoff_us.max(1)),
+            io_timeout: cfg.io_timeout,
+            seed: cfg.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
         handles.push(std::thread::spawn(move || {
-            conn_worker(&addr, stream, deadline, pace_ns)
+            conn_worker(&addr, stream, deadline, pace_ns, knobs)
         }));
     }
     let mut sent = 0u64;
     let mut responses = 0u64;
     let mut hits = 0u64;
+    let mut busy_rejects = 0u64;
+    let mut retries = 0u64;
+    let mut exhausted = 0u64;
     let mut lat_ns_total = 0u64;
     let mut latency_hist = latency_histogram();
     for h in handles {
@@ -191,13 +258,16 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         sent += stats.sent;
         responses += stats.responses;
         hits += stats.hits;
+        busy_rejects += stats.busy;
+        retries += stats.retries;
+        exhausted += stats.exhausted;
         lat_ns_total += stats.lat_ns_total;
         latency_hist.merge(&hist);
     }
     let elapsed = started.elapsed();
 
     // Final STATS over a fresh connection, after all load finished.
-    let stats_json = fetch_stats(&cfg.addr)?;
+    let stats_json = fetch_stats(&cfg.addr, cfg.io_timeout)?;
     let stats = parse_stats_json(&stats_json).ok_or_else(|| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -211,6 +281,9 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         sent,
         responses,
         hits,
+        busy_rejects,
+        retries,
+        exhausted,
         elapsed,
         latency_hist,
         mean_latency,
@@ -224,15 +297,19 @@ fn latency_histogram() -> IntervalHistogram {
     IntervalHistogram::geometric(SimDuration::from_micros(1), 28)
 }
 
-/// Fetches a STATS snapshot over a dedicated connection.
+/// Fetches a STATS snapshot over a dedicated connection. Both socket
+/// directions carry `timeout`, so a server that accepts but never
+/// replies (or never reads) fails the call instead of hanging it.
 ///
 /// # Errors
 ///
 /// Propagates socket errors; a closed or unframeable stream is
-/// `InvalidData`/`UnexpectedEof`.
-pub fn fetch_stats(addr: &str) -> std::io::Result<String> {
+/// `InvalidData`/`UnexpectedEof`; a silent server is
+/// `WouldBlock`/`TimedOut`.
+pub fn fetch_stats(addr: &str, timeout: Duration) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let mut wire = Vec::new();
     encode_request(&Request::Stats { seq: 0 }, &mut wire);
     stream.write_all(&wire)?;
@@ -265,6 +342,7 @@ pub fn fetch_stats(addr: &str) -> std::io::Result<String> {
 pub fn send_shutdown(addr: &str) -> std::io::Result<()> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
     let mut wire = Vec::new();
     encode_request(&Request::Shutdown { seq: 0 }, &mut wire);
     stream.write_all(&wire)?;
@@ -285,30 +363,122 @@ pub fn send_shutdown(addr: &str) -> std::io::Result<()> {
     }
 }
 
+/// A request bounced with `BUSY`, travelling from the receiver thread
+/// back to the sender for a backoff-paced resend.
+#[derive(Debug, Clone, Copy)]
+struct RetryReq {
+    disk: u32,
+    block: u64,
+    blocks: u16,
+    write: bool,
+    /// 1 for the first resend, incremented per bounce.
+    attempt: u32,
+}
+
+/// Packs the fields a retry needs into the per-slot metadata word:
+/// `disk:32 | blocks:16 | attempt:15 | write:1`.
+fn pack_meta(disk: u32, blocks: u16, attempt: u32, write: bool) -> u64 {
+    (u64::from(disk) << 32)
+        | (u64::from(blocks) << 16)
+        | (u64::from(attempt & 0x7FFF) << 1)
+        | u64::from(write)
+}
+
+/// Sleeps one capped-exponential backoff round (with jitter, so
+/// connections do not resynchronize), then resends every pending retry
+/// under fresh sequence numbers. Returns the number of resends.
+#[allow(clippy::too_many_arguments)]
+fn resend_round(
+    pending: &mut Vec<RetryReq>,
+    write_half: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    seq: &mut u32,
+    start: Instant,
+    ring: &[AtomicU64],
+    meta: &[(AtomicU64, AtomicU64)],
+    outstanding: &AtomicI64,
+    rng: &mut StdRng,
+    knobs: &RetryKnobs,
+) -> std::io::Result<u64> {
+    if pending.is_empty() {
+        return Ok(0);
+    }
+    // One sleep per round, scaled to the round's furthest-along request.
+    let attempt = pending.iter().map(|r| r.attempt).max().unwrap_or(1).max(1);
+    let base = knobs
+        .backoff_us
+        .saturating_mul(1u64 << (attempt - 1).min(20));
+    let us = (base.min(knobs.backoff_cap_us) as f64 * rng.gen_range(0.5..1.5)) as u64;
+    // Flush queued fresh requests first so they are not held back by
+    // the sleep.
+    if !buf.is_empty() {
+        write_half.write_all(buf)?;
+        buf.clear();
+    }
+    std::thread::sleep(Duration::from_micros(us.max(1)));
+    let n = pending.len() as u64;
+    for r in pending.drain(..) {
+        let slot = *seq as usize % RING;
+        ring[slot].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        meta[slot].0.store(
+            pack_meta(r.disk, r.blocks, r.attempt, r.write),
+            Ordering::Relaxed,
+        );
+        meta[slot].1.store(r.block, Ordering::Relaxed);
+        encode_request(
+            &Request::Io {
+                seq: *seq,
+                write: r.write,
+                disk: r.disk,
+                block: r.block,
+                blocks: r.blocks,
+            },
+            buf,
+        );
+        *seq = seq.wrapping_add(1);
+        outstanding.fetch_add(1, Ordering::AcqRel);
+    }
+    write_half.write_all(buf)?;
+    buf.clear();
+    Ok(n)
+}
+
 /// One connection: a sender thread (this one) paced open-loop plus a
-/// receiver thread matching responses to send timestamps.
+/// receiver thread matching responses to send timestamps. `BUSY`
+/// responses flow back to the sender over a retry channel and are
+/// resent after a backoff, until the per-request budget runs out.
 fn conn_worker(
     addr: &str,
     records: pc_trace::RecordStream,
     deadline: Instant,
     pace_ns: Option<u64>,
+    knobs: RetryKnobs,
 ) -> std::io::Result<(ConnStats, IntervalHistogram)> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(knobs.io_timeout))?;
     let mut read_half = stream.try_clone()?;
     read_half.set_read_timeout(Some(Duration::from_millis(50)))?;
 
     let ring: Arc<Vec<AtomicU64>> = Arc::new((0..RING).map(|_| AtomicU64::new(0)).collect());
+    let meta: Arc<Vec<(AtomicU64, AtomicU64)>> = Arc::new(
+        (0..RING)
+            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .collect(),
+    );
     let outstanding = Arc::new(AtomicI64::new(0));
     let sender_done = Arc::new(AtomicBool::new(false));
-    let total_sent = Arc::new(AtomicU64::new(0));
+    let abort = Arc::new(AtomicBool::new(false));
+    let (retry_tx, retry_rx) = channel::<RetryReq>();
     let start = Instant::now();
 
     let receiver = {
         let ring = Arc::clone(&ring);
+        let meta = Arc::clone(&meta);
         let outstanding = Arc::clone(&outstanding);
         let sender_done = Arc::clone(&sender_done);
-        let total_sent = Arc::clone(&total_sent);
+        let abort = Arc::clone(&abort);
+        let budget = knobs.budget;
         std::thread::spawn(move || -> std::io::Result<(ConnStats, IntervalHistogram)> {
             let mut fb = FrameBuf::new();
             let mut stats = ConnStats::default();
@@ -319,23 +489,48 @@ fn conn_worker(
                     .next_response()
                     .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
                 {
-                    if let Response::Io { seq, hit, .. } = resp {
-                        let sent_ns = ring[seq as usize % RING].load(Ordering::Relaxed);
-                        let now_ns = start.elapsed().as_nanos() as u64;
-                        let lat_ns = now_ns.saturating_sub(sent_ns);
-                        stats.lat_ns_total += lat_ns;
-                        hist.record(SimDuration::from_micros((lat_ns / 1_000).max(1)));
-                        stats.responses += 1;
-                        stats.hits += u64::from(hit);
-                        outstanding.fetch_sub(1, Ordering::Relaxed);
+                    match resp {
+                        Response::Io { seq, hit, .. } => {
+                            let sent_ns = ring[seq as usize % RING].load(Ordering::Relaxed);
+                            let now_ns = start.elapsed().as_nanos() as u64;
+                            let lat_ns = now_ns.saturating_sub(sent_ns);
+                            stats.lat_ns_total += lat_ns;
+                            hist.record(SimDuration::from_micros((lat_ns / 1_000).max(1)));
+                            stats.responses += 1;
+                            stats.hits += u64::from(hit);
+                            outstanding.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        Response::Busy { seq, .. } => {
+                            stats.busy += 1;
+                            let slot = seq as usize % RING;
+                            let w1 = meta[slot].0.load(Ordering::Relaxed);
+                            let attempt = ((w1 >> 1) & 0x7FFF) as u32;
+                            // Forward-then-decrement: the sender treats
+                            // "outstanding is zero" as proof the retry
+                            // channel has gone quiet, so the enqueue
+                            // must be visible before the count drops.
+                            if attempt >= budget
+                                || retry_tx
+                                    .send(RetryReq {
+                                        disk: (w1 >> 32) as u32,
+                                        blocks: (w1 >> 16) as u16,
+                                        write: w1 & 1 == 1,
+                                        block: meta[slot].1.load(Ordering::Relaxed),
+                                        attempt: attempt + 1,
+                                    })
+                                    .is_err()
+                            {
+                                stats.exhausted += 1;
+                            }
+                            outstanding.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        _ => {}
                     }
                 }
-                if sender_done.load(Ordering::Acquire)
-                    && stats.responses >= total_sent.load(Ordering::Acquire)
-                {
+                if sender_done.load(Ordering::Acquire) && outstanding.load(Ordering::Acquire) <= 0 {
                     return Ok((stats, hist));
                 }
-                if Instant::now() > hard_stop {
+                if abort.load(Ordering::Acquire) || Instant::now() > hard_stop {
                     return Ok((stats, hist)); // Give up on stragglers.
                 }
                 match fb.read_from(&mut read_half) {
@@ -351,85 +546,199 @@ fn conn_worker(
     };
 
     let mut write_half = stream;
-    let mut buf = Vec::with_capacity(SEND_CHUNK + 64);
-    let mut seq = 0u32;
-    let mut sent = 0u64;
-    for record in records {
-        // Check the clock often enough for the deadline to bite without
-        // paying a syscall per request.
-        if sent.is_multiple_of(512) && Instant::now() >= deadline {
-            break;
-        }
-        if let Some(gap) = pace_ns {
-            let target = start + Duration::from_nanos(sent * gap);
-            if !buf.is_empty() && Instant::now() < target {
-                write_half.write_all(&buf)?;
-                buf.clear();
+    let mut rng = StdRng::seed_from_u64(knobs.seed);
+    let send_result = (|| -> std::io::Result<(u64, u64)> {
+        let mut buf = Vec::with_capacity(SEND_CHUNK + 64);
+        let mut seq = 0u32;
+        let mut sent = 0u64;
+        let mut retries = 0u64;
+        let mut pending: Vec<RetryReq> = Vec::new();
+        for record in records {
+            // Check the clock often enough for the deadline to bite
+            // without paying a syscall per request, and pick up bounced
+            // requests on the same cadence.
+            if sent.is_multiple_of(512) {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                pending.extend(retry_rx.try_iter());
+                retries += resend_round(
+                    &mut pending,
+                    &mut write_half,
+                    &mut buf,
+                    &mut seq,
+                    start,
+                    &ring,
+                    &meta,
+                    &outstanding,
+                    &mut rng,
+                    &knobs,
+                )?;
             }
-            while Instant::now() < target {
+            if let Some(gap) = pace_ns {
+                let target = start + Duration::from_nanos(sent * gap);
+                if !buf.is_empty() && Instant::now() < target {
+                    write_half.write_all(&buf)?;
+                    buf.clear();
+                }
+                while Instant::now() < target {
+                    std::thread::yield_now();
+                }
+            }
+            while outstanding.load(Ordering::Relaxed) >= WINDOW {
+                if !buf.is_empty() {
+                    write_half.write_all(&buf)?;
+                    buf.clear();
+                }
                 std::thread::yield_now();
+                if Instant::now() >= deadline {
+                    break;
+                }
             }
-        }
-        while outstanding.load(Ordering::Relaxed) >= WINDOW {
-            if !buf.is_empty() {
+            let slot = seq as usize % RING;
+            ring[slot].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let write = record.op == IoOp::Write;
+            let disk = record.block.disk().index();
+            let block = record.block.block().number();
+            let blocks = u16::try_from(record.blocks).unwrap_or(u16::MAX);
+            meta[slot]
+                .0
+                .store(pack_meta(disk, blocks, 0, write), Ordering::Relaxed);
+            meta[slot].1.store(block, Ordering::Relaxed);
+            encode_request(
+                &Request::Io {
+                    seq,
+                    write,
+                    disk,
+                    block,
+                    blocks,
+                },
+                &mut buf,
+            );
+            seq = seq.wrapping_add(1);
+            sent += 1;
+            outstanding.fetch_add(1, Ordering::AcqRel);
+            if buf.len() >= SEND_CHUNK {
                 write_half.write_all(&buf)?;
                 buf.clear();
             }
-            std::thread::yield_now();
-            if Instant::now() >= deadline {
-                break;
-            }
         }
-        ring[seq as usize % RING].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        encode_request(
-            &Request::Io {
-                seq,
-                write: record.op == IoOp::Write,
-                disk: record.block.disk().index(),
-                block: record.block.block().number(),
-                blocks: u16::try_from(record.blocks).unwrap_or(u16::MAX),
-            },
-            &mut buf,
-        );
-        seq = seq.wrapping_add(1);
-        sent += 1;
-        outstanding.fetch_add(1, Ordering::Relaxed);
-        if buf.len() >= SEND_CHUNK {
+        if !buf.is_empty() {
             write_half.write_all(&buf)?;
             buf.clear();
         }
-    }
-    if !buf.is_empty() {
-        write_half.write_all(&buf)?;
-    }
-    total_sent.store(sent, Ordering::Release);
-    sender_done.store(true, Ordering::Release);
 
-    let (mut stats, hist) = receiver
+        // Drain: keep resending bounced requests until every send has
+        // been answered. The grace period is the socket timeout — the
+        // same budget we give a silent server elsewhere; giving up
+        // flips `abort` so the receiver stops waiting for stragglers.
+        let drain_deadline =
+            deadline.max(Instant::now()) + knobs.io_timeout.max(Duration::from_millis(100));
+        loop {
+            pending.extend(retry_rx.try_iter());
+            if pending.is_empty() {
+                if outstanding.load(Ordering::Acquire) <= 0 {
+                    // Every enqueue precedes its decrement, so with the
+                    // count at zero one more look at the channel is
+                    // conclusive.
+                    pending.extend(retry_rx.try_iter());
+                    if pending.is_empty() {
+                        break;
+                    }
+                } else {
+                    match retry_rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(r) => pending.push(r),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }
+            retries += resend_round(
+                &mut pending,
+                &mut write_half,
+                &mut buf,
+                &mut seq,
+                start,
+                &ring,
+                &meta,
+                &outstanding,
+                &mut rng,
+                &knobs,
+            )?;
+            if Instant::now() > drain_deadline {
+                abort.store(true, Ordering::Release);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!(
+                        "server went silent: {} requests still unanswered after the drain grace",
+                        outstanding.load(Ordering::Acquire).max(0)
+                    ),
+                ));
+            }
+        }
+        Ok((sent, retries))
+    })();
+
+    if send_result.is_err() {
+        abort.store(true, Ordering::Release);
+    }
+    sender_done.store(true, Ordering::Release);
+    let recv_result = receiver
         .join()
-        .map_err(|_| std::io::Error::other("receiver panicked"))??;
-    stats.sent = sent;
+        .map_err(|_| std::io::Error::other("receiver panicked"))?;
+    let (sent, retries) = send_result?;
+    let (mut stats, hist) = recv_result?;
+    stats.sent = sent + retries;
+    stats.retries = retries;
     Ok((stats, hist))
 }
 
+/// The closing report of a deterministic in-process run: client-side
+/// tallies plus the final cluster snapshot with closed energy books.
+#[derive(Debug)]
+pub struct InProcReport {
+    /// Requests submitted to the cluster.
+    pub submitted: u64,
+    /// Requests admitted and executed.
+    pub served: u64,
+    /// Served requests that hit the cache.
+    pub hits: u64,
+    /// Requests rejected at a full shard queue (`submitted` minus
+    /// `served`); rejected requests never touch the energy books.
+    pub busy_rejects: u64,
+    /// The final snapshot, with idle tails closed.
+    pub snapshot: ClusterSnapshot,
+}
+
 /// Runs the workload through an in-process cluster (no sockets): the
-/// deterministic mode. Returns the client-side tallies and the final
-/// cluster snapshot with closed energy books.
+/// deterministic mode. Backpressure is modelled in virtual time — with
+/// a `--slow-shard` delay and a tiny queue bound the same records are
+/// rejected on every run.
 #[must_use]
 pub fn run_in_process(
     engine: &crate::shard::EngineConfig,
     workload: &Workload,
     seed: u64,
-) -> (u64, u64, crate::stats::ClusterSnapshot) {
+) -> InProcReport {
     let mut cluster = crate::shard::InProcCluster::new(engine);
-    let mut requests = 0u64;
+    let mut submitted = 0u64;
+    let mut served = 0u64;
     let mut hits = 0u64;
     for record in workload.stream(seed) {
-        let (_, outcome) = cluster.submit(&record);
-        requests += 1;
-        hits += u64::from(outcome.hit);
+        submitted += 1;
+        if let Some(outcome) = cluster.submit(&record).served() {
+            served += 1;
+            hits += u64::from(outcome.hit);
+        }
     }
-    (requests, hits, cluster.into_snapshot())
+    let busy_rejects = cluster.busy_rejects().iter().sum();
+    InProcReport {
+        submitted,
+        served,
+        hits,
+        busy_rejects,
+        snapshot: cluster.into_snapshot(),
+    }
 }
 
 #[cfg(test)]
@@ -441,12 +750,31 @@ mod tests {
     fn in_process_mode_is_deterministic_end_to_end() {
         let w = Workload::parse("synthetic").unwrap().with_requests(4_000);
         let engine = EngineConfig::new(2, 4);
-        let (r1, h1, s1) = run_in_process(&engine, &w, 7);
-        let (r2, h2, s2) = run_in_process(&engine, &w, 7);
-        assert_eq!(r1, 4_000);
-        assert_eq!((r1, h1), (r2, h2));
-        assert_eq!(s1.to_json(), s2.to_json());
-        assert!(h1 > 0, "a 4k-request zipf stream must hit sometimes");
+        let r1 = run_in_process(&engine, &w, 7);
+        let r2 = run_in_process(&engine, &w, 7);
+        assert_eq!(r1.submitted, 4_000);
+        assert_eq!(r1.served, 4_000, "an unslowed cluster admits everything");
+        assert_eq!(r1.busy_rejects, 0);
+        assert_eq!(
+            (r1.submitted, r1.served, r1.hits),
+            (r2.submitted, r2.served, r2.hits)
+        );
+        assert_eq!(r1.snapshot.to_json(), r2.snapshot.to_json());
+        assert!(r1.hits > 0, "a 4k-request zipf stream must hit sometimes");
+    }
+
+    #[test]
+    fn retry_metadata_packs_and_unpacks() {
+        let w1 = pack_meta(7, 16, 3, true);
+        assert_eq!((w1 >> 32) as u32, 7);
+        assert_eq!((w1 >> 16) as u16, 16);
+        assert_eq!(((w1 >> 1) & 0x7FFF) as u32, 3);
+        assert_eq!(w1 & 1, 1);
+        let w2 = pack_meta(u32::MAX, u16::MAX, 0x7FFF, false);
+        assert_eq!((w2 >> 32) as u32, u32::MAX);
+        assert_eq!((w2 >> 16) as u16, u16::MAX);
+        assert_eq!(((w2 >> 1) & 0x7FFF) as u32, 0x7FFF);
+        assert_eq!(w2 & 1, 0);
     }
 
     #[test]

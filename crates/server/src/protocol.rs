@@ -20,11 +20,18 @@
 //! | `0x81` IO | `op, seq:u32, hit:u8, response_us:u32` |
 //! | `0x83` STATS | `op, seq:u32, json bytes` |
 //! | `0x84` SHUTDOWN | `op, seq:u32` |
+//! | `0x85` BUSY | `op, seq:u32, depth:u32` |
 //!
 //! `response_us` is the *virtual* (simulated) response time of the
 //! request, saturated to `u32::MAX` µs; clients measure wall latency
 //! themselves. `seq` is an opaque per-connection correlation id echoed
 //! back verbatim — the server never interprets it.
+//!
+//! `BUSY` is the overload answer to a READ/WRITE whose shard queue was
+//! full: the request was **not** executed, and `depth` reports how many
+//! requests were already waiting at that shard, so a client can scale
+//! its backoff to the congestion it is seeing. Every accepted request
+//! is answered exactly once — with IO or with BUSY, never both.
 
 use std::io::Read;
 
@@ -39,6 +46,7 @@ const OP_SHUTDOWN: u8 = 0x04;
 const OP_RESP_IO: u8 = 0x81;
 const OP_RESP_STATS: u8 = 0x83;
 const OP_RESP_SHUTDOWN: u8 = 0x84;
+const OP_RESP_BUSY: u8 = 0x85;
 
 /// A decoded client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +99,14 @@ pub enum Response {
     Shutdown {
         /// Correlation id from the request.
         seq: u32,
+    },
+    /// Overload rejection: the target shard's queue was full and the
+    /// request was **not** executed. Clients back off and retry.
+    Busy {
+        /// Correlation id from the request.
+        seq: u32,
+        /// The shard's queue depth (in requests) at rejection time.
+        depth: u32,
     },
 }
 
@@ -178,6 +194,12 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.push(OP_RESP_SHUTDOWN);
             out.extend_from_slice(&seq.to_le_bytes());
         }
+        Response::Busy { seq, depth } => {
+            out.extend_from_slice(&9u32.to_le_bytes());
+            out.push(OP_RESP_BUSY);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&depth.to_le_bytes());
+        }
     }
 }
 
@@ -258,6 +280,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 return Err(ProtoError::Truncated);
             }
             Ok(Response::Shutdown { seq: le_u32(rest) })
+        }
+        OP_RESP_BUSY => {
+            if rest.len() != 8 {
+                return Err(ProtoError::Truncated);
+            }
+            Ok(Response::Busy {
+                seq: le_u32(&rest[0..4]),
+                depth: le_u32(&rest[4..8]),
+            })
         }
         _ => Err(ProtoError::BadOpcode(op)),
     }
@@ -413,6 +444,14 @@ mod tests {
                 json: "{\"shards\":[]}".to_owned(),
             },
             Response::Shutdown { seq: 5 },
+            Response::Busy {
+                seq: 77,
+                depth: 4096,
+            },
+            Response::Busy {
+                seq: u32::MAX,
+                depth: u32::MAX,
+            },
         ] {
             let mut buf = Vec::new();
             encode_response(&resp, &mut buf);
@@ -501,6 +540,90 @@ mod tests {
         assert_eq!(
             decode_response(&[OP_RESP_IO, 1]),
             Err(ProtoError::Truncated)
+        );
+        assert_eq!(
+            decode_response(&[OP_RESP_BUSY, 1, 2, 3, 4]),
+            Err(ProtoError::Truncated)
+        );
+    }
+
+    /// Every truncation of every valid request payload must decode to a
+    /// clean `Truncated` error — never panic, never mis-decode.
+    #[test]
+    fn every_request_prefix_errors_cleanly() {
+        let reqs = [
+            Request::Io {
+                seq: 3,
+                write: true,
+                disk: 9,
+                block: u64::MAX - 1,
+                blocks: 500,
+            },
+            Request::Stats { seq: 1 },
+            Request::Shutdown { seq: 2 },
+        ];
+        for req in reqs {
+            let mut wire = Vec::new();
+            encode_request(&req, &mut wire);
+            let payload = &wire[4..];
+            for cut in 0..payload.len() {
+                assert_eq!(
+                    decode_request(&payload[..cut]),
+                    Err(ProtoError::Truncated),
+                    "{req:?} cut at {cut}"
+                );
+            }
+            // Oversized payloads are also malformed, not silently accepted.
+            let mut long = payload.to_vec();
+            long.push(0xAA);
+            assert_eq!(decode_request(&long), Err(ProtoError::Truncated));
+        }
+    }
+
+    /// Garbage bytes after a valid length prefix decode to an error and
+    /// never panic, whatever the first byte claims to be.
+    #[test]
+    fn garbage_payloads_never_panic() {
+        for op in 0u8..=255 {
+            let payload = [op, 0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x11, 0x22];
+            let _ = decode_request(&payload);
+            let _ = decode_response(&payload);
+            let _ = decode_request(&[op]);
+            let _ = decode_response(&[op]);
+        }
+    }
+
+    /// An oversized length prefix poisons the stream even when it
+    /// arrives byte-by-byte behind valid traffic.
+    #[test]
+    fn oversized_length_after_valid_frame_is_fatal() {
+        let mut wire = Vec::new();
+        encode_request(&Request::Stats { seq: 8 }, &mut wire);
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut src = Trickle(&wire);
+        let mut fb = FrameBuf::new();
+        let mut results = Vec::new();
+        loop {
+            loop {
+                match fb.next_request() {
+                    Ok(Some(req)) => results.push(Ok(req)),
+                    Ok(None) => break,
+                    Err(e) => {
+                        results.push(Err(e));
+                        break;
+                    }
+                }
+            }
+            if results.iter().any(Result::is_err) || src.0.is_empty() {
+                break;
+            }
+            fb.read_from(&mut src).unwrap();
+        }
+        assert_eq!(results[0], Ok(Request::Stats { seq: 8 }));
+        assert_eq!(
+            results[1],
+            Err(ProtoError::BadLength(u32::MAX as usize)),
+            "the poisoned tail must surface as BadLength"
         );
     }
 

@@ -10,7 +10,19 @@
 //! Each connection gets a reader thread (parses frames, groups requests
 //! into per-shard batches) and a writer thread (serializes response
 //! bytes back). Each shard thread owns its [`ShardEngine`] outright —
-//! no locks anywhere on the request path; all coordination is mpsc.
+//! no locks anywhere on the request path; coordination is message
+//! passing throughout.
+//!
+//! Admission is **bounded**: each shard consumes work through a
+//! [`queue`] holding at most [`EngineConfig::queue_bound`]
+//! requests. A reader whose batch does not fit answers the overflow
+//! with `BUSY` frames (carrying the shard's queue depth) instead of
+//! buffering, so overload pushes back on clients rather than silently
+//! reshaping the request stream a shard sees — the stream's shape is
+//! what decides the exploitable idle periods, so it must not be
+//! laundered through an elastic queue. Readers also enforce an idle
+//! timeout: a peer that stays silent too long is disconnected rather
+//! than pinning a thread forever.
 //!
 //! Shutdown (SIGTERM bridge or the `SHUTDOWN` opcode) sets one atomic
 //! flag: the accept loop stops, readers drain their parse buffers and
@@ -20,7 +32,7 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,6 +40,7 @@ use std::time::{Duration, Instant};
 use pc_units::SimTime;
 
 use crate::protocol::{self, FrameBuf, Request, Response};
+use crate::queue::{self, QueueReceiver, QueueSender, TryPushError};
 use crate::shard::{shard_of, EngineConfig, ShardEngine};
 use crate::stats::{ClusterSnapshot, ShardSnapshot};
 use pc_units::{BlockNo, DiskId};
@@ -38,6 +51,10 @@ const BATCH_LIMIT: usize = 1024;
 
 /// How often blocked readers / the accept loop re-check the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Default per-connection idle timeout: a peer that sends no bytes for
+/// this long is disconnected so it cannot pin a reader thread forever.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// One request routed to a shard.
 struct IoReq {
@@ -72,6 +89,7 @@ pub struct Server {
     listener: TcpListener,
     engine: EngineConfig,
     stop: Arc<AtomicBool>,
+    idle_timeout: Duration,
 }
 
 /// What a completed run hands back for the closing report.
@@ -95,7 +113,16 @@ impl Server {
             listener,
             engine,
             stop: Arc::new(AtomicBool::new(false)),
+            idle_timeout: IDLE_TIMEOUT,
         })
+    }
+
+    /// Overrides the per-connection idle timeout (default 60 s): a peer
+    /// that sends no bytes for this long is disconnected.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.idle_timeout = idle_timeout;
+        self
     }
 
     /// The bound address (useful with port 0).
@@ -131,13 +158,19 @@ impl Server {
         let write_policy = self.engine.sim.write_policy.name().to_owned();
         let epoch = Instant::now();
 
+        let busy_gauges: Arc<Vec<AtomicU64>> =
+            Arc::new((0..self.engine.shards).map(|_| AtomicU64::new(0)).collect());
         let mut shard_txs = Vec::with_capacity(self.engine.shards);
         let mut shard_joins = Vec::with_capacity(self.engine.shards);
         for id in 0..self.engine.shards {
             let engine = ShardEngine::new(id, &self.engine);
-            let (tx, rx) = channel();
+            let (tx, rx) = queue::bounded(self.engine.queue_bound);
             shard_txs.push(tx);
-            shard_joins.push(std::thread::spawn(move || shard_main(engine, &rx)));
+            let gauges = Arc::clone(&busy_gauges);
+            let delay_us = self.engine.slow_delay_micros(id);
+            shard_joins.push(std::thread::spawn(move || {
+                shard_main(engine, &rx, &gauges[id], delay_us)
+            }));
         }
         let shard_txs = Arc::new(shard_txs);
 
@@ -150,11 +183,14 @@ impl Server {
                     connections += 1;
                     let txs = Arc::clone(&shard_txs);
                     let stop = Arc::clone(&self.stop);
+                    let gauges = Arc::clone(&busy_gauges);
                     let names = (policy.clone(), write_policy.clone());
+                    let idle_timeout = self.idle_timeout;
                     conn_joins.push(std::thread::spawn(move || {
                         // A dead connection is the client's problem, not
                         // the daemon's.
-                        let _ = serve_conn(stream, &txs, &stop, epoch, &names);
+                        let _ =
+                            serve_conn(stream, &txs, &stop, epoch, &names, &gauges, idle_timeout);
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -184,12 +220,25 @@ impl Server {
 
 /// A shard thread: apply batches in arrival order until every sender is
 /// gone, then close the books.
-fn shard_main(mut engine: ShardEngine, rx: &Receiver<ShardMsg>) -> ShardSnapshot {
-    while let Ok(msg) = rx.recv() {
+///
+/// `delay_us` is the fault-injected per-request service delay (0 for a
+/// healthy shard); `busy` is this shard's reject counter, incremented by
+/// the connection readers and folded into every snapshot here.
+fn shard_main(
+    mut engine: ShardEngine,
+    rx: &QueueReceiver<ShardMsg>,
+    busy: &AtomicU64,
+    delay_us: u64,
+) -> ShardSnapshot {
+    let delay = (delay_us > 0).then(|| Duration::from_micros(delay_us));
+    while let Some(msg) = rx.pop() {
         match msg {
             ShardMsg::Io { reply, batch } => {
                 let mut out = Vec::with_capacity(batch.len() * 14);
                 for r in &batch {
+                    if let Some(d) = delay {
+                        std::thread::sleep(d);
+                    }
                     let outcome = engine.ingest(
                         SimTime::from_micros(r.at_us),
                         r.disk,
@@ -212,20 +261,29 @@ fn shard_main(mut engine: ShardEngine, rx: &Receiver<ShardMsg>) -> ShardSnapshot
                 let _ = reply.send(WriterMsg::Bytes(out));
             }
             ShardMsg::Stats { reply } => {
-                let _ = reply.send(engine.snapshot());
+                let mut snap = engine.snapshot();
+                snap.busy_rejects = busy.load(Ordering::Relaxed);
+                snap.queue_depth = rx.depth() as u64;
+                snap.queue_high_water = rx.high_water();
+                let _ = reply.send(snap);
             }
         }
     }
-    engine.into_snapshot()
+    let mut snap = engine.into_snapshot();
+    snap.busy_rejects = busy.load(Ordering::Relaxed);
+    snap.queue_high_water = rx.high_water();
+    snap
 }
 
 /// A connection's reader loop; spawns the paired writer thread.
 fn serve_conn(
     stream: TcpStream,
-    shard_txs: &[Sender<ShardMsg>],
+    shard_txs: &[QueueSender<ShardMsg>],
     stop: &AtomicBool,
     epoch: Instant,
     names: &(String, String),
+    busy_gauges: &[AtomicU64],
+    idle_timeout: Duration,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
@@ -233,35 +291,52 @@ fn serve_conn(
     let (writer_tx, writer_rx) = channel();
     let writer = std::thread::spawn(move || writer_main(write_half, &writer_rx));
 
-    let result = read_loop(stream, shard_txs, stop, epoch, names, &writer_tx);
+    let result = read_loop(
+        stream,
+        shard_txs,
+        stop,
+        epoch,
+        names,
+        &writer_tx,
+        busy_gauges,
+        idle_timeout,
+    );
     let _ = writer_tx.send(WriterMsg::Close);
     drop(writer_tx);
     let _ = writer.join();
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn read_loop(
     mut stream: TcpStream,
-    shard_txs: &[Sender<ShardMsg>],
+    shard_txs: &[QueueSender<ShardMsg>],
     stop: &AtomicBool,
     epoch: Instant,
     names: &(String, String),
     writer_tx: &Sender<WriterMsg>,
+    busy_gauges: &[AtomicU64],
+    idle_timeout: Duration,
 ) -> std::io::Result<()> {
     let nshards = shard_txs.len();
     let mut fb = FrameBuf::new();
     let mut batches: Vec<Vec<IoReq>> = (0..nshards).map(|_| Vec::new()).collect();
+    let mut last_data = Instant::now();
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(());
         }
         match fb.read_from(&mut stream) {
             Ok(0) => return Ok(()), // EOF: client is done.
-            Ok(_) => {}
+            Ok(_) => last_data = Instant::now(),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                if last_data.elapsed() >= idle_timeout {
+                    // A silent peer must not pin this thread forever.
+                    return Ok(());
+                }
                 continue;
             }
             Err(e) => return Err(e),
@@ -288,18 +363,18 @@ fn read_loop(
                         write,
                     });
                     if batches[s].len() >= BATCH_LIMIT {
-                        flush(&mut batches[s], &shard_txs[s], writer_tx);
+                        flush(&mut batches[s], &shard_txs[s], writer_tx, &busy_gauges[s]);
                     }
                 }
                 Ok(Some(Request::Stats { seq })) => {
-                    flush_all(&mut batches, shard_txs, writer_tx);
+                    flush_all(&mut batches, shard_txs, writer_tx, busy_gauges);
                     let json = collect_stats(shard_txs, names);
                     let mut out = Vec::with_capacity(json.len() + 16);
                     protocol::encode_response(&Response::Stats { seq, json }, &mut out);
                     let _ = writer_tx.send(WriterMsg::Bytes(out));
                 }
                 Ok(Some(Request::Shutdown { seq })) => {
-                    flush_all(&mut batches, shard_txs, writer_tx);
+                    flush_all(&mut batches, shard_txs, writer_tx, busy_gauges);
                     let mut out = Vec::new();
                     protocol::encode_response(&Response::Shutdown { seq }, &mut out);
                     let _ = writer_tx.send(WriterMsg::Bytes(out));
@@ -313,34 +388,77 @@ fn read_loop(
                 }
             }
         }
-        flush_all(&mut batches, shard_txs, writer_tx);
+        flush_all(&mut batches, shard_txs, writer_tx, busy_gauges);
     }
 }
 
-fn flush(batch: &mut Vec<IoReq>, tx: &Sender<ShardMsg>, writer_tx: &Sender<WriterMsg>) {
-    if !batch.is_empty() {
-        let _ = tx.send(ShardMsg::Io {
-            reply: writer_tx.clone(),
-            batch: std::mem::take(batch),
-        });
+/// Pushes a connection's pending batch through the shard's bounded
+/// admission queue. Whatever does not fit is answered with `BUSY`
+/// frames carrying the queue depth — requests are never silently
+/// dropped and never buffered beyond the bound.
+fn flush(
+    batch: &mut Vec<IoReq>,
+    tx: &QueueSender<ShardMsg>,
+    writer_tx: &Sender<WriterMsg>,
+    busy_gauge: &AtomicU64,
+) {
+    if batch.is_empty() {
+        return;
     }
+    match tx.try_reserve(batch.len()) {
+        Ok(granted) => {
+            let rejected = batch.split_off(granted);
+            tx.push_reserved(
+                ShardMsg::Io {
+                    reply: writer_tx.clone(),
+                    batch: std::mem::take(batch),
+                },
+                granted,
+            );
+            if !rejected.is_empty() {
+                bounce(&rejected, tx.depth(), writer_tx, busy_gauge);
+            }
+        }
+        Err(TryPushError::Full { depth }) => {
+            bounce(batch, depth, writer_tx, busy_gauge);
+            batch.clear();
+        }
+        Err(TryPushError::Closed) => {
+            // Mid-shutdown: the shard is gone, but every accepted
+            // request still gets exactly one answer.
+            bounce(batch, 0, writer_tx, busy_gauge);
+            batch.clear();
+        }
+    }
+}
+
+/// Answers `reqs` with `BUSY` frames reporting `depth`.
+fn bounce(reqs: &[IoReq], depth: usize, writer_tx: &Sender<WriterMsg>, busy_gauge: &AtomicU64) {
+    let mut out = Vec::with_capacity(reqs.len() * 13);
+    let depth = u32::try_from(depth).unwrap_or(u32::MAX);
+    for r in reqs {
+        protocol::encode_response(&Response::Busy { seq: r.seq, depth }, &mut out);
+    }
+    busy_gauge.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+    let _ = writer_tx.send(WriterMsg::Bytes(out));
 }
 
 fn flush_all(
     batches: &mut [Vec<IoReq>],
-    shard_txs: &[Sender<ShardMsg>],
+    shard_txs: &[QueueSender<ShardMsg>],
     writer_tx: &Sender<WriterMsg>,
+    busy_gauges: &[AtomicU64],
 ) {
-    for (batch, tx) in batches.iter_mut().zip(shard_txs) {
-        flush(batch, tx, writer_tx);
+    for ((batch, tx), gauge) in batches.iter_mut().zip(shard_txs).zip(busy_gauges) {
+        flush(batch, tx, writer_tx, gauge);
     }
 }
 
 /// Gathers a live snapshot from every shard and renders the JSON.
-fn collect_stats(shard_txs: &[Sender<ShardMsg>], names: &(String, String)) -> String {
+fn collect_stats(shard_txs: &[QueueSender<ShardMsg>], names: &(String, String)) -> String {
     let (tx, rx) = channel();
     for s in shard_txs {
-        let _ = s.send(ShardMsg::Stats { reply: tx.clone() });
+        s.push_control(ShardMsg::Stats { reply: tx.clone() });
     }
     drop(tx);
     let snaps: Vec<ShardSnapshot> = rx.iter().collect();
@@ -457,6 +575,46 @@ mod tests {
         let summary = handle.join().unwrap();
         assert_eq!(summary.snapshot.total_requests(), 0);
         assert_eq!(summary.connections, 0);
+    }
+
+    #[test]
+    fn idle_connections_are_disconnected() {
+        let server = Server::bind("127.0.0.1:0", EngineConfig::new(1, 1))
+            .unwrap()
+            .with_idle_timeout(Duration::from_millis(150));
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_flag();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        // Connect, send nothing: the reader must hang up on us instead
+        // of pinning its thread until we bother to speak.
+        let mut silent = TcpStream::connect(addr).unwrap();
+        silent
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let started = Instant::now();
+        let mut buf = [0u8; 8];
+        let n = silent.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "the idle connection must be closed");
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "disconnect must come from the idle timeout, not our read timeout"
+        );
+
+        // An active connection on the same server is unaffected.
+        let mut good = TcpStream::connect(addr).unwrap();
+        let mut fb = FrameBuf::new();
+        let mut wire = Vec::new();
+        encode_request(&Request::Stats { seq: 1 }, &mut wire);
+        good.write_all(&wire).unwrap();
+        assert!(matches!(
+            read_response(&mut good, &mut fb),
+            Response::Stats { seq: 1, .. }
+        ));
+
+        stop.store(true, Ordering::Relaxed);
+        drop(good);
+        handle.join().unwrap();
     }
 
     #[test]

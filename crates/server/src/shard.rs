@@ -7,14 +7,21 @@
 //! totals are the sum of the per-shard books; the paper's batch
 //! experiments remain the ground truth for single-timeline energy.
 
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 
 use pc_sim::{OnlineStepper, PolicySpec, SimConfig, StepOutcome};
 use pc_trace::{IoOp, Record, Trace};
-use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 use rustc_hash::FxHasher;
 
 use crate::stats::{ClusterSnapshot, ShardSnapshot};
+
+/// Default per-shard admission-queue bound, in requests: four reader
+/// batches' worth, so a single bursty connection cannot park more than
+/// a few milliseconds of work in front of a shard while still leaving
+/// headroom for several concurrent connections.
+pub const DEFAULT_QUEUE_BOUND: usize = 4096;
 
 /// The replacement policies an online server can run: every policy in
 /// the workspace except the offline ones (Belady and OPG need the
@@ -81,6 +88,27 @@ pub fn shard_of(disk: DiskId, block: BlockNo, shards: usize) -> usize {
     (h.finish() % shards as u64) as usize
 }
 
+/// Debug fault injection: delay every request on one shard so the
+/// overload/backpressure path becomes deterministically reachable in
+/// tests and CI (`--slow-shard IDX:MICROS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowShard {
+    /// Index of the shard to slow down.
+    pub shard: usize,
+    /// Added service delay per request, in microseconds.
+    pub micros: u64,
+}
+
+/// Parses a `--slow-shard IDX:MICROS` value (e.g. `0:500`).
+#[must_use]
+pub fn parse_slow_shard(s: &str) -> Option<SlowShard> {
+    let (shard, micros) = s.split_once(':')?;
+    Some(SlowShard {
+        shard: shard.parse().ok()?,
+        micros: micros.parse().ok()?,
+    })
+}
+
 /// Configuration shared by every shard of a cluster.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -94,6 +122,12 @@ pub struct EngineConfig {
     /// Simulator configuration (cache capacity *per shard*, write
     /// policy, DPM, disk model).
     pub sim: SimConfig,
+    /// Per-shard admission-queue bound in requests; a full queue
+    /// answers `BUSY` instead of buffering.
+    pub queue_bound: usize,
+    /// Optional per-request delay injected into one shard (fault
+    /// injection for overload tests).
+    pub slow_shard: Option<SlowShard>,
 }
 
 impl EngineConfig {
@@ -112,6 +146,8 @@ impl EngineConfig {
             disks,
             policy: PolicySpec::Lru,
             sim: SimConfig::default(),
+            queue_bound: DEFAULT_QUEUE_BOUND,
+            slow_shard: None,
         }
     }
 
@@ -120,6 +156,34 @@ impl EngineConfig {
     pub fn with_policy(mut self, policy: PolicySpec) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Sets the per-shard admission-queue bound (requests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[must_use]
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        assert!(bound > 0, "queue bound must admit at least one request");
+        self.queue_bound = bound;
+        self
+    }
+
+    /// Injects a per-request service delay into one shard.
+    #[must_use]
+    pub fn with_slow_shard(mut self, slow: SlowShard) -> Self {
+        self.slow_shard = Some(slow);
+        self
+    }
+
+    /// The injected delay for shard `id`, if any.
+    #[must_use]
+    pub fn slow_delay_micros(&self, id: usize) -> u64 {
+        match self.slow_shard {
+            Some(s) if s.shard == id => s.micros,
+            _ => 0,
+        }
     }
 
     /// Replaces the simulator configuration.
@@ -214,6 +278,9 @@ impl ShardEngine {
             response_total: self.stepper.response_total(),
             response_hist: self.stepper.response_hist().clone(),
             horizon: self.stepper.horizon(),
+            busy_rejects: 0,
+            queue_depth: 0,
+            queue_high_water: 0,
         }
     }
 
@@ -231,6 +298,40 @@ impl ShardEngine {
             response_total: report.response_total,
             response_hist: report.response_hist.clone(),
             horizon: report.horizon,
+            busy_rejects: 0,
+            queue_depth: 0,
+            queue_high_water: 0,
+        }
+    }
+}
+
+/// What happened to one submitted record in the in-process cluster.
+#[derive(Debug, Clone, Copy)]
+pub enum SubmitOutcome {
+    /// The request was admitted and executed.
+    Served {
+        /// The shard that served it.
+        shard: usize,
+        /// The simulation outcome.
+        outcome: StepOutcome,
+    },
+    /// The shard's admission queue was full: the request was rejected
+    /// and never touched the cache or the energy books.
+    Busy {
+        /// The shard that rejected it.
+        shard: usize,
+        /// Queue depth at rejection time.
+        depth: usize,
+    },
+}
+
+impl SubmitOutcome {
+    /// The executed outcome, if the request was admitted.
+    #[must_use]
+    pub fn served(&self) -> Option<StepOutcome> {
+        match *self {
+            SubmitOutcome::Served { outcome, .. } => Some(outcome),
+            SubmitOutcome::Busy { .. } => None,
         }
     }
 }
@@ -241,11 +342,25 @@ impl ShardEngine {
 /// server, but arrival times come from the records themselves, so two
 /// runs over the same stream produce identical counters — the
 /// foundation of the end-to-end determinism tests.
+///
+/// Backpressure is modelled in *virtual* time so it is deterministic
+/// too: each shard serves one request per [`SlowShard`] delay (zero for
+/// un-slowed shards), admitted requests occupy a queue slot until their
+/// virtual completion time passes, and a submit that finds the queue at
+/// its bound is answered [`SubmitOutcome::Busy`] — exactly the protocol
+/// the TCP server speaks, minus the sockets.
 #[derive(Debug)]
 pub struct InProcCluster {
     policy: String,
     write_policy: String,
+    queue_bound: usize,
     shards: Vec<ShardEngine>,
+    /// Injected per-request service delay per shard.
+    delay: Vec<SimDuration>,
+    /// Virtual completion times of admitted-but-unfinished requests.
+    pending: Vec<VecDeque<SimTime>>,
+    busy_rejects: Vec<u64>,
+    high_water: Vec<u64>,
 }
 
 impl InProcCluster {
@@ -255,22 +370,65 @@ impl InProcCluster {
         InProcCluster {
             policy: cfg.policy.name(),
             write_policy: cfg.sim.write_policy.name().to_owned(),
+            queue_bound: cfg.queue_bound,
             shards: (0..cfg.shards).map(|i| ShardEngine::new(i, cfg)).collect(),
+            delay: (0..cfg.shards)
+                .map(|i| SimDuration::from_micros(cfg.slow_delay_micros(i)))
+                .collect(),
+            pending: vec![VecDeque::new(); cfg.shards],
+            busy_rejects: vec![0; cfg.shards],
+            high_water: vec![0; cfg.shards],
         }
     }
 
-    /// Routes and processes one record, returning the shard that served
-    /// it and the outcome.
-    pub fn submit(&mut self, record: &Record) -> (usize, StepOutcome) {
+    /// Routes one record through admission control and, if admitted,
+    /// the cache/energy engine.
+    pub fn submit(&mut self, record: &Record) -> SubmitOutcome {
         let s = shard_of(record.block.disk(), record.block.block(), self.shards.len());
+        let t = record.time;
+        let q = &mut self.pending[s];
+        // Requests whose virtual service completed by now have left the
+        // queue.
+        while q.front().is_some_and(|&done| done <= t) {
+            q.pop_front();
+        }
+        if q.len() >= self.queue_bound {
+            self.busy_rejects[s] += 1;
+            return SubmitOutcome::Busy {
+                shard: s,
+                depth: q.len(),
+            };
+        }
+        // Service starts when the previous request finishes (or now).
+        let start = q.back().copied().unwrap_or(t).max(t);
+        q.push_back(start + self.delay[s]);
+        self.high_water[s] = self.high_water[s].max(q.len() as u64);
         let outcome = self.shards[s].ingest(
-            record.time,
+            t,
             record.block.disk().index(),
             record.block.block().number(),
             record.blocks,
             record.op == IoOp::Write,
         );
-        (s, outcome)
+        SubmitOutcome::Served { shard: s, outcome }
+    }
+
+    /// Per-shard `BUSY` rejections so far.
+    #[must_use]
+    pub fn busy_rejects(&self) -> &[u64] {
+        &self.busy_rejects
+    }
+
+    fn decorate(&self, mut snap: ShardSnapshot, live: bool) -> ShardSnapshot {
+        let s = snap.shard;
+        snap.busy_rejects = self.busy_rejects[s];
+        snap.queue_depth = if live {
+            self.pending[s].len() as u64
+        } else {
+            0
+        };
+        snap.queue_high_water = self.high_water[s];
+        snap
     }
 
     /// A live cluster snapshot.
@@ -279,21 +437,30 @@ impl InProcCluster {
         ClusterSnapshot::new(
             self.policy.clone(),
             self.write_policy.clone(),
-            self.shards.iter().map(ShardEngine::snapshot).collect(),
+            self.shards
+                .iter()
+                .map(|e| self.decorate(e.snapshot(), true))
+                .collect(),
         )
     }
 
-    /// Closes every shard's books and returns the final snapshot.
+    /// Closes every shard's books and returns the final snapshot (the
+    /// modelled queues are drained: depth gauges read zero, the
+    /// high-water marks and reject counters survive).
     #[must_use]
     pub fn into_snapshot(self) -> ClusterSnapshot {
-        ClusterSnapshot::new(
-            self.policy,
-            self.write_policy,
-            self.shards
-                .into_iter()
-                .map(ShardEngine::into_snapshot)
-                .collect(),
-        )
+        let (busy, hw) = (self.busy_rejects, self.high_water);
+        let snaps = self
+            .shards
+            .into_iter()
+            .map(ShardEngine::into_snapshot)
+            .map(|mut snap| {
+                snap.busy_rejects = busy[snap.shard];
+                snap.queue_high_water = hw[snap.shard];
+                snap
+            })
+            .collect();
+        ClusterSnapshot::new(self.policy, self.write_policy, snaps)
     }
 }
 
@@ -378,6 +545,90 @@ mod tests {
         assert_eq!(a.to_json(), b.to_json());
         // A different seed gives a different stream.
         assert_ne!(run(43).to_json(), a.to_json());
+    }
+
+    #[test]
+    fn slow_shard_flag_parses() {
+        assert_eq!(
+            parse_slow_shard("0:500"),
+            Some(SlowShard {
+                shard: 0,
+                micros: 500
+            })
+        );
+        assert_eq!(
+            parse_slow_shard("3:1000000"),
+            Some(SlowShard {
+                shard: 3,
+                micros: 1_000_000
+            })
+        );
+        assert_eq!(parse_slow_shard("3"), None);
+        assert_eq!(parse_slow_shard("x:5"), None);
+        assert_eq!(parse_slow_shard("1:"), None);
+    }
+
+    #[test]
+    fn tiny_queue_plus_slow_shard_rejects_deterministically() {
+        let w = Workload::parse("synthetic").unwrap().with_requests(20_000);
+        // The synthetic stream's virtual inter-arrival mean is 250 ms,
+        // so the injected service delay must dwarf it for the 8-slot
+        // queue to back up (this is virtual time: the test stays fast).
+        let cfg = EngineConfig::new(4, 4)
+            .with_queue_bound(8)
+            .with_slow_shard(SlowShard {
+                shard: 0,
+                micros: 10_000_000,
+            });
+        let run = || {
+            let mut cluster = InProcCluster::new(&cfg);
+            let mut served = 0u64;
+            let mut busy = 0u64;
+            for r in w.stream(42) {
+                match cluster.submit(&r) {
+                    SubmitOutcome::Served { .. } => served += 1,
+                    SubmitOutcome::Busy { shard, depth } => {
+                        assert_eq!(shard, 0, "only the slow shard may reject");
+                        assert!(depth >= 8, "rejection implies a full queue");
+                        busy += 1;
+                    }
+                }
+            }
+            (served, busy, cluster.into_snapshot())
+        };
+        let (served, busy, snap) = run();
+        assert!(busy > 0, "the slow shard must overflow its 8-slot queue");
+        assert_eq!(served + busy, 20_000, "every request answered exactly once");
+        assert_eq!(
+            snap.total_requests(),
+            served,
+            "rejected requests must not reach the engine"
+        );
+        assert_eq!(snap.total_busy_rejects(), busy);
+        assert_eq!(snap.shards[0].queue_high_water, 8);
+        assert!(
+            snap.shards[1..].iter().all(|s| s.busy_rejects == 0),
+            "fast shards never reject"
+        );
+
+        // Byte-identical accounting across runs, including under overload.
+        let (served2, busy2, snap2) = run();
+        assert_eq!((served, busy), (served2, busy2));
+        assert_eq!(snap.to_json(), snap2.to_json());
+    }
+
+    #[test]
+    fn unslowed_cluster_never_rejects() {
+        let w = Workload::parse("synthetic").unwrap().with_requests(5_000);
+        let mut cluster = InProcCluster::new(&EngineConfig::new(2, 4).with_queue_bound(1));
+        for r in w.stream(9) {
+            assert!(
+                cluster.submit(&r).served().is_some(),
+                "zero-delay shards drain instantly and never reject"
+            );
+        }
+        let snap = cluster.into_snapshot();
+        assert_eq!(snap.total_busy_rejects(), 0);
     }
 
     #[test]

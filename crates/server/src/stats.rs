@@ -24,6 +24,14 @@ pub struct ShardSnapshot {
     pub response_hist: IntervalHistogram,
     /// Latest virtual request time seen.
     pub horizon: SimTime,
+    /// Requests bounced with `BUSY` because this shard's queue was full
+    /// (they never reached the engine and are **not** in `requests`).
+    pub busy_rejects: u64,
+    /// Requests sitting in the shard's admission queue right now (live
+    /// gauge; always 0 in a drained final snapshot).
+    pub queue_depth: u64,
+    /// Highest admission-queue depth ever observed.
+    pub queue_high_water: u64,
 }
 
 impl ShardSnapshot {
@@ -38,6 +46,9 @@ impl ShardSnapshot {
             response_total: SimDuration::ZERO,
             response_hist: SimReport::response_histogram(),
             horizon: SimTime::ZERO,
+            busy_rejects: 0,
+            queue_depth: 0,
+            queue_high_water: 0,
         }
     }
 
@@ -47,7 +58,8 @@ impl ShardSnapshot {
                 "{{\"shard\":{},\"requests\":{},\"accesses\":{},\"hits\":{},",
                 "\"hit_ratio\":{:?},\"disk_reads\":{},\"disk_writes\":{},",
                 "\"log_writes\":{},\"energy_j\":{:?},\"mean_us\":{},",
-                "\"p50_us\":{},\"p99_us\":{},\"horizon_us\":{}}}"
+                "\"p50_us\":{},\"p99_us\":{},\"horizon_us\":{},",
+                "\"busy_rejects\":{},\"queue_depth\":{},\"queue_high_water\":{}}}"
             ),
             self.shard,
             self.requests,
@@ -62,6 +74,9 @@ impl ShardSnapshot {
             quantile_us(&self.response_hist, 0.5),
             quantile_us(&self.response_hist, 0.99),
             (self.horizon - SimTime::ZERO).as_micros(),
+            self.busy_rejects,
+            self.queue_depth,
+            self.queue_high_water,
         )
     }
 }
@@ -133,6 +148,27 @@ impl ClusterSnapshot {
         self.shards.iter().map(|s| s.energy).sum()
     }
 
+    /// Total requests bounced with `BUSY` across shards (summed the
+    /// same way [`CacheStats::merge`] folds counters).
+    #[must_use]
+    pub fn total_busy_rejects(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.busy_rejects))
+    }
+
+    /// The worst admission-queue high-water mark across shards (a max,
+    /// not a sum — depths on different shards never queue behind each
+    /// other).
+    #[must_use]
+    pub fn max_queue_high_water(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.queue_high_water)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The merged response-time distribution across shards.
     #[must_use]
     pub fn merged_hist(&self) -> IntervalHistogram {
@@ -169,7 +205,8 @@ impl ClusterSnapshot {
             concat!(
                 "{{\"requests\":{},\"accesses\":{},\"hits\":{},\"hit_ratio\":{:?},",
                 "\"disk_reads\":{},\"disk_writes\":{},\"log_writes\":{},",
-                "\"energy_j\":{:?},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{}}}"
+                "\"energy_j\":{:?},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{},",
+                "\"busy_rejects\":{},\"queue_high_water\":{}}}"
             ),
             requests,
             cache.accesses,
@@ -182,6 +219,8 @@ impl ClusterSnapshot {
             mean_us(response_total, requests),
             quantile_us(&hist, 0.5),
             quantile_us(&hist, 0.99),
+            self.total_busy_rejects(),
+            self.max_queue_high_water(),
         ));
         out.push('}');
         out
@@ -196,26 +235,32 @@ impl ClusterSnapshot {
             "policy={} write_policy={}\n",
             self.policy, self.write_policy
         ));
-        out.push_str("shard     requests  hit_ratio     energy_j   p50_us   p99_us\n");
+        out.push_str(
+            "shard     requests  hit_ratio     energy_j   p50_us   p99_us     busy  queue_hw\n",
+        );
         for s in &self.shards {
             out.push_str(&format!(
-                "{:<5} {:>12} {:>10.4} {:>12.2} {:>8} {:>8}\n",
+                "{:<5} {:>12} {:>10.4} {:>12.2} {:>8} {:>8} {:>8} {:>9}\n",
                 s.shard,
                 s.requests,
                 s.cache.hit_ratio(),
                 s.energy.as_joules(),
                 quantile_us(&s.response_hist, 0.5),
                 quantile_us(&s.response_hist, 0.99),
+                s.busy_rejects,
+                s.queue_high_water,
             ));
         }
         let hist = self.merged_hist();
         out.push_str(&format!(
-            "total {:>12} {:>10.4} {:>12.2} {:>8} {:>8}\n",
+            "total {:>12} {:>10.4} {:>12.2} {:>8} {:>8} {:>8} {:>9}\n",
             self.total_requests(),
             self.total_cache().hit_ratio(),
             self.total_energy().as_joules(),
             quantile_us(&hist, 0.5),
             quantile_us(&hist, 0.99),
+            self.total_busy_rejects(),
+            self.max_queue_high_water(),
         ));
         out
     }
@@ -230,6 +275,10 @@ pub struct StatsSummary {
     pub hits: u64,
     /// Total energy in joules.
     pub energy_j: f64,
+    /// Total requests bounced with `BUSY` across shards.
+    pub busy_rejects: u64,
+    /// Worst admission-queue high-water mark across shards.
+    pub queue_high_water: u64,
     /// Per-shard energy in joules, indexed by shard.
     pub shard_energy_j: Vec<f64>,
 }
@@ -263,6 +312,14 @@ pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
     let requests = num_after(total_part, "\"requests\":")?.parse().ok()?;
     let hits = num_after(total_part, "\"hits\":")?.parse().ok()?;
     let energy_j = num_after(total_part, "\"energy_j\":")?.parse().ok()?;
+    // Absent on snapshots from pre-backpressure servers: treat as zero
+    // rather than failing the whole parse.
+    let busy_rejects = num_after(total_part, "\"busy_rejects\":")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    let queue_high_water = num_after(total_part, "\"queue_high_water\":")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
     let mut shard_energy_j = Vec::new();
     let mut rest = shard_part;
     while let Some(at) = rest.find("\"energy_j\":") {
@@ -274,6 +331,8 @@ pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
         requests,
         hits,
         energy_j,
+        busy_rejects,
+        queue_high_water,
         shard_energy_j,
     })
 }
@@ -348,6 +407,34 @@ mod tests {
         let s1 = json.find("\"shard\":1").unwrap();
         assert!(s0 < s1, "shards must serialize in index order");
         assert!(json.starts_with("{\"policy\":\"pa-lru\""));
+    }
+
+    #[test]
+    fn busy_gauges_merge_and_roundtrip() {
+        let mut a = snapshot_with(0, 10, 5, 1.0);
+        a.busy_rejects = 7;
+        a.queue_depth = 3;
+        a.queue_high_water = 12;
+        let mut b = snapshot_with(1, 10, 5, 1.0);
+        b.busy_rejects = 2;
+        b.queue_high_water = 40;
+        let c = ClusterSnapshot::new("lru".into(), "write-back".into(), vec![a, b]);
+        assert_eq!(c.total_busy_rejects(), 9);
+        assert_eq!(c.max_queue_high_water(), 40);
+
+        let json = c.to_json();
+        assert!(json.contains("\"busy_rejects\":7"));
+        assert!(json.contains("\"queue_depth\":3"));
+        assert!(json.contains("\"busy_rejects\":9"));
+        assert!(json.contains("\"queue_high_water\":40"));
+        let summary = parse_stats_json(&json).expect("parses");
+        assert_eq!(summary.busy_rejects, 9);
+        assert_eq!(summary.queue_high_water, 40);
+        assert_eq!(summary.shard_energy_j.len(), 2);
+
+        let table = c.render_table();
+        assert!(table.contains("busy"), "closing table shows busy column");
+        assert!(table.contains("queue_hw"));
     }
 
     #[test]

@@ -35,11 +35,14 @@ fn main() -> std::io::Result<()> {
 
     // --- In-process mode: same path, no sockets, fully deterministic. ---
     let workload = Workload::parse("synthetic").unwrap().with_requests(50_000);
-    let (requests, hits, snapshot) = run_in_process(&engine, &workload, 42);
+    let ip = run_in_process(&engine, &workload, 42);
     println!("--- in-process (deterministic) ---");
     println!(
-        "requests={requests} hits={hits} energy_j={:.2}",
-        snapshot.total_energy().as_joules()
+        "submitted={} served={} hits={} energy_j={:.2}",
+        ip.submitted,
+        ip.served,
+        ip.hits,
+        ip.snapshot.total_energy().as_joules()
     );
     Ok(())
 }

@@ -1,10 +1,15 @@
 //! End-to-end tests of the serving layer: a real `pc-server` on a
 //! loopback socket driven by the real load generator, plus the
-//! deterministic in-process path the CI smoke job leans on.
+//! deterministic in-process path the CI smoke job leans on — including
+//! the overload protocol (bounded queues, `BUSY`, retry/backoff) under
+//! fault injection.
 
 use std::sync::atomic::Ordering;
+use std::time::Duration;
 
-use pc_server::{parse_stats_json, run_in_process, run_tcp, EngineConfig, LoadgenConfig, Server};
+use pc_server::{
+    parse_stats_json, run_in_process, run_tcp, EngineConfig, LoadgenConfig, Server, SlowShard,
+};
 use pc_sim::PolicySpec;
 use pc_trace::Workload;
 use pc_units::Joules;
@@ -26,7 +31,12 @@ fn loadgen_drives_a_sharded_server_end_to_end() {
     .expect("load generation");
 
     assert!(report.responses > 0, "no responses came back");
-    assert_eq!(report.sent, report.responses, "responses were lost");
+    // Every send is answered exactly once: an I/O reply or a BUSY.
+    assert_eq!(
+        report.sent,
+        report.responses + report.busy_rejects,
+        "responses were lost"
+    );
     assert!(report.hit_ratio() > 0.0, "zipf traffic must hit sometimes");
 
     // The STATS snapshot parsed and covers every shard with real energy.
@@ -63,11 +73,145 @@ fn in_process_mode_matches_itself_across_runs_for_every_workload() {
     for name in ["synthetic", "oltp", "cello96"] {
         let workload = Workload::parse(name).unwrap().with_requests(3_000);
         let engine = EngineConfig::new(3, workload.disk_count());
-        let (r1, h1, s1) = run_in_process(&engine, &workload, 11);
-        let (r2, h2, s2) = run_in_process(&engine, &workload, 11);
-        assert_eq!(r1, 3_000, "{name}");
-        assert_eq!((r1, h1), (r2, h2), "{name}");
-        assert_eq!(s1.to_json(), s2.to_json(), "{name}: snapshots diverged");
-        assert!(s1.total_energy() > Joules::ZERO, "{name}");
+        let r1 = run_in_process(&engine, &workload, 11);
+        let r2 = run_in_process(&engine, &workload, 11);
+        assert_eq!(r1.submitted, 3_000, "{name}");
+        assert_eq!(r1.served, 3_000, "{name}: an unslowed cluster admits all");
+        assert_eq!(
+            (r1.submitted, r1.served, r1.hits, r1.busy_rejects),
+            (r2.submitted, r2.served, r2.hits, r2.busy_rejects),
+            "{name}"
+        );
+        assert_eq!(
+            r1.snapshot.to_json(),
+            r2.snapshot.to_json(),
+            "{name}: snapshots diverged"
+        );
+        assert!(r1.snapshot.total_energy() > Joules::ZERO, "{name}");
     }
+}
+
+#[test]
+fn in_process_overload_is_deterministic_and_loses_nothing() {
+    // The spec'd fault injection — queue bound 8, 500 µs delay on
+    // shard 0 — against a synthetic stream whose inter-arrival mean
+    // (50 µs) actually outruns the slowed shard's virtual service
+    // rate: the virtual-time model must reject the same records on
+    // every run, and the energy books must close over exactly the
+    // served requests.
+    let workload = Workload::Synthetic(
+        pc_trace::SyntheticConfig::default()
+            .with_requests(20_000)
+            .with_gaps(pc_trace::GapDistribution::exponential(
+                pc_units::SimDuration::from_micros(50),
+            )),
+    );
+    let engine = EngineConfig::new(4, workload.disk_count())
+        .with_queue_bound(8)
+        .with_slow_shard(SlowShard {
+            shard: 0,
+            micros: 500,
+        });
+    let a = run_in_process(&engine, &workload, 11);
+    let b = run_in_process(&engine, &workload, 11);
+
+    assert!(a.busy_rejects > 0, "the slowed shard must shed load");
+    assert_eq!(a.submitted, 20_000);
+    assert_eq!(
+        a.served + a.busy_rejects,
+        a.submitted,
+        "every request is either served or rejected, never lost or both"
+    );
+    assert_eq!(
+        a.snapshot.total_requests(),
+        a.served,
+        "rejected requests must not leak into the books"
+    );
+    assert!(a.snapshot.total_energy() > Joules::ZERO);
+
+    assert_eq!(
+        (a.submitted, a.served, a.hits, a.busy_rejects),
+        (b.submitted, b.served, b.hits, b.busy_rejects),
+        "overload outcome diverged across runs"
+    );
+    assert_eq!(a.snapshot.to_json(), b.snapshot.to_json());
+}
+
+#[test]
+fn tcp_overload_bounces_busy_and_closes_the_books() {
+    // Fault injection on the real TCP path: shard 0 sleeps 300 µs per
+    // request behind an 8-deep queue, so a paced flood must observe
+    // BUSY; backoff retries deliver what the budget allows, and the
+    // server's closing books cover exactly the I/O replies.
+    let engine = EngineConfig::new(4, 4)
+        .with_queue_bound(8)
+        .with_slow_shard(SlowShard {
+            shard: 0,
+            micros: 300,
+        });
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind loopback");
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = server.stop_flag();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+
+    let report = run_tcp(&LoadgenConfig {
+        conns: 4,
+        secs: 0.6,
+        rate: Some(20_000.0),
+        retry_budget: 64,
+        backoff_us: 100,
+        backoff_cap_us: 2_000,
+        ..LoadgenConfig::new(addr)
+    })
+    .expect("load generation");
+
+    assert!(report.busy_rejects > 0, "a full queue must answer BUSY");
+    assert!(report.retries > 0, "BUSY must trigger backoff retries");
+    assert_eq!(
+        report.sent,
+        report.responses + report.busy_rejects,
+        "every send must be answered exactly once (IO or BUSY)"
+    );
+    assert!(
+        report.stats.busy_rejects >= report.busy_rejects,
+        "server-side reject counter must cover client-observed BUSYs"
+    );
+    assert!(report.stats.queue_high_water > 0);
+
+    stop.store(true, Ordering::Relaxed);
+    let run = daemon.join().expect("daemon thread");
+    assert_eq!(
+        run.snapshot.total_requests(),
+        report.responses,
+        "books must close over exactly the admitted requests"
+    );
+    assert!(run.snapshot.total_energy() > Joules::ZERO);
+}
+
+#[test]
+fn a_server_that_never_replies_cannot_hang_the_client() {
+    // A listener that accepts and then goes silent: the load
+    // generator's socket timeouts must surface an error instead of
+    // blocking forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap().to_string();
+    let _keep_alive = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((sock, _)) = listener.accept() {
+            held.push(sock); // Accept, hold open, never read or write.
+        }
+    });
+
+    let started = std::time::Instant::now();
+    let result = run_tcp(&LoadgenConfig {
+        conns: 1,
+        secs: 0.2,
+        io_timeout: Duration::from_millis(300),
+        ..LoadgenConfig::new(addr)
+    });
+    assert!(result.is_err(), "a silent server must surface as an error");
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "the client must give up long before a human does"
+    );
 }
