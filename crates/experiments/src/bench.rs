@@ -36,6 +36,12 @@ pub struct BenchRow {
     pub reps: usize,
     /// Noise band: `(max - min) / median` of the wall times, in percent.
     pub spread_pct: f64,
+    /// Advisory rows are informational only: they appear in the report
+    /// and the JSON document but are excluded from [`aggregate`], so
+    /// `--check` never gates on them (used for the server-path row,
+    /// whose throughput depends on socket scheduling, not the
+    /// simulation hot path).
+    pub advisory: bool,
 }
 
 /// Median of a non-empty sample set (mean of the middle two when even).
@@ -97,6 +103,7 @@ pub fn run(params: &Params, reps: usize) -> Vec<BenchRow> {
                         req_per_sec: 0.0,
                         reps,
                         spread_pct: 0.0,
+                        advisory: false,
                     });
                     samples.push(Vec::with_capacity(reps));
                 }
@@ -123,7 +130,7 @@ pub fn aggregate(rows: &[BenchRow]) -> Vec<(String, f64)> {
     let mut order: Vec<String> = Vec::new();
     let mut requests: Vec<u64> = Vec::new();
     let mut wall_ms: Vec<f64> = Vec::new();
-    for row in rows {
+    for row in rows.iter().filter(|r| !r.advisory) {
         let i = match order.iter().position(|p| *p == row.policy) {
             Some(i) => i,
             None => {
@@ -157,13 +164,14 @@ pub fn to_json(params: &Params, rows: &[BenchRow]) -> String {
     s.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_sec\": {:.1}, \"spread_pct\": {:.1}}}{}\n",
+            "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"requests\": {}, \"wall_ms\": {:.3}, \"req_per_sec\": {:.1}, \"spread_pct\": {:.1}{}}}{}\n",
             row.policy,
             row.workload,
             row.requests,
             row.wall_ms,
             row.req_per_sec,
             row.spread_pct,
+            if row.advisory { ", \"advisory\": true" } else { "" },
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -180,6 +188,43 @@ pub fn to_json(params: &Params, rows: &[BenchRow]) -> String {
     }
     s.push_str("  }\n}\n");
     s
+}
+
+/// One advisory matrix row measured on the real serving path: an
+/// event-loop `pc-server` on a loopback socket driven by the load
+/// generator for `secs` seconds. Advisory (`BenchRow::advisory`), so
+/// it rides along in reports and `BENCH_repro.json` without ever
+/// gating `--check` — end-to-end socket throughput moves with kernel
+/// scheduling in ways the simulation hot path does not.
+///
+/// # Errors
+///
+/// Propagates bind/connect/load-generation failures; callers degrade
+/// to the simulation-only matrix.
+pub fn server_row(secs: f64) -> std::io::Result<BenchRow> {
+    use pc_server::{run_tcp, EngineConfig, LoadgenConfig, Server};
+    let server = Server::bind("127.0.0.1:0", EngineConfig::new(4, 4))?;
+    let addr = server.local_addr()?.to_string();
+    let stop = server.stop_flag();
+    let daemon = std::thread::spawn(move || server.run());
+    let report = run_tcp(&LoadgenConfig {
+        conns: 4,
+        secs,
+        ..LoadgenConfig::new(addr)
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = daemon.join();
+    let report = report?;
+    Ok(BenchRow {
+        policy: "server-event-loop".to_owned(),
+        workload: "synthetic".to_owned(),
+        requests: report.responses,
+        wall_ms: report.elapsed.as_secs_f64() * 1e3,
+        req_per_sec: report.req_per_sec(),
+        reps: 1,
+        spread_pct: 0.0,
+        advisory: true,
+    })
 }
 
 /// Relative tolerance for `repro bench --check`: a policy's aggregate
@@ -285,7 +330,11 @@ pub fn render(rows: &[BenchRow]) -> String {
     ]);
     for row in rows {
         t.row([
-            row.policy.clone(),
+            if row.advisory {
+                format!("{} *", row.policy)
+            } else {
+                row.policy.clone()
+            },
             row.workload.clone(),
             row.requests.to_string(),
             format!("{:.1}", row.wall_ms),
@@ -298,8 +347,13 @@ pub fn render(rows: &[BenchRow]) -> String {
         a.row([policy, format!("{rps:.0}")]);
     }
     let reps = rows.first().map_or(0, |r| r.reps);
+    let advisory_note = if rows.iter().any(|r| r.advisory) {
+        "\n* advisory row: reported for trend-watching, excluded from the\n  aggregate and from `--check` gating.\n"
+    } else {
+        ""
+    };
     format!(
-        "Benchmark: simulation hot-path throughput (median of {reps} reps)\n\n{}\n{}",
+        "Benchmark: simulation hot-path throughput (median of {reps} reps)\n\n{}\n{}{advisory_note}",
         t.render(),
         a.render()
     )
@@ -413,6 +467,7 @@ mod tests {
             req_per_sec: 0.0,
             reps: 1,
             spread_pct: 0.0,
+            advisory: false,
         };
         let agg = aggregate(&[
             row("lru", 1_000, 100.0),
@@ -423,5 +478,53 @@ mod tests {
         assert_eq!(agg[0].0, "lru");
         assert!((agg[0].1 - 10_000.0).abs() < 1e-6, "4000 req / 0.4 s");
         assert!((agg[1].1 - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advisory_rows_ride_along_without_gating_the_aggregate() {
+        let mut rows = vec![BenchRow {
+            policy: "lru".to_owned(),
+            workload: "oltp".to_owned(),
+            requests: 1_000,
+            wall_ms: 100.0,
+            req_per_sec: 10_000.0,
+            reps: 1,
+            spread_pct: 0.0,
+            advisory: false,
+        }];
+        rows.push(BenchRow {
+            policy: "server-event-loop".to_owned(),
+            workload: "synthetic".to_owned(),
+            requests: 5_000,
+            wall_ms: 500.0,
+            req_per_sec: 10_000.0,
+            reps: 1,
+            spread_pct: 0.0,
+            advisory: true,
+        });
+        // The aggregate (what `--check` gates on) must not see it…
+        let agg = aggregate(&rows);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].0, "lru");
+        // …but the JSON document and the rendered table both must.
+        let params = Params {
+            scale: 0.02,
+            ..Params::quick()
+        };
+        let json = to_json(&params, &rows);
+        assert!(json.contains("\"policy\": \"server-event-loop\""));
+        assert!(json.contains("\"advisory\": true"));
+        assert_eq!(
+            json.matches("\"advisory\"").count(),
+            1,
+            "only the advisory row is marked"
+        );
+        let table = render(&rows);
+        assert!(table.contains("server-event-loop *"));
+        assert!(table.contains("advisory row"));
+        // And the committed-baseline parser must still find only the
+        // real aggregate entries.
+        let (_, committed) = parse_committed(&json).expect("parses");
+        assert_eq!(committed.len(), 1);
     }
 }

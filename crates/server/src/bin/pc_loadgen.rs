@@ -12,10 +12,13 @@ use pc_server::{
 use pc_trace::Workload;
 
 const USAGE: &str = "usage: pc-loadgen [--addr HOST:PORT] [--workload synthetic|oltp|cello96] \
-[--conns N] [--secs S] [--seed N] [--rate REQ_PER_SEC] [--shutdown] \
+[--conns N] [--connections N] [--secs S] [--seed N] [--rate REQ_PER_SEC] [--shutdown] \
 [--retry-budget N] [--backoff-us N] [--backoff-cap-us N] [--io-timeout-secs S] \
 [--in-process] [--shards N] [--policy NAME] [--write-policy NAME] [--reqs N] \
-[--shard-queue N] [--slow-shard IDX:MICROS]";
+[--shard-queue N] [--slow-shard IDX:MICROS]\n\
+  --conns drives the hot workload streams; --connections N holds the\n\
+  remainder (N - conns) open as mostly-idle sockets to exercise the\n\
+  server's event-loop connection scaling.";
 
 struct Args {
     load: LoadgenConfig,
@@ -54,6 +57,11 @@ fn parse_args() -> Result<Args, String> {
                 load.conns = value("--conns")?
                     .parse()
                     .map_err(|e| format!("--conns: {e}"))?
+            }
+            "--connections" => {
+                load.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?
             }
             "--secs" => {
                 load.secs = value("--secs")?
@@ -161,9 +169,10 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "pc-loadgen: {} conns={} secs={} seed={} -> {}",
+        "pc-loadgen: {} conns={} connections={} secs={} seed={} -> {}",
         args.load.workload.name(),
         args.load.conns,
+        args.load.connections.max(args.load.conns),
         args.load.secs,
         args.load.seed,
         args.load.addr,

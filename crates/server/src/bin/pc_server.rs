@@ -34,12 +34,14 @@ fn install_signal_handlers() {
 
 const USAGE: &str = "usage: pc-server [--addr HOST:PORT] [--shards N] [--disks N] \
 [--policy NAME] [--write-policy NAME] [--cache-blocks N] [--prefetch N] \
-[--shard-queue N] [--slow-shard IDX:MICROS]\n\
+[--shard-queue N] [--slow-shard IDX:MICROS] [--io-threads N] [--legacy-threads]\n\
   policies: lru fifo arc mq lirs 2q pa-lru pa-arc pa-mq pa-lirs pa-2q\n\
   write policies: write-back write-through wbeu[:limit] wtdu\n\
   --shard-queue bounds each shard's admission queue (requests); a full\n\
   queue answers BUSY. --slow-shard injects a per-request service delay\n\
-  into one shard (fault injection for backpressure tests).";
+  into one shard (fault injection for backpressure tests).\n\
+  --io-threads sets the epoll event-loop thread count (0 = auto);\n\
+  --legacy-threads restores the thread-per-connection front-end.";
 
 struct Args {
     addr: String,
@@ -58,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
     let mut prefetch = 0u64;
     let mut shard_queue = DEFAULT_QUEUE_BOUND;
     let mut slow_shard = None;
+    let mut io_threads = 0usize;
+    let mut legacy_threads = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -101,6 +105,12 @@ fn parse_args() -> Result<Args, String> {
                         format!("--slow-shard: expected IDX:MICROS, got {spec:?}")
                     })?);
             }
+            "--io-threads" => {
+                io_threads = value("--io-threads")?
+                    .parse()
+                    .map_err(|e| format!("--io-threads: {e}"))?
+            }
+            "--legacy-threads" => legacy_threads = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -117,7 +127,9 @@ fn parse_args() -> Result<Args, String> {
     let mut engine = EngineConfig::new(shards, disks)
         .with_policy(policy)
         .with_sim(sim)
-        .with_queue_bound(shard_queue);
+        .with_queue_bound(shard_queue)
+        .with_io_threads(io_threads)
+        .with_legacy_threads(legacy_threads);
     if let Some(slow) = slow_shard {
         if slow.shard >= shards {
             return Err(format!(
@@ -156,13 +168,20 @@ fn main() -> ExitCode {
         .map(|a| a.to_string())
         .unwrap_or(args.addr);
     println!(
-        "pc-server listening on {addr} shards={} disks={} policy={} write_policy={} cache_blocks={} shard_queue={}{}",
+        "pc-server listening on {addr} shards={} disks={} policy={} write_policy={} cache_blocks={} shard_queue={} front_end={}{}",
         args.engine.shards,
         args.engine.disks,
         args.policy_name,
         args.write_name,
         args.engine.sim.cache_blocks,
         args.engine.queue_bound,
+        if args.engine.legacy_threads {
+            "legacy-threads".to_owned()
+        } else if args.engine.io_threads == 0 {
+            "event-loop(auto)".to_owned()
+        } else {
+            format!("event-loop({})", args.engine.io_threads)
+        },
         args.engine
             .slow_shard
             .map(|s| format!(" slow_shard={}:{}us", s.shard, s.micros))

@@ -37,17 +37,25 @@
 //! assert!(snapshot.total_energy() > pc_units::Joules::ZERO);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the one exception is [`poller`],
+// which wraps the epoll/eventfd syscalls behind a safe API and is the
+// only module allowed to opt in.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conn;
 pub mod loadgen;
+#[allow(unsafe_code)]
+pub mod poller;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod shard;
 pub mod stats;
 
+pub use conn::Conn;
 pub use loadgen::{run_in_process, run_tcp, InProcReport, LoadReport, LoadgenConfig};
+pub use poller::{Event, Interest, Poller, Waker};
 pub use server::{RunSummary, Server};
 pub use shard::{
     online_policy, parse_slow_shard, parse_write_policy, shard_of, EngineConfig, InProcCluster,

@@ -46,8 +46,15 @@ pub struct LoadgenConfig {
     pub addr: String,
     /// Workload family to replay.
     pub workload: Workload,
-    /// Concurrent connections.
+    /// Concurrent hot connections (each drives a workload stream).
     pub conns: usize,
+    /// Total connections to hold open, hot plus mostly-idle (0 = just
+    /// the hot ones). Each idle connection sends a single I/O request
+    /// after connecting — proving it is served, and landing it in the
+    /// server's books — then stays open and silent until the hot phase
+    /// ends, so the event loop's many-connection claim is actually
+    /// drivable and measurable.
+    pub connections: usize,
     /// Wall-clock duration; the run stops at the deadline or when the
     /// per-connection streams are exhausted, whichever is first.
     pub secs: f64,
@@ -79,6 +86,7 @@ impl LoadgenConfig {
             addr,
             workload: Workload::parse("synthetic").expect("synthetic exists"),
             conns: 8,
+            connections: 0,
             secs: 2.0,
             seed: 42,
             rate: None,
@@ -156,6 +164,9 @@ pub struct LoadReport {
     pub stats_json: String,
     /// The parsed summary of `stats_json`.
     pub stats: StatsSummary,
+    /// Mostly-idle connections held open through the run (the
+    /// `connections` high-count mode; 0 otherwise).
+    pub idle_conns: u64,
 }
 
 impl LoadReport {
@@ -211,6 +222,17 @@ impl LoadReport {
             self.stats.queue_high_water,
             self.stats.shard_energy_j.iter().all(|&e| e > 0.0),
         ));
+        if self.idle_conns > 0 || self.stats.io_connections > 0 {
+            let per_conn = self
+                .stats
+                .io_buffer_bytes
+                .checked_div(self.stats.io_connections)
+                .unwrap_or(0);
+            out.push_str(&format!(
+                "conn-scale: idle_held={} server_fds={} server_buffer_bytes={} (~{per_conn} B/conn)\n",
+                self.idle_conns, self.stats.io_connections, self.stats.io_buffer_bytes,
+            ));
+        }
         out
     }
 }
@@ -223,6 +245,33 @@ impl LoadReport {
 /// unparseable STATS payload as `InvalidData`.
 pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
     assert!(cfg.conns > 0, "need at least one connection");
+
+    // High-count mode: everything past the hot `conns` is a
+    // mostly-idle connection — opened up front, served one request,
+    // then held silent so the final STATS snapshot observes the full
+    // fd population on the server's IO-thread gauges.
+    let idle_target = cfg.connections.saturating_sub(cfg.conns);
+    let release = Arc::new(AtomicBool::new(false));
+    let ready = Arc::new(AtomicU64::new(0));
+    let mut holders = Vec::new();
+    if idle_target > 0 {
+        let threads = idle_target.min(4);
+        let per = idle_target.div_ceil(threads);
+        for t in 0..threads {
+            let (lo, hi) = (t * per, ((t + 1) * per).min(idle_target));
+            if lo >= hi {
+                break;
+            }
+            let addr = cfg.addr.clone();
+            let release = Arc::clone(&release);
+            let ready = Arc::clone(&ready);
+            let timeout = cfg.io_timeout;
+            holders.push(std::thread::spawn(move || {
+                idle_holder(&addr, lo..hi, timeout, &ready, &release)
+            }));
+        }
+    }
+
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(cfg.secs.max(0.01));
     let mut handles = Vec::with_capacity(cfg.conns);
@@ -266,7 +315,20 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
     }
     let elapsed = started.elapsed();
 
-    // Final STATS over a fresh connection, after all load finished.
+    // Every idle connection must be established (and its one request
+    // answered) before the snapshot, or the gauge undercounts fds.
+    if idle_target > 0 {
+        let wait_until = Instant::now() + cfg.io_timeout;
+        while ready.load(Ordering::Acquire) < idle_target as u64 {
+            if Instant::now() > wait_until {
+                break; // The holder thread will surface its own error.
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // Final STATS over a fresh connection, after all load finished but
+    // while the idle population is still holding its sockets open.
     let stats_json = fetch_stats(&cfg.addr, cfg.io_timeout)?;
     let stats = parse_stats_json(&stats_json).ok_or_else(|| {
         std::io::Error::new(
@@ -274,6 +336,18 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
             "server STATS payload did not parse",
         )
     })?;
+    release.store(true, Ordering::Release);
+    let mut idle_conns = 0u64;
+    for h in holders {
+        let (h_sent, h_resp, h_hits, h_busy) = h
+            .join()
+            .map_err(|_| std::io::Error::other("idle holder panicked"))??;
+        sent += h_sent;
+        responses += h_resp;
+        hits += h_hits;
+        busy_rejects += h_busy;
+        idle_conns += h_resp + h_busy;
+    }
     let mean_latency = lat_ns_total
         .checked_div(responses)
         .map_or(Duration::ZERO, Duration::from_nanos);
@@ -289,7 +363,77 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         mean_latency,
         stats_json,
         stats,
+        idle_conns,
     })
+}
+
+/// Opens the `ids` slice of mostly-idle connections: each connects,
+/// sends a single READ, waits for the reply (counting it toward the
+/// run's books so client and server totals still balance), then holds
+/// the socket open and silent until `release` flips. Returns
+/// `(sent, responses, hits, busy)` for the slice.
+fn idle_holder(
+    addr: &str,
+    ids: std::ops::Range<usize>,
+    timeout: Duration,
+    ready: &AtomicU64,
+    release: &AtomicBool,
+) -> std::io::Result<(u64, u64, u64, u64)> {
+    let mut held = Vec::with_capacity(ids.len());
+    let (mut sent, mut responses, mut hits, mut busy) = (0u64, 0u64, 0u64, 0u64);
+    for id in ids {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let mut wire = Vec::new();
+        encode_request(
+            &Request::Io {
+                seq: id as u32,
+                write: false,
+                disk: (id % 61) as u32,
+                block: (id as u64).wrapping_mul(0x9E37_79B9),
+                blocks: 1,
+            },
+            &mut wire,
+        );
+        stream.write_all(&wire)?;
+        sent += 1;
+        let mut fb = FrameBuf::new();
+        'reply: loop {
+            match fb
+                .next_response()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            {
+                Some(Response::Io { hit, .. }) => {
+                    responses += 1;
+                    if hit {
+                        hits += 1;
+                    }
+                    break 'reply;
+                }
+                Some(Response::Busy { .. }) => {
+                    busy += 1;
+                    break 'reply;
+                }
+                Some(_) => continue,
+                None => {
+                    if fb.read_from(&mut stream)? == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed an idle connection's first request",
+                        ));
+                    }
+                }
+            }
+        }
+        held.push(stream);
+        ready.fetch_add(1, Ordering::Release);
+    }
+    while !release.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(held);
+    Ok((sent, responses, hits, busy))
 }
 
 /// Client-side latency bins: 1 µs … ~4.5 min in 28 doubling bins.

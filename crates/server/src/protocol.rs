@@ -39,6 +39,15 @@ use std::io::Read;
 /// corrupt or hostile stream and kills the connection.
 pub const MAX_FRAME: usize = 1 << 20;
 
+/// The largest *request* payload the protocol defines (a 19-byte
+/// READ/WRITE). Server-side connections cap their [`FrameBuf`] at this
+/// instead of [`MAX_FRAME`]: a length prefix that no legal request
+/// could ever need is rejected immediately, before a single payload
+/// byte is buffered — with tens of thousands of connections, letting a
+/// hostile peer park a megabyte per connection is an amplification the
+/// read path must not offer.
+pub const MAX_REQUEST_FRAME: usize = 19;
+
 const OP_READ: u8 = 0x01;
 const OP_WRITE: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
@@ -301,11 +310,19 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
 /// [`next_response`](Self::next_response). Partial frames stay buffered
 /// across reads; consumed bytes are reclaimed by compaction on the next
 /// read, so steady-state operation does not allocate.
+///
+/// The buffer works identically over blocking and nonblocking sources:
+/// `read_from` surfaces `WouldBlock` untouched (after compacting), a
+/// length prefix split across reads stays pending until its fourth byte
+/// arrives, and a poisoned prefix (zero, or above the instance's frame
+/// cap) errors *before* any payload bytes for it are buffered — pinned
+/// by the byte-dribbling tests below.
 #[derive(Debug)]
 pub struct FrameBuf {
     buf: Vec<u8>,
     start: usize,
     end: usize,
+    max_frame: usize,
 }
 
 impl Default for FrameBuf {
@@ -314,14 +331,63 @@ impl Default for FrameBuf {
     }
 }
 
+/// Smallest window `read_from` will grow to: guarantees progress even
+/// for a [`with_capacity(0)`](FrameBuf::with_capacity) buffer (a full —
+/// or empty — window that doubled to itself would read zero bytes
+/// forever and masquerade as EOF).
+const MIN_GROW: usize = 4096;
+
 impl FrameBuf {
-    /// Creates an empty buffer with a 256 KiB read window.
+    /// Creates an empty buffer with a 256 KiB read window (the
+    /// throughput configuration: one syscall swallows a whole burst).
     #[must_use]
     pub fn new() -> Self {
+        FrameBuf::with_capacity(256 * 1024)
+    }
+
+    /// Creates an empty buffer with a caller-chosen initial window.
+    /// Event-loop connections start at a few KiB — an idle connection
+    /// then costs buffer bytes, not a thread stack — and grow on demand.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
         FrameBuf {
-            buf: vec![0u8; 256 * 1024],
+            buf: vec![0u8; capacity],
             start: 0,
             end: 0,
+            max_frame: MAX_FRAME,
+        }
+    }
+
+    /// Caps the accepted frame payload length (default [`MAX_FRAME`]).
+    /// Server-side connections pass [`MAX_REQUEST_FRAME`]: a prefix no
+    /// legal request could need poisons the stream immediately instead
+    /// of buffering up to a megabyte first.
+    #[must_use]
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame.min(MAX_FRAME);
+        self
+    }
+
+    /// Current window size in bytes (for per-connection accounting).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Shrinks an empty window back down to `capacity` if a burst grew
+    /// it past that. No-op while bytes are pending — a partial frame is
+    /// never dropped.
+    pub fn reclaim(&mut self, capacity: usize) {
+        if self.start == self.end && self.buf.len() > capacity {
+            self.buf = vec![0u8; capacity];
+            self.start = 0;
+            self.end = 0;
         }
     }
 
@@ -340,7 +406,7 @@ impl FrameBuf {
             self.start = 0;
         }
         if self.end == self.buf.len() {
-            self.buf.resize(self.buf.len() * 2, 0);
+            self.buf.resize((self.buf.len() * 2).max(MIN_GROW), 0);
         }
         let n = r.read(&mut self.buf[self.end..])?;
         self.end += n;
@@ -359,7 +425,7 @@ impl FrameBuf {
             return Ok(None);
         }
         let len = le_u32(&self.buf[self.start..self.start + 4]) as usize;
-        if len == 0 || len > MAX_FRAME {
+        if len == 0 || len > self.max_frame {
             return Err(ProtoError::BadLength(len));
         }
         if avail < 4 + len {
@@ -625,6 +691,173 @@ mod tests {
             Err(ProtoError::BadLength(u32::MAX as usize)),
             "the poisoned tail must surface as BadLength"
         );
+    }
+
+    /// A nonblocking-style reader: hands out one byte per call, with a
+    /// `WouldBlock` interleaved between every byte — the worst case an
+    /// event loop can see from a dribbling peer.
+    struct Dribble<'a> {
+        bytes: &'a [u8],
+        ready: bool,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            self.ready = false;
+            let n = self.bytes.len().min(out.len()).min(1);
+            out[..n].copy_from_slice(&self.bytes[..n]);
+            self.bytes = &self.bytes[n..];
+            Ok(n)
+        }
+    }
+
+    /// Drives `fb` over a dribbling nonblocking source until EOF or a
+    /// protocol error, collecting everything.
+    fn drain_dribble(
+        fb: &mut FrameBuf,
+        src: &mut Dribble<'_>,
+    ) -> (Vec<Request>, Option<ProtoError>) {
+        let mut got = Vec::new();
+        loop {
+            loop {
+                match fb.next_request() {
+                    Ok(Some(req)) => got.push(req),
+                    Ok(None) => break,
+                    Err(e) => return (got, Some(e)),
+                }
+            }
+            match fb.read_from(src) {
+                Ok(0) => return (got, None),
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("dribble source only blocks: {e}"),
+            }
+        }
+    }
+
+    /// Byte-dribbled valid traffic reassembles exactly, under the
+    /// server-side request frame cap and a tiny initial window.
+    #[test]
+    fn nonblocking_dribble_reassembles_requests_under_the_request_cap() {
+        let reqs = [
+            Request::Io {
+                seq: 1,
+                write: false,
+                disk: 3,
+                block: 0xAB_CDEF,
+                blocks: 8,
+            },
+            Request::Stats { seq: 2 },
+            Request::Io {
+                seq: 3,
+                write: true,
+                disk: 0,
+                block: u64::MAX,
+                blocks: u16::MAX,
+            },
+            Request::Shutdown { seq: 4 },
+        ];
+        let mut wire = Vec::new();
+        for r in &reqs {
+            encode_request(r, &mut wire);
+        }
+        let mut fb = FrameBuf::with_capacity(8).with_max_frame(MAX_REQUEST_FRAME);
+        let mut src = Dribble {
+            bytes: &wire,
+            ready: false,
+        };
+        let (got, err) = drain_dribble(&mut fb, &mut src);
+        assert_eq!(got, reqs);
+        assert_eq!(err, None);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    /// An oversized-for-a-request prefix (here: a 1 MiB frame that the
+    /// *protocol* allows but no request needs) poisons a request-capped
+    /// stream as soon as its fourth length byte lands — before any
+    /// payload is buffered — even arriving a byte at a time behind
+    /// valid traffic.
+    #[test]
+    fn request_cap_rejects_oversized_prefixes_before_buffering_payload() {
+        let mut wire = Vec::new();
+        encode_request(&Request::Stats { seq: 1 }, &mut wire);
+        wire.extend_from_slice(&((MAX_REQUEST_FRAME as u32) + 1).to_le_bytes());
+        wire.extend_from_slice(&[0xEE; 64]); // payload that must never be buffered
+        let mut fb = FrameBuf::with_capacity(8).with_max_frame(MAX_REQUEST_FRAME);
+        let mut src = Dribble {
+            bytes: &wire,
+            ready: false,
+        };
+        let (got, err) = drain_dribble(&mut fb, &mut src);
+        assert_eq!(got, vec![Request::Stats { seq: 1 }]);
+        assert_eq!(err, Some(ProtoError::BadLength(MAX_REQUEST_FRAME + 1)));
+        // The poisoned frame's payload never grew the window toward
+        // 1 MiB: the error surfaced at the prefix, so capacity stays at
+        // the minimum growth quantum.
+        assert!(
+            fb.capacity() <= MIN_GROW,
+            "payload was buffered past the cap: {} bytes",
+            fb.capacity()
+        );
+    }
+
+    /// Garbage *payloads* behind valid-length prefixes error cleanly
+    /// when dribbled, same as when they arrive whole.
+    #[test]
+    fn dribbled_garbage_payload_is_a_clean_decode_error() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&5u32.to_le_bytes());
+        wire.extend_from_slice(&[0x7F, 1, 2, 3, 4]); // unknown opcode
+        let mut fb = FrameBuf::with_capacity(0).with_max_frame(MAX_REQUEST_FRAME);
+        let mut src = Dribble {
+            bytes: &wire,
+            ready: false,
+        };
+        let (got, err) = drain_dribble(&mut fb, &mut src);
+        assert!(got.is_empty());
+        assert_eq!(err, Some(ProtoError::BadOpcode(0x7F)));
+    }
+
+    /// A zero-capacity buffer must grow and make progress instead of
+    /// reading zero bytes forever (which looks exactly like EOF).
+    #[test]
+    fn zero_capacity_buffer_grows_instead_of_spinning() {
+        let mut wire = Vec::new();
+        encode_request(&Request::Stats { seq: 9 }, &mut wire);
+        let mut fb = FrameBuf::with_capacity(0);
+        let mut src = std::io::Cursor::new(wire);
+        let n = fb.read_from(&mut src).unwrap();
+        assert!(n > 0, "a grown buffer must actually read");
+        assert_eq!(fb.next_request().unwrap(), Some(Request::Stats { seq: 9 }));
+    }
+
+    #[test]
+    fn reclaim_shrinks_only_an_empty_window() {
+        let mut fb = FrameBuf::with_capacity(16);
+        let mut wire = Vec::new();
+        encode_request(&Request::Stats { seq: 1 }, &mut wire);
+        wire.extend_from_slice(&19u32.to_le_bytes()); // partial second frame
+        let mut src = std::io::Cursor::new(wire);
+        while fb.read_from(&mut src).unwrap() > 0 {}
+        assert_eq!(fb.next_request().unwrap(), Some(Request::Stats { seq: 1 }));
+        assert_eq!(fb.next_request().unwrap(), None);
+        let grown = fb.capacity();
+        // 4 prefix bytes of the second frame are pending: reclaim must
+        // keep them.
+        fb.reclaim(8);
+        assert_eq!(fb.capacity(), grown, "pending bytes pin the window");
+        assert_eq!(fb.pending(), 4);
+        // Finish the second frame, drain it, then reclaim for real.
+        let mut rest = std::io::Cursor::new(vec![0u8; 19]);
+        while fb.read_from(&mut rest).unwrap() > 0 {}
+        let _ = fb.next_request();
+        fb.reclaim(8);
+        assert_eq!(fb.capacity(), 8);
+        assert_eq!(fb.pending(), 0);
     }
 
     #[test]

@@ -128,6 +128,12 @@ pub struct EngineConfig {
     /// Optional per-request delay injected into one shard (fault
     /// injection for overload tests).
     pub slow_shard: Option<SlowShard>,
+    /// Event-loop IO threads multiplexing connections (0 = pick from
+    /// available parallelism). Ignored on the legacy path.
+    pub io_threads: usize,
+    /// Serve with the pre-event-loop thread-per-connection front-end
+    /// (differential testing and non-epoll hosts).
+    pub legacy_threads: bool,
 }
 
 impl EngineConfig {
@@ -148,6 +154,8 @@ impl EngineConfig {
             sim: SimConfig::default(),
             queue_bound: DEFAULT_QUEUE_BOUND,
             slow_shard: None,
+            io_threads: 0,
+            legacy_threads: false,
         }
     }
 
@@ -190,6 +198,20 @@ impl EngineConfig {
     #[must_use]
     pub fn with_sim(mut self, sim: SimConfig) -> Self {
         self.sim = sim;
+        self
+    }
+
+    /// Sets the number of event-loop IO threads (0 = auto).
+    #[must_use]
+    pub fn with_io_threads(mut self, io_threads: usize) -> Self {
+        self.io_threads = io_threads;
+        self
+    }
+
+    /// Selects the legacy thread-per-connection front-end.
+    #[must_use]
+    pub fn with_legacy_threads(mut self, legacy: bool) -> Self {
+        self.legacy_threads = legacy;
         self
     }
 

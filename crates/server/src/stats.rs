@@ -93,6 +93,45 @@ fn quantile_us(hist: &IntervalHistogram, p: f64) -> u64 {
     hist.quantile(p).as_micros()
 }
 
+/// One IO thread's live gauges (event-loop front-end only): how many
+/// connections it multiplexes, how busy its poller is, and how much
+/// reply backlog it carries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoThreadSnapshot {
+    /// IO thread index.
+    pub thread: usize,
+    /// Connections currently registered with this thread's poller.
+    pub connections: u64,
+    /// Poller wakeups (epoll_wait returns) so far.
+    pub wakeups: u64,
+    /// Request frames decoded so far; `frames / wakeups` is the
+    /// batching factor the event loop achieves.
+    pub frames: u64,
+    /// Reply bytes queued but not yet written to sockets (writeback
+    /// depth).
+    pub writeback_bytes: u64,
+    /// Approximate buffer footprint across this thread's connections
+    /// (read windows + queued replies).
+    pub buffer_bytes: u64,
+}
+
+impl IoThreadSnapshot {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"thread\":{},\"connections\":{},\"wakeups\":{},",
+                "\"frames\":{},\"writeback_bytes\":{},\"buffer_bytes\":{}}}"
+            ),
+            self.thread,
+            self.connections,
+            self.wakeups,
+            self.frames,
+            self.writeback_bytes,
+            self.buffer_bytes,
+        )
+    }
+}
+
 /// The whole cluster's statistics: one [`ShardSnapshot`] per shard plus
 /// the policy identity, merged totals on demand.
 #[derive(Debug, Clone)]
@@ -103,6 +142,9 @@ pub struct ClusterSnapshot {
     pub write_policy: String,
     /// Per-shard snapshots, indexed by shard.
     pub shards: Vec<ShardSnapshot>,
+    /// Per-IO-thread gauges; empty on the legacy and in-process paths,
+    /// where the JSON stays byte-identical to pre-event-loop servers.
+    pub io: Vec<IoThreadSnapshot>,
 }
 
 impl ClusterSnapshot {
@@ -122,7 +164,28 @@ impl ClusterSnapshot {
             policy,
             write_policy,
             shards,
+            io: Vec::new(),
         }
+    }
+
+    /// Attaches per-IO-thread gauges (event-loop front-end). An empty
+    /// vector leaves the JSON identical to a snapshot without gauges.
+    #[must_use]
+    pub fn with_io(mut self, io: Vec<IoThreadSnapshot>) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Connections currently registered across all IO threads.
+    #[must_use]
+    pub fn io_connections(&self) -> u64 {
+        self.io.iter().map(|t| t.connections).sum()
+    }
+
+    /// Buffer footprint across all IO threads' connections.
+    #[must_use]
+    pub fn io_buffer_bytes(&self) -> u64 {
+        self.io.iter().map(|t| t.buffer_bytes).sum()
     }
 
     /// Total requests across shards.
@@ -196,11 +259,25 @@ impl ClusterSnapshot {
             }
             out.push_str(&s.to_json());
         }
+        out.push(']');
+        // Emitted only when the event-loop front-end is live: legacy
+        // and in-process snapshots must stay byte-identical to
+        // pre-event-loop output.
+        if !self.io.is_empty() {
+            out.push_str(",\"io\":[");
+            for (i, t) in self.io.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&t.to_json());
+            }
+            out.push(']');
+        }
         let cache = self.total_cache();
         let hist = self.merged_hist();
         let requests = self.total_requests();
         let response_total: SimDuration = self.shards.iter().map(|s| s.response_total).sum();
-        out.push_str("],\"total\":");
+        out.push_str(",\"total\":");
         out.push_str(&format!(
             concat!(
                 "{{\"requests\":{},\"accesses\":{},\"hits\":{},\"hit_ratio\":{:?},",
@@ -262,6 +339,28 @@ impl ClusterSnapshot {
             self.total_busy_rejects(),
             self.max_queue_high_water(),
         ));
+        if !self.io.is_empty() {
+            out.push_str(
+                "io      conns    wakeups     frames  frames/wake  writeback_b   buffer_b\n",
+            );
+            for t in &self.io {
+                let per_wake = if t.wakeups == 0 {
+                    0.0
+                } else {
+                    t.frames as f64 / t.wakeups as f64
+                };
+                out.push_str(&format!(
+                    "{:<5} {:>6} {:>10} {:>10} {:>12.1} {:>12} {:>10}\n",
+                    t.thread,
+                    t.connections,
+                    t.wakeups,
+                    t.frames,
+                    per_wake,
+                    t.writeback_bytes,
+                    t.buffer_bytes,
+                ));
+            }
+        }
         out
     }
 }
@@ -281,6 +380,11 @@ pub struct StatsSummary {
     pub queue_high_water: u64,
     /// Per-shard energy in joules, indexed by shard.
     pub shard_energy_j: Vec<f64>,
+    /// Connections registered across IO threads (0 when the snapshot
+    /// carries no `io` section — legacy or in-process paths).
+    pub io_connections: u64,
+    /// Buffer footprint across IO threads (0 without an `io` section).
+    pub io_buffer_bytes: u64,
 }
 
 /// Extracts a [`StatsSummary`] from a STATS JSON payload, validating
@@ -320,6 +424,23 @@ pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
     let queue_high_water = num_after(total_part, "\"queue_high_water\":")
         .and_then(|n| n.parse().ok())
         .unwrap_or(0);
+    // The optional "io" section sits between the shard array and the
+    // total; split it off so its counters are not mistaken for shard
+    // fields (it carries no "energy_j" keys, but being explicit is
+    // cheaper than being lucky).
+    let (shard_part, io_part) = match shard_part.find("\"io\":[") {
+        Some(at) => shard_part.split_at(at),
+        None => (shard_part, ""),
+    };
+    let mut io_connections = 0u64;
+    let mut io_buffer_bytes = 0u64;
+    let mut rest = io_part;
+    while let Some(at) = rest.find("\"connections\":") {
+        rest = &rest[at..];
+        io_connections += num_after(rest, "\"connections\":")?.parse::<u64>().ok()?;
+        io_buffer_bytes += num_after(rest, "\"buffer_bytes\":")?.parse::<u64>().ok()?;
+        rest = &rest[14..];
+    }
     let mut shard_energy_j = Vec::new();
     let mut rest = shard_part;
     while let Some(at) = rest.find("\"energy_j\":") {
@@ -334,6 +455,8 @@ pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
         busy_rejects,
         queue_high_water,
         shard_energy_j,
+        io_connections,
+        io_buffer_bytes,
     })
 }
 
@@ -435,6 +558,57 @@ mod tests {
         let table = c.render_table();
         assert!(table.contains("busy"), "closing table shows busy column");
         assert!(table.contains("queue_hw"));
+    }
+
+    #[test]
+    fn io_gauges_are_absent_by_default_and_roundtrip_when_attached() {
+        let plain = cluster();
+        let with_empty = cluster().with_io(Vec::new());
+        assert_eq!(
+            plain.to_json(),
+            with_empty.to_json(),
+            "an empty io section must not perturb the JSON bytes"
+        );
+        assert!(!plain.to_json().contains("\"io\":"));
+
+        let io = vec![
+            IoThreadSnapshot {
+                thread: 0,
+                connections: 1000,
+                wakeups: 50,
+                frames: 400,
+                writeback_bytes: 128,
+                buffer_bytes: 4_096_000,
+            },
+            IoThreadSnapshot {
+                thread: 1,
+                connections: 24,
+                wakeups: 9,
+                frames: 18,
+                writeback_bytes: 0,
+                buffer_bytes: 98_304,
+            },
+        ];
+        let c = cluster().with_io(io);
+        assert_eq!(c.io_connections(), 1024);
+        assert_eq!(c.io_buffer_bytes(), 4_194_304);
+        let json = c.to_json();
+        assert!(json.contains("\"io\":[{\"thread\":0"));
+        let io_at = json.find("\"io\":").unwrap();
+        assert!(
+            json.find("\"shards\":").unwrap() < io_at && io_at < json.rfind("\"total\":").unwrap(),
+            "io section must sit between shards and total"
+        );
+        let summary = parse_stats_json(&json).expect("io-bearing snapshot parses");
+        assert_eq!(summary.io_connections, 1024);
+        assert_eq!(summary.io_buffer_bytes, 4_194_304);
+        // The io section must not leak into shard energy extraction.
+        assert_eq!(summary.shard_energy_j.len(), 2);
+        assert_eq!(summary.requests, 40);
+
+        let table = c.render_table();
+        assert!(table.contains("frames/wake"));
+        assert!(table.contains("1000"));
     }
 
     #[test]

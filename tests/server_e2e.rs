@@ -215,3 +215,130 @@ fn a_server_that_never_replies_cannot_hang_the_client() {
         "the client must give up long before a human does"
     );
 }
+
+#[test]
+fn a_pipelined_batch_straddling_queue_capacity_splits_into_io_then_busy() {
+    use pc_server::protocol::{encode_request, FrameBuf, Request, Response};
+    use std::io::Write;
+
+    // One shard, 4-deep queue, 5 ms service delay: a 32-request batch
+    // written in a single syscall lands as one readable event, so the
+    // event loop's single `try_reserve` must split it — head admitted,
+    // tail bounced BUSY — with every request answered exactly once.
+    let engine = EngineConfig::new(1, 4)
+        .with_queue_bound(4)
+        .with_slow_shard(SlowShard {
+            shard: 0,
+            micros: 5_000,
+        });
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind loopback");
+    let addr = server.local_addr().unwrap();
+    let stop = server.stop_flag();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    const BATCH: u32 = 32;
+    let mut wire = Vec::new();
+    for seq in 0..BATCH {
+        encode_request(
+            &Request::Io {
+                seq,
+                write: false,
+                disk: 0,
+                block: u64::from(seq) * 13,
+                blocks: 1,
+            },
+            &mut wire,
+        );
+    }
+    stream.write_all(&wire).expect("one-shot batch write");
+
+    let mut fb = FrameBuf::new();
+    let (mut served, mut busy) = (0u64, 0u64);
+    let mut answered = std::collections::HashSet::new();
+    while answered.len() < BATCH as usize {
+        match fb.next_response().expect("well-formed response stream") {
+            Some(Response::Io { seq, .. }) => {
+                assert!(answered.insert(seq), "seq {seq} answered twice");
+                served += 1;
+            }
+            Some(Response::Busy { seq, .. }) => {
+                assert!(answered.insert(seq), "seq {seq} answered twice");
+                busy += 1;
+            }
+            Some(other) => panic!("unexpected response {other:?}"),
+            None => {
+                let n = fb.read_from(&mut stream).expect("read responses");
+                assert!(
+                    n > 0,
+                    "server closed with {} unanswered",
+                    BATCH as usize - answered.len()
+                );
+            }
+        }
+    }
+    assert_eq!(served + busy, u64::from(BATCH), "IO-or-BUSY, exactly once");
+    assert!(served > 0, "the queue admits the head of the batch");
+    assert!(busy > 0, "the tail past capacity must bounce BUSY");
+    drop(stream);
+
+    stop.store(true, Ordering::Relaxed);
+    let run = daemon.join().expect("daemon thread");
+    assert_eq!(
+        run.snapshot.total_requests(),
+        served,
+        "books must close over exactly the admitted half of the batch"
+    );
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn event_loop_holds_hundreds_of_mostly_idle_connections() {
+    // A scaled-down CI-shape of the high-count mode: 2 hot streams plus
+    // ~300 mostly-idle sockets held through the run. The final STATS
+    // snapshot must see the idle population on the IO-thread gauges,
+    // and the books must still balance exactly.
+    const TOTAL: usize = 300;
+    let engine = EngineConfig::new(2, 4).with_policy(PolicySpec::PaLru);
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind loopback");
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = server.stop_flag();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+
+    let report = run_tcp(&LoadgenConfig {
+        conns: 2,
+        connections: TOTAL,
+        secs: 0.4,
+        ..LoadgenConfig::new(addr)
+    })
+    .expect("high-count load generation");
+
+    let idle = (TOTAL - 2) as u64;
+    assert_eq!(
+        report.idle_conns, idle,
+        "every idle socket answered its probe"
+    );
+    assert_eq!(
+        report.sent,
+        report.responses + report.busy_rejects,
+        "idle probes are in the books too"
+    );
+    assert!(
+        report.stats.io_connections >= idle,
+        "the snapshot must observe the idle population: io_connections={} < {idle}",
+        report.stats.io_connections
+    );
+    let rendered = report.render();
+    assert!(
+        rendered.contains("conn-scale:"),
+        "high-count runs must print the conn-scale accounting line:\n{rendered}"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let run = daemon.join().expect("daemon thread");
+    assert_eq!(run.snapshot.total_requests(), report.responses);
+    assert!(run.snapshot.total_energy() > Joules::ZERO);
+}
