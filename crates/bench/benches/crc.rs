@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the payload data-plane kernels: the slice-by-8
+//! CRC32C against its bit-at-a-time oracle (the DESIGN.md §8 speedup
+//! claim), plus the deterministic disk-image fill the loadgen and the
+//! slab store share. Throughput is reported in bytes so the numbers
+//! read directly against memory bandwidth.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use pc_crc::{crc32c, crc32c_append, crc32c_bitwise};
+
+/// The serving block size (matches `protocol::DEFAULT_BLOCK_BYTES`) and
+/// a larger streaming size to show the kernel is not warmup-bound.
+const SIZES: [usize; 2] = [4096, 65536];
+
+fn buffer(len: usize) -> Vec<u8> {
+    // Arbitrary non-trivial contents; CRC cost is data-independent but
+    // an all-zero buffer invites surprising compiler folds.
+    (0..len).map(|i| (i.wrapping_mul(31) % 251) as u8).collect()
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc");
+    for size in SIZES {
+        let buf = buffer(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("slice_by_8/{size}"), |b| {
+            b.iter(|| black_box(crc32c(black_box(&buf))))
+        });
+        g.bench_function(format!("bitwise/{size}"), |b| {
+            b.iter(|| black_box(crc32c_bitwise(black_box(&buf))))
+        });
+    }
+    // Streaming: the WRITE ingest path folds per-block digests with
+    // `crc32c_append`; pin that it costs no more than one-shot.
+    let buf = buffer(4096);
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("append_two_halves/4096", |b| {
+        b.iter(|| {
+            let head = crc32c(black_box(&buf[..2048]));
+            black_box(crc32c_append(head, black_box(&buf[2048..])))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disk-image");
+    let mut buf = vec![0u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("fill_block/4096", |b| {
+        let mut block = 0u64;
+        b.iter(|| {
+            block = block.wrapping_add(1);
+            pc_server::fill_block(7, black_box(block), &mut buf);
+            black_box(buf[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(crc_benches, bench_crc, bench_fill);
+criterion_main!(crc_benches);

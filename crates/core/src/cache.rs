@@ -224,6 +224,23 @@ impl BlockCache {
         self.table.lookup(block).is_some()
     }
 
+    /// The dense slot `block` currently occupies, if resident. Slot
+    /// indices are stable for the block's whole residency and recycled
+    /// only after eviction, so side structures (like the server's
+    /// payload slab) can address per-block storage as `slot × stride`.
+    #[must_use]
+    pub fn slot_of(&self, block: BlockId) -> Option<Slot> {
+        self.table.lookup(block)
+    }
+
+    /// Exclusive upper bound on every slot index ever issued; sizing
+    /// slot-parallel side tables to this length makes any [`Slot`] from
+    /// [`slot_of`](Self::slot_of) safe to index with.
+    #[must_use]
+    pub fn slot_bound(&self) -> usize {
+        self.table.slot_bound()
+    }
+
     /// The WTDU log contents (for persistence inspection and recovery
     /// tests).
     #[must_use]

@@ -81,10 +81,22 @@ fn policies(params: &Params, cfg: &SimConfig) -> Vec<(&'static str, PolicySpec)>
 
 /// Runs the benchmark matrix `reps` times (`reps.max(1)`) and returns
 /// one median row per cell.
+///
+/// A full warmup pass over the matrix runs first and is discarded:
+/// first-touch page faults, cold i-cache and the allocator's initial
+/// growth land there instead of inflating round 0 of the measurement
+/// (medians resist one hot outlier, but at the default 3 reps a single
+/// cold round still skews the spread).
 #[must_use]
 pub fn run(params: &Params, reps: usize) -> Vec<BenchRow> {
     let reps = reps.max(1);
     let cfg = SimConfig::default();
+    for kind in [TraceKind::Oltp, TraceKind::Cello] {
+        let trace = params.trace(kind);
+        for (_, spec) in policies(params, &cfg) {
+            let _ = run_replacement(&trace, &spec, &cfg);
+        }
+    }
     // Rows in matrix order; per-row wall-time samples across rounds.
     let mut rows: Vec<BenchRow> = Vec::new();
     let mut samples: Vec<Vec<f64>> = Vec::new();
@@ -161,6 +173,10 @@ pub fn to_json(params: &Params, rows: &[BenchRow]) -> String {
         "  \"reps\": {},\n",
         rows.first().map_or(0, |r| r.reps)
     ));
+    // Every measured round ran behind a discarded warmup pass; recorded
+    // so baselines taken before warmup existed are not compared as if
+    // the methodology were identical.
+    s.push_str("  \"warmup\": true,\n");
     s.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         s.push_str(&format!(
@@ -217,6 +233,54 @@ pub fn server_row(secs: f64) -> std::io::Result<BenchRow> {
     let report = report?;
     Ok(BenchRow {
         policy: "server-event-loop".to_owned(),
+        workload: "synthetic".to_owned(),
+        requests: report.responses,
+        wall_ms: report.elapsed.as_secs_f64() * 1e3,
+        req_per_sec: report.req_per_sec(),
+        reps: 1,
+        spread_pct: 0.0,
+        advisory: true,
+    })
+}
+
+/// The payload companion to [`server_row`]: the same loopback setup
+/// driven in `--payload` mode, so the advisory matrix tracks the
+/// protocol-v2 data plane (WRITE_DATA ingest, slab + CRC32C serving,
+/// client-side verification) alongside the metadata-only row. Also
+/// advisory: payload throughput is dominated by per-byte work and
+/// kernel scheduling, not the simulation hot path.
+///
+/// # Errors
+///
+/// Propagates bind/connect/load-generation failures, plus an
+/// `InvalidData` error if any reply failed verification — a bench run
+/// must never paper over a data-plane bug.
+pub fn payload_server_row(secs: f64) -> std::io::Result<BenchRow> {
+    use pc_server::{run_tcp, EngineConfig, LoadgenConfig, Server};
+    let server = Server::bind("127.0.0.1:0", EngineConfig::new(4, 4))?;
+    let addr = server.local_addr()?.to_string();
+    let stop = server.stop_flag();
+    let daemon = std::thread::spawn(move || server.run());
+    let report = run_tcp(&LoadgenConfig {
+        conns: 4,
+        secs,
+        payload: true,
+        ..LoadgenConfig::new(addr)
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = daemon.join();
+    let report = report?;
+    if report.verify_failures > 0 || report.corrupt > 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "payload bench failed verification: {} mismatches, {} CORRUPT",
+                report.verify_failures, report.corrupt
+            ),
+        ));
+    }
+    Ok(BenchRow {
+        policy: "server-payload".to_owned(),
         workload: "synthetic".to_owned(),
         requests: report.responses,
         wall_ms: report.elapsed.as_secs_f64() * 1e3,
@@ -378,6 +442,7 @@ mod tests {
         let json = to_json(&params, &rows);
         assert!(json.contains("\"rows\": ["));
         assert!(json.contains("\"reps\": 2"));
+        assert!(json.contains("\"warmup\": true"));
         assert!(json.contains("\"workload\": \"cello96\""));
         assert_eq!(json.matches("\"policy\"").count(), 6);
         assert_eq!(json.matches("\"spread_pct\"").count(), 6);

@@ -176,6 +176,10 @@ fn run_bench(params: &Params, reps: usize, check: bool) -> ExitCode {
         Ok(row) => rows.push(row),
         Err(e) => eprintln!("warning: skipping advisory server bench row: {e}"),
     }
+    match bench::payload_server_row(0.5) {
+        Ok(row) => rows.push(row),
+        Err(e) => eprintln!("warning: skipping advisory payload bench row: {e}"),
+    }
     println!("{}", bench::render(&rows));
     let json = bench::to_json(params, &rows);
     if check {

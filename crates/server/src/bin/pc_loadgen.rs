@@ -14,11 +14,16 @@ use pc_trace::Workload;
 const USAGE: &str = "usage: pc-loadgen [--addr HOST:PORT] [--workload synthetic|oltp|cello96] \
 [--conns N] [--connections N] [--secs S] [--seed N] [--rate REQ_PER_SEC] [--shutdown] \
 [--retry-budget N] [--backoff-us N] [--backoff-cap-us N] [--io-timeout-secs S] \
+[--payload] [--block-bytes N] \
 [--in-process] [--shards N] [--policy NAME] [--write-policy NAME] [--reqs N] \
 [--shard-queue N] [--slow-shard IDX:MICROS]\n\
   --conns drives the hot workload streams; --connections N holds the\n\
   remainder (N - conns) open as mostly-idle sockets to exercise the\n\
-  server's event-loop connection scaling.";
+  server's event-loop connection scaling.\n\
+  --payload drives the protocol-v2 data plane: writes carry block\n\
+  contents, reads are READ_DATA, and every DATA reply is verified\n\
+  (CRC32C + exact bytes) against the deterministic disk image.\n\
+  --block-bytes must match the server's data-plane block size.";
 
 struct Args {
     load: LoadgenConfig,
@@ -110,6 +115,15 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--io-timeout-secs must be positive".to_owned());
                 }
                 load.io_timeout = Duration::from_secs_f64(secs);
+            }
+            "--payload" => load.payload = true,
+            "--block-bytes" => {
+                load.block_bytes = value("--block-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--block-bytes: {e}"))?;
+                if load.block_bytes == 0 {
+                    return Err("--block-bytes must be at least 1".to_owned());
+                }
             }
             "--shutdown" => shutdown = true,
             "--in-process" => in_process = true,
@@ -210,6 +224,24 @@ fn main() -> ExitCode {
             "pc-loadgen: {} requests exhausted the retry budget",
             report.exhausted
         );
+        return ExitCode::FAILURE;
+    }
+    // In payload mode every DATA reply was verified against the disk
+    // image; a mismatch is a data-plane bug, and an unexpected CORRUPT
+    // (no fault injection requested here) means the slab lost data.
+    if report.verify_failures > 0 {
+        eprintln!(
+            "pc-loadgen: {} DATA replies failed verification",
+            report.verify_failures
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.corrupt > 0 {
+        eprintln!("pc-loadgen: {} reads answered CORRUPT", report.corrupt);
+        return ExitCode::FAILURE;
+    }
+    if args.load.payload && report.payload_bytes == 0 {
+        eprintln!("pc-loadgen: payload mode moved zero payload bytes");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -34,14 +34,19 @@ fn install_signal_handlers() {
 
 const USAGE: &str = "usage: pc-server [--addr HOST:PORT] [--shards N] [--disks N] \
 [--policy NAME] [--write-policy NAME] [--cache-blocks N] [--prefetch N] \
-[--shard-queue N] [--slow-shard IDX:MICROS] [--io-threads N] [--legacy-threads]\n\
+[--shard-queue N] [--slow-shard IDX:MICROS] [--io-threads N] [--legacy-threads] \
+[--block-bytes N] [--corrupt-rate N]\n\
   policies: lru fifo arc mq lirs 2q pa-lru pa-arc pa-mq pa-lirs pa-2q\n\
   write policies: write-back write-through wbeu[:limit] wtdu\n\
   --shard-queue bounds each shard's admission queue (requests); a full\n\
   queue answers BUSY. --slow-shard injects a per-request service delay\n\
   into one shard (fault injection for backpressure tests).\n\
   --io-threads sets the epoll event-loop thread count (0 = auto);\n\
-  --legacy-threads restores the thread-per-connection front-end.";
+  --legacy-threads restores the thread-per-connection front-end.\n\
+  --block-bytes sets the data-plane block size (READ_DATA/WRITE_DATA\n\
+  payload bytes per block, default 4096). --corrupt-rate N flips one\n\
+  slab byte before every Nth verified read per shard (0 = off): CRC\n\
+  fault injection — reads answer CORRUPT and STATS counts crc_failures.";
 
 struct Args {
     addr: String,
@@ -62,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
     let mut slow_shard = None;
     let mut io_threads = 0usize;
     let mut legacy_threads = false;
+    let mut block_bytes = pc_server::protocol::DEFAULT_BLOCK_BYTES;
+    let mut corrupt_rate = 0u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -111,6 +118,19 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--io-threads: {e}"))?
             }
             "--legacy-threads" => legacy_threads = true,
+            "--block-bytes" => {
+                block_bytes = value("--block-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--block-bytes: {e}"))?;
+                if block_bytes == 0 {
+                    return Err("--block-bytes must be at least 1".to_owned());
+                }
+            }
+            "--corrupt-rate" => {
+                corrupt_rate = value("--corrupt-rate")?
+                    .parse()
+                    .map_err(|e| format!("--corrupt-rate: {e}"))?
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -129,7 +149,9 @@ fn parse_args() -> Result<Args, String> {
         .with_sim(sim)
         .with_queue_bound(shard_queue)
         .with_io_threads(io_threads)
-        .with_legacy_threads(legacy_threads);
+        .with_legacy_threads(legacy_threads)
+        .with_block_bytes(block_bytes)
+        .with_corrupt_every(corrupt_rate);
     if let Some(slow) = slow_shard {
         if slow.shard >= shards {
             return Err(format!(

@@ -12,17 +12,19 @@
 //! interest and retries on the next `EPOLLOUT`.
 //!
 //! Memory discipline: the read buffer starts at [`READ_BUF`] bytes and
-//! is capped at [`MAX_REQUEST_FRAME`]-sized frames, so an idle
-//! connection costs a few hundred bytes of queue bookkeeping plus one
-//! small buffer — not a thread stack. After the write queue drains the
-//! read window is shrunk back via [`FrameBuf::reclaim`].
+//! inbound frames are capped at the server's per-instance request
+//! ceiling ([`crate::protocol::max_request_frame`] for its block size;
+//! [`crate::protocol::MAX_REQUEST_FRAME`] for metadata-only), so an
+//! idle connection costs a few hundred bytes of queue bookkeeping plus
+//! one small buffer — not a thread stack. After the write queue drains
+//! the read window is shrunk back via [`FrameBuf::reclaim`].
 
 use std::collections::VecDeque;
 use std::io::{self, IoSlice, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
-use crate::protocol::{FrameBuf, ProtoError, Request, MAX_REQUEST_FRAME};
+use crate::protocol::{FrameBuf, ProtoError, Request};
 
 /// Initial (and reclaimed-to) read buffer size per connection. Requests
 /// are at most 23 wire bytes, so 4 KiB holds ~178 pipelined requests —
@@ -57,6 +59,10 @@ pub enum FillOutcome {
 pub struct Conn {
     stream: TcpStream,
     inbuf: FrameBuf,
+    /// Post-flush read-window floor: [`READ_BUF`] for metadata-sized
+    /// frame caps, larger for payload-capable connections so the
+    /// window is not re-zeroed and re-grown on every data burst.
+    reclaim_floor: usize,
     outq: VecDeque<Vec<u8>>,
     /// Bytes of `outq.front()` already written to the kernel.
     head: usize,
@@ -71,13 +77,17 @@ pub struct Conn {
 impl Conn {
     /// Wraps an accepted stream: switches it to nonblocking and
     /// disables Nagle (replies are latency-sensitive and batched by us,
-    /// not the kernel).
-    pub fn new(stream: TcpStream) -> io::Result<Conn> {
+    /// not the kernel). `max_frame` caps inbound frames: the server
+    /// passes [`crate::protocol::max_request_frame`] for its block size,
+    /// so a metadata-only deployment still rejects payload-sized frames
+    /// larger than one data request could legitimately be.
+    pub fn new(stream: TcpStream, max_frame: usize) -> io::Result<Conn> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
         Ok(Conn {
             stream,
-            inbuf: FrameBuf::with_capacity(READ_BUF).with_max_frame(MAX_REQUEST_FRAME),
+            inbuf: FrameBuf::with_capacity(READ_BUF).with_max_frame(max_frame),
+            reclaim_floor: READ_BUF.max((max_frame + 4).min(16 * READ_BUF)),
             outq: VecDeque::new(),
             head: 0,
             out_bytes: 0,
@@ -151,7 +161,7 @@ impl Conn {
         }
         // Nothing pending: shrink an over-grown read window back to the
         // idle footprint.
-        self.inbuf.reclaim(READ_BUF);
+        self.inbuf.reclaim(self.reclaim_floor);
         Ok(true)
     }
 
@@ -194,6 +204,7 @@ mod tests {
     use super::*;
     use crate::poller::set_send_buffer;
     use crate::protocol::encode_request;
+    use crate::protocol::MAX_REQUEST_FRAME;
     use std::io::Read;
     use std::net::TcpListener;
     use std::os::fd::AsRawFd;
@@ -208,7 +219,7 @@ mod tests {
         let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         let (accepted, _) = listener.accept().unwrap();
         set_send_buffer(accepted.as_raw_fd(), 4096).unwrap();
-        let mut conn = Conn::new(accepted).unwrap();
+        let mut conn = Conn::new(accepted, MAX_REQUEST_FRAME).unwrap();
 
         // ~1.5 MiB across many small frames: guaranteed to overrun a
         // 4 KiB send buffer many times over.
@@ -258,7 +269,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let mut peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         let (accepted, _) = listener.accept().unwrap();
-        let mut conn = Conn::new(accepted).unwrap();
+        let mut conn = Conn::new(accepted, MAX_REQUEST_FRAME).unwrap();
 
         let reqs: Vec<Request> = (0..100)
             .map(|i| Request::Io {
@@ -298,7 +309,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let _peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         let (accepted, _) = listener.accept().unwrap();
-        let mut conn = Conn::new(accepted).unwrap();
+        let mut conn = Conn::new(accepted, MAX_REQUEST_FRAME).unwrap();
         assert!(conn.flush().unwrap());
         assert!(
             conn.buffer_bytes() <= READ_BUF,

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod conn;
+pub mod data;
 pub mod loadgen;
 #[allow(unsafe_code)]
 pub mod poller;
@@ -54,6 +55,7 @@ pub mod shard;
 pub mod stats;
 
 pub use conn::Conn;
+pub use data::{fill_block, BlockStore};
 pub use loadgen::{run_in_process, run_tcp, InProcReport, LoadReport, LoadgenConfig};
 pub use poller::{Event, Interest, Poller, Waker};
 pub use server::{RunSummary, Server};

@@ -25,7 +25,13 @@ use pc_units::SimDuration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::protocol::{encode_request, FrameBuf, Request, Response};
+use pc_crc::crc32c;
+
+use crate::data::fill_block;
+use crate::protocol::{
+    encode_data_request, encode_request, FrameBuf, Request, Response, DEFAULT_BLOCK_BYTES,
+    MAX_DATA_BLOCKS,
+};
 use crate::stats::{parse_stats_json, ClusterSnapshot, StatsSummary};
 
 /// Outstanding-request ring size per connection (latency timestamps and
@@ -74,6 +80,14 @@ pub struct LoadgenConfig {
     /// Socket read/write timeout: a server that stops reading or never
     /// replies surfaces as an error instead of a hang.
     pub io_timeout: Duration,
+    /// Drive the protocol-v2 data plane: writes carry their block
+    /// payloads (`WRITE_DATA`), reads are `READ_DATA`, and every `DATA`
+    /// reply is verified — CRC32C and exact contents — against the
+    /// deterministic disk image the server serves.
+    pub payload: bool,
+    /// Payload bytes per block in `payload` mode; must match the
+    /// server's block size.
+    pub block_bytes: usize,
 }
 
 impl LoadgenConfig {
@@ -94,6 +108,8 @@ impl LoadgenConfig {
             backoff_us: 200,
             backoff_cap_us: 20_000,
             io_timeout: Duration::from_secs(10),
+            payload: false,
+            block_bytes: DEFAULT_BLOCK_BYTES,
         }
     }
 
@@ -124,6 +140,9 @@ struct ConnStats {
     retries: u64,
     exhausted: u64,
     lat_ns_total: u64,
+    payload_bytes: u64,
+    verify_failures: u64,
+    corrupt: u64,
 }
 
 /// The retry/backoff knobs a connection worker needs, detached from
@@ -135,6 +154,9 @@ struct RetryKnobs {
     backoff_cap_us: u64,
     io_timeout: Duration,
     seed: u64,
+    /// `Some(block_bytes)` drives the data plane (`READ_DATA`/
+    /// `WRITE_DATA`); `None` is the metadata protocol.
+    data: Option<usize>,
 }
 
 /// The closing report of a load-generation run.
@@ -167,6 +189,15 @@ pub struct LoadReport {
     /// Mostly-idle connections held open through the run (the
     /// `connections` high-count mode; 0 otherwise).
     pub idle_conns: u64,
+    /// Payload bytes carried by `DATA` replies (payload mode only).
+    pub payload_bytes: u64,
+    /// `DATA` replies whose CRC or contents did not match the expected
+    /// disk image — any non-zero value is a data-plane bug.
+    pub verify_failures: u64,
+    /// `CORRUPT` replies: the server's CRC check caught a damaged slab
+    /// frame (expected non-zero only under `--corrupt-rate` fault
+    /// injection).
+    pub corrupt: u64,
 }
 
 impl LoadReport {
@@ -177,6 +208,17 @@ impl LoadReport {
             0.0
         } else {
             self.responses as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Verified payload throughput over the request phase, in MB/s
+    /// (decimal megabytes, counting `DATA` reply bytes only).
+    #[must_use]
+    pub fn payload_mb_per_sec(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
         }
     }
 
@@ -212,6 +254,16 @@ impl LoadReport {
             "backpressure: busy_rejects={} retries={} exhausted={}\n",
             self.busy_rejects, self.retries, self.exhausted,
         ));
+        if self.payload_bytes > 0 || self.verify_failures > 0 || self.corrupt > 0 {
+            out.push_str(&format!(
+                "payload: bytes={} rate={:.1} MB/s verify_failures={} corrupt={} server_crc_failures={}\n",
+                self.payload_bytes,
+                self.payload_mb_per_sec(),
+                self.verify_failures,
+                self.corrupt,
+                self.stats.crc_failures,
+            ));
+        }
         out.push_str(&format!(
             "server: requests={} hits={} energy_j={:.2} shards={} busy_rejects={} queue_hw={} (all energies > 0: {})\n",
             self.stats.requests,
@@ -287,6 +339,7 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
             backoff_cap_us: cfg.backoff_cap_us.max(cfg.backoff_us.max(1)),
             io_timeout: cfg.io_timeout,
             seed: cfg.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            data: cfg.payload.then_some(cfg.block_bytes.max(1)),
         };
         handles.push(std::thread::spawn(move || {
             conn_worker(&addr, stream, deadline, pace_ns, knobs)
@@ -299,6 +352,9 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let mut retries = 0u64;
     let mut exhausted = 0u64;
     let mut lat_ns_total = 0u64;
+    let mut payload_bytes = 0u64;
+    let mut verify_failures = 0u64;
+    let mut corrupt = 0u64;
     let mut latency_hist = latency_histogram();
     for h in handles {
         let (stats, hist) = h
@@ -311,6 +367,9 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         retries += stats.retries;
         exhausted += stats.exhausted;
         lat_ns_total += stats.lat_ns_total;
+        payload_bytes += stats.payload_bytes;
+        verify_failures += stats.verify_failures;
+        corrupt += stats.corrupt;
         latency_hist.merge(&hist);
     }
     let elapsed = started.elapsed();
@@ -364,7 +423,64 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         stats_json,
         stats,
         idle_conns,
+        payload_bytes,
+        verify_failures,
+        corrupt,
     })
+}
+
+/// Appends the deterministic disk-image payload for `blocks` blocks
+/// starting at `(disk, block)` — exactly the bytes the server stores on
+/// a write and synthesizes on a miss, so `DATA` replies verify
+/// bit-for-bit.
+fn image_payload(disk: u32, block: u64, blocks: u16, block_bytes: usize, buf: &mut Vec<u8>) {
+    let n = usize::from(blocks.max(1));
+    let at = buf.len();
+    buf.resize(at + n * block_bytes, 0);
+    for i in 0..n {
+        let lo = at + i * block_bytes;
+        fill_block(
+            disk,
+            block.wrapping_add(i as u64),
+            &mut buf[lo..lo + block_bytes],
+        );
+    }
+}
+
+/// Encodes one load request: the metadata frame, or — when `data`
+/// carries the block size — the payload frame, with a write's image
+/// bytes regenerated into `scratch` on the spot. Regeneration is what
+/// makes `BUSY` retries free: nothing sent ever needs to be stored.
+#[allow(clippy::too_many_arguments)]
+fn encode_load_request(
+    seq: u32,
+    write: bool,
+    disk: u32,
+    block: u64,
+    blocks: u16,
+    data: Option<usize>,
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) {
+    match data {
+        None => encode_request(
+            &Request::Io {
+                seq,
+                write,
+                disk,
+                block,
+                blocks,
+            },
+            out,
+        ),
+        Some(bb) => {
+            scratch.clear();
+            if write {
+                image_payload(disk, block, blocks, bb, scratch);
+            }
+            encode_data_request(seq, write, disk, block, blocks, scratch, out);
+        }
+    }
 }
 
 /// Opens the `ids` slice of mostly-idle connections: each connects,
@@ -536,6 +652,7 @@ fn resend_round(
     pending: &mut Vec<RetryReq>,
     write_half: &mut TcpStream,
     buf: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
     seq: &mut u32,
     start: Instant,
     ring: &[AtomicU64],
@@ -569,15 +686,8 @@ fn resend_round(
             Ordering::Relaxed,
         );
         meta[slot].1.store(r.block, Ordering::Relaxed);
-        encode_request(
-            &Request::Io {
-                seq: *seq,
-                write: r.write,
-                disk: r.disk,
-                block: r.block,
-                blocks: r.blocks,
-            },
-            buf,
+        encode_load_request(
+            *seq, r.write, r.disk, r.block, r.blocks, knobs.data, scratch, buf,
         );
         *seq = seq.wrapping_add(1);
         outstanding.fetch_add(1, Ordering::AcqRel);
@@ -623,10 +733,12 @@ fn conn_worker(
         let sender_done = Arc::clone(&sender_done);
         let abort = Arc::clone(&abort);
         let budget = knobs.budget;
+        let data = knobs.data;
         std::thread::spawn(move || -> std::io::Result<(ConnStats, IntervalHistogram)> {
             let mut fb = FrameBuf::new();
             let mut stats = ConnStats::default();
             let mut hist = latency_histogram();
+            let mut expected = Vec::new();
             let hard_stop = deadline + Duration::from_secs(15);
             loop {
                 while let Some(resp) = fb
@@ -642,6 +754,45 @@ fn conn_worker(
                             hist.record(SimDuration::from_micros((lat_ns / 1_000).max(1)));
                             stats.responses += 1;
                             stats.hits += u64::from(hit);
+                            outstanding.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        Response::Data {
+                            seq, hit, payload, ..
+                        } => {
+                            let slot = seq as usize % RING;
+                            let sent_ns = ring[slot].load(Ordering::Relaxed);
+                            let now_ns = start.elapsed().as_nanos() as u64;
+                            let lat_ns = now_ns.saturating_sub(sent_ns);
+                            stats.lat_ns_total += lat_ns;
+                            hist.record(SimDuration::from_micros((lat_ns / 1_000).max(1)));
+                            stats.responses += 1;
+                            stats.hits += u64::from(hit);
+                            stats.payload_bytes += payload.len() as u64;
+                            if let Some(bb) = data {
+                                // Recover the request from the slot
+                                // metadata and verify the reply against
+                                // the deterministic image: CRC first,
+                                // then exact bytes.
+                                let w1 = meta[slot].0.load(Ordering::Relaxed);
+                                let block = meta[slot].1.load(Ordering::Relaxed);
+                                expected.clear();
+                                image_payload(
+                                    (w1 >> 32) as u32,
+                                    block,
+                                    (w1 >> 16) as u16,
+                                    bb,
+                                    &mut expected,
+                                );
+                                if crc32c(&payload) != crc32c(&expected) || payload != expected {
+                                    stats.verify_failures += 1;
+                                }
+                            }
+                            outstanding.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        Response::Corrupt { .. } => {
+                            // Detected server-side and counted there too;
+                            // the request is answered, not retried.
+                            stats.corrupt += 1;
                             outstanding.fetch_sub(1, Ordering::AcqRel);
                         }
                         Response::Busy { seq, .. } => {
@@ -693,10 +844,19 @@ fn conn_worker(
     let mut rng = StdRng::seed_from_u64(knobs.seed);
     let send_result = (|| -> std::io::Result<(u64, u64)> {
         let mut buf = Vec::with_capacity(SEND_CHUNK + 64);
+        let mut scratch = Vec::new();
         let mut seq = 0u32;
         let mut sent = 0u64;
         let mut retries = 0u64;
         let mut pending: Vec<RetryReq> = Vec::new();
+        // Payload replies are block-sized, not 14 bytes: cap the
+        // in-flight window so a connection's reply backlog stays a few
+        // MiB instead of WINDOW × block_bytes.
+        let window = if knobs.data.is_some() {
+            WINDOW.min(1024)
+        } else {
+            WINDOW
+        };
         for record in records {
             // Check the clock often enough for the deadline to bite
             // without paying a syscall per request, and pick up bounced
@@ -710,6 +870,7 @@ fn conn_worker(
                     &mut pending,
                     &mut write_half,
                     &mut buf,
+                    &mut scratch,
                     &mut seq,
                     start,
                     &ring,
@@ -729,7 +890,7 @@ fn conn_worker(
                     std::thread::yield_now();
                 }
             }
-            while outstanding.load(Ordering::Relaxed) >= WINDOW {
+            while outstanding.load(Ordering::Relaxed) >= window {
                 if !buf.is_empty() {
                     write_half.write_all(&buf)?;
                     buf.clear();
@@ -744,19 +905,22 @@ fn conn_worker(
             let write = record.op == IoOp::Write;
             let disk = record.block.disk().index();
             let block = record.block.block().number();
-            let blocks = u16::try_from(record.blocks).unwrap_or(u16::MAX);
+            let mut blocks = u16::try_from(record.blocks).unwrap_or(u16::MAX);
+            if knobs.data.is_some() {
+                blocks = blocks.clamp(1, MAX_DATA_BLOCKS);
+            }
             meta[slot]
                 .0
                 .store(pack_meta(disk, blocks, 0, write), Ordering::Relaxed);
             meta[slot].1.store(block, Ordering::Relaxed);
-            encode_request(
-                &Request::Io {
-                    seq,
-                    write,
-                    disk,
-                    block,
-                    blocks,
-                },
+            encode_load_request(
+                seq,
+                write,
+                disk,
+                block,
+                blocks,
+                knobs.data,
+                &mut scratch,
                 &mut buf,
             );
             seq = seq.wrapping_add(1);
@@ -801,6 +965,7 @@ fn conn_worker(
                 &mut pending,
                 &mut write_half,
                 &mut buf,
+                &mut scratch,
                 &mut seq,
                 start,
                 &ring,

@@ -12,6 +12,8 @@
 //! | `0x01` READ / `0x02` WRITE | `op, seq:u32, disk:u32, block:u64, blocks:u16` | 19 |
 //! | `0x03` STATS | `op, seq:u32` | 5 |
 //! | `0x04` SHUTDOWN | `op, seq:u32` | 5 |
+//! | `0x11` READ_DATA | `op, seq:u32, disk:u32, block:u64, blocks:u16` | 19 |
+//! | `0x12` WRITE_DATA | `op, seq:u32, disk:u32, block:u64, blocks:u16, data…` | 19 + blocks×block_bytes |
 //!
 //! Response payloads:
 //!
@@ -21,6 +23,8 @@
 //! | `0x83` STATS | `op, seq:u32, json bytes` |
 //! | `0x84` SHUTDOWN | `op, seq:u32` |
 //! | `0x85` BUSY | `op, seq:u32, depth:u32` |
+//! | `0x86` CORRUPT | `op, seq:u32` |
+//! | `0x91` DATA | `op, seq:u32, hit:u8, response_us:u32, data…` |
 //!
 //! `response_us` is the *virtual* (simulated) response time of the
 //! request, saturated to `u32::MAX` µs; clients measure wall latency
@@ -32,6 +36,21 @@
 //! requests were already waiting at that shard, so a client can scale
 //! its backoff to the congestion it is seeing. Every accepted request
 //! is answered exactly once — with IO or with BUSY, never both.
+//!
+//! # Protocol v2: payload frames
+//!
+//! `READ_DATA`/`WRITE_DATA` are the metadata opcodes plus block
+//! contents. A `WRITE_DATA` request carries exactly
+//! `blocks.max(1) × block_bytes` payload bytes after the 19-byte
+//! header (`block_bytes` is a server-wide constant, default
+//! [`DEFAULT_BLOCK_BYTES`]); a `READ_DATA` request is bodiless and is
+//! answered with a `DATA` response carrying the same header layout as
+//! IO followed by the block contents, or with `CORRUPT` when the
+//! server's CRC32C check caught a damaged slab frame (the failure is
+//! also counted in STATS `crc_failures`). Data requests are capped at
+//! [`MAX_DATA_BLOCKS`] blocks so the per-connection request frame cap
+//! ([`max_request_frame`]) stays far below [`MAX_FRAME`]; overload
+//! (`BUSY`) answers data requests exactly like metadata ones.
 
 use std::io::Read;
 
@@ -48,17 +67,40 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// read path must not offer.
 pub const MAX_REQUEST_FRAME: usize = 19;
 
+/// Default payload bytes per block for the data plane (protocol v2).
+pub const DEFAULT_BLOCK_BYTES: usize = 4096;
+
+/// Most blocks one `READ_DATA`/`WRITE_DATA` request may cover. Bounds
+/// the payload-capable request frame cap: at the default 4 KiB block
+/// this keeps the largest legal request frame at 256 KiB + 19 bytes,
+/// well under [`MAX_FRAME`].
+pub const MAX_DATA_BLOCKS: u16 = 64;
+
+/// The request-frame cap for a payload-capable connection: one
+/// `WRITE_DATA` header plus the largest legal data payload, clamped to
+/// [`MAX_FRAME`]. A length prefix above this poisons the stream before
+/// any payload bytes are buffered, exactly like the metadata-only
+/// [`MAX_REQUEST_FRAME`] cap.
+#[must_use]
+pub fn max_request_frame(block_bytes: usize) -> usize {
+    (MAX_REQUEST_FRAME + MAX_DATA_BLOCKS as usize * block_bytes).min(MAX_FRAME)
+}
+
 const OP_READ: u8 = 0x01;
 const OP_WRITE: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_READ_DATA: u8 = 0x11;
+const OP_WRITE_DATA: u8 = 0x12;
 const OP_RESP_IO: u8 = 0x81;
 const OP_RESP_STATS: u8 = 0x83;
 const OP_RESP_SHUTDOWN: u8 = 0x84;
 const OP_RESP_BUSY: u8 = 0x85;
+const OP_RESP_CORRUPT: u8 = 0x86;
+const OP_RESP_DATA: u8 = 0x91;
 
 /// A decoded client request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// A block read or write.
     Io {
@@ -72,6 +114,22 @@ pub enum Request {
         block: u64,
         /// Request length in blocks (0 is treated as 1).
         blocks: u16,
+    },
+    /// A protocol-v2 block read or write carrying payload bytes.
+    IoData {
+        /// Per-connection correlation id, echoed in the response.
+        seq: u32,
+        /// True for writes, false for reads.
+        write: bool,
+        /// Target disk index (the server reduces it modulo its array size).
+        disk: u32,
+        /// First block number.
+        block: u64,
+        /// Request length in blocks (0 is treated as 1).
+        blocks: u16,
+        /// Block contents: `blocks.max(1) × block_bytes` bytes for a
+        /// write, empty for a read (the reply carries the data).
+        payload: Vec<u8>,
     },
     /// Request a cluster statistics snapshot (JSON).
     Stats {
@@ -117,6 +175,23 @@ pub enum Response {
         /// The shard's queue depth (in requests) at rejection time.
         depth: u32,
     },
+    /// Completion of a `READ_DATA` carrying the block contents.
+    Data {
+        /// Correlation id from the request.
+        seq: u32,
+        /// Whether every block was resident in the cache.
+        hit: bool,
+        /// Virtual response time in µs (saturated).
+        response_us: u32,
+        /// The block contents (`blocks.max(1) × block_bytes` bytes).
+        payload: Vec<u8>,
+    },
+    /// A `READ_DATA` whose slab frame failed its CRC32C check: the
+    /// corruption was detected and counted, no payload is returned.
+    Corrupt {
+        /// Correlation id from the request.
+        seq: u32,
+    },
 }
 
 /// A malformed frame or payload.
@@ -143,8 +218,13 @@ impl std::fmt::Display for ProtoError {
 impl std::error::Error for ProtoError {}
 
 /// Appends one request frame (length prefix included) to `out`.
+///
+/// # Panics
+///
+/// Panics if a `WRITE_DATA` payload would push the frame past
+/// [`MAX_FRAME`].
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
-    match *req {
+    match req {
         Request::Io {
             seq,
             write,
@@ -153,12 +233,20 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             blocks,
         } => {
             out.extend_from_slice(&19u32.to_le_bytes());
-            out.push(if write { OP_WRITE } else { OP_READ });
+            out.push(if *write { OP_WRITE } else { OP_READ });
             out.extend_from_slice(&seq.to_le_bytes());
             out.extend_from_slice(&disk.to_le_bytes());
             out.extend_from_slice(&block.to_le_bytes());
             out.extend_from_slice(&blocks.to_le_bytes());
         }
+        Request::IoData {
+            seq,
+            write,
+            disk,
+            block,
+            blocks,
+            payload,
+        } => encode_data_request(*seq, *write, *disk, *block, *blocks, payload, out),
         Request::Stats { seq } => {
             out.extend_from_slice(&5u32.to_le_bytes());
             out.push(OP_STATS);
@@ -170,6 +258,36 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             out.extend_from_slice(&seq.to_le_bytes());
         }
     }
+}
+
+/// Appends one `READ_DATA`/`WRITE_DATA` request frame with the payload
+/// taken from a borrowed slice — the load generator's hot path, which
+/// reuses one scratch buffer per connection instead of moving an owned
+/// `Vec` into [`Request::IoData`] per request.
+///
+/// # Panics
+///
+/// Panics if the payload would push the frame past [`MAX_FRAME`].
+#[allow(clippy::too_many_arguments)]
+pub fn encode_data_request(
+    seq: u32,
+    write: bool,
+    disk: u32,
+    block: u64,
+    blocks: u16,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let len = 19 + payload.len();
+    assert!(len <= MAX_FRAME, "data payload exceeds MAX_FRAME");
+    out.reserve(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(if write { OP_WRITE_DATA } else { OP_READ_DATA });
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&disk.to_le_bytes());
+    out.extend_from_slice(&block.to_le_bytes());
+    out.extend_from_slice(&blocks.to_le_bytes());
+    out.extend_from_slice(payload);
 }
 
 /// Appends one response frame (length prefix included) to `out`.
@@ -209,7 +327,64 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.extend_from_slice(&seq.to_le_bytes());
             out.extend_from_slice(&depth.to_le_bytes());
         }
+        Response::Data {
+            seq,
+            hit,
+            response_us,
+            payload,
+        } => {
+            encode_data_response(*seq, *hit, *response_us, payload, out);
+        }
+        Response::Corrupt { seq } => {
+            out.extend_from_slice(&5u32.to_le_bytes());
+            out.push(OP_RESP_CORRUPT);
+            out.extend_from_slice(&seq.to_le_bytes());
+        }
     }
+}
+
+/// Appends one `DATA` response frame with the payload taken from a
+/// borrowed slice — the server's copy-once reply path: slab bytes land
+/// directly in the outgoing reply buffer (header + payload
+/// contiguous), with no intermediate `Vec` per response.
+///
+/// # Panics
+///
+/// Panics if the payload would push the frame past [`MAX_FRAME`].
+pub fn encode_data_response(
+    seq: u32,
+    hit: bool,
+    response_us: u32,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    encode_data_header(seq, hit, response_us, payload.len(), out);
+    out.extend_from_slice(payload);
+}
+
+/// Appends a `DATA` response frame's length prefix and 10-byte header
+/// for a payload of exactly `payload_len` bytes that the caller appends
+/// directly afterwards — the shard's scatter-gather path writes slab
+/// bytes straight into the reply buffer with no per-response `Vec`.
+///
+/// # Panics
+///
+/// Panics if the payload would push the frame past [`MAX_FRAME`].
+pub fn encode_data_header(
+    seq: u32,
+    hit: bool,
+    response_us: u32,
+    payload_len: usize,
+    out: &mut Vec<u8>,
+) {
+    let len = 10 + payload_len;
+    assert!(len <= MAX_FRAME, "data payload exceeds MAX_FRAME");
+    out.reserve(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(OP_RESP_DATA);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(u8::from(hit));
+    out.extend_from_slice(&response_us.to_le_bytes());
 }
 
 fn le_u32(b: &[u8]) -> u32 {
@@ -238,6 +413,23 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 disk: le_u32(&rest[4..8]),
                 block: le_u64(&rest[8..16]),
                 blocks: u16::from_le_bytes(rest[16..18].try_into().expect("2 bytes")),
+            })
+        }
+        OP_READ_DATA | OP_WRITE_DATA => {
+            // READ_DATA is bodiless; WRITE_DATA carries at least one
+            // block of payload. Exact payload sizing against the
+            // server's block_bytes happens in the serving layer, which
+            // knows the configuration.
+            if rest.len() < 18 || (op == OP_READ_DATA && rest.len() != 18) {
+                return Err(ProtoError::Truncated);
+            }
+            Ok(Request::IoData {
+                seq: le_u32(&rest[0..4]),
+                write: op == OP_WRITE_DATA,
+                disk: le_u32(&rest[4..8]),
+                block: le_u64(&rest[8..16]),
+                blocks: u16::from_le_bytes(rest[16..18].try_into().expect("2 bytes")),
+                payload: rest[18..].to_vec(),
             })
         }
         OP_STATS | OP_SHUTDOWN => {
@@ -297,6 +489,23 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             Ok(Response::Busy {
                 seq: le_u32(&rest[0..4]),
                 depth: le_u32(&rest[4..8]),
+            })
+        }
+        OP_RESP_CORRUPT => {
+            if rest.len() != 4 {
+                return Err(ProtoError::Truncated);
+            }
+            Ok(Response::Corrupt { seq: le_u32(rest) })
+        }
+        OP_RESP_DATA => {
+            if rest.len() < 9 {
+                return Err(ProtoError::Truncated);
+            }
+            Ok(Response::Data {
+                seq: le_u32(&rest[0..4]),
+                hit: rest[4] != 0,
+                response_us: le_u32(&rest[5..9]),
+                payload: rest[9..].to_vec(),
             })
         }
         _ => Err(ProtoError::BadOpcode(op)),
@@ -465,9 +674,9 @@ impl FrameBuf {
 mod tests {
     use super::*;
 
-    fn roundtrip_request(req: Request) -> Request {
+    fn roundtrip_request(req: &Request) -> Request {
         let mut buf = Vec::new();
-        encode_request(&req, &mut buf);
+        encode_request(req, &mut buf);
         let len = le_u32(&buf[0..4]) as usize;
         assert_eq!(buf.len(), 4 + len);
         decode_request(&buf[4..]).unwrap()
@@ -493,7 +702,7 @@ mod tests {
             Request::Stats { seq: 42 },
             Request::Shutdown { seq: 0 },
         ] {
-            assert_eq!(roundtrip_request(req), req);
+            assert_eq!(roundtrip_request(&req), req);
         }
     }
 
@@ -525,6 +734,99 @@ mod tests {
             assert_eq!(buf.len(), 4 + len);
             assert_eq!(decode_response(&buf[4..]).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn data_requests_roundtrip() {
+        for req in [
+            Request::IoData {
+                seq: 11,
+                write: false,
+                disk: 2,
+                block: 77,
+                blocks: 4,
+                payload: Vec::new(),
+            },
+            Request::IoData {
+                seq: 12,
+                write: true,
+                disk: 0,
+                block: u64::MAX,
+                blocks: 1,
+                payload: vec![0xAB; DEFAULT_BLOCK_BYTES],
+            },
+        ] {
+            assert_eq!(roundtrip_request(&req), req);
+        }
+        // A bodied READ_DATA is malformed: reads carry no payload.
+        let mut wire = Vec::new();
+        encode_request(
+            &Request::IoData {
+                seq: 1,
+                write: false,
+                disk: 0,
+                block: 0,
+                blocks: 1,
+                payload: Vec::new(),
+            },
+            &mut wire,
+        );
+        let mut bodied = wire[4..].to_vec();
+        bodied.push(0xFF);
+        assert_eq!(decode_request(&bodied), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn data_and_corrupt_responses_roundtrip() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        for resp in [
+            Response::Data {
+                seq: 3,
+                hit: true,
+                response_us: 17,
+                payload: payload.clone(),
+            },
+            Response::Data {
+                seq: 4,
+                hit: false,
+                response_us: 0,
+                payload: Vec::new(),
+            },
+            Response::Corrupt { seq: 5 },
+        ] {
+            let mut buf = Vec::new();
+            encode_response(&resp, &mut buf);
+            let len = le_u32(&buf[0..4]) as usize;
+            assert_eq!(buf.len(), 4 + len);
+            assert_eq!(decode_response(&buf[4..]).unwrap(), resp);
+        }
+        // The borrowed-slice encoder produces byte-identical frames to
+        // the owned Response::Data path (the copy-once guarantee is an
+        // encoding detail, not a format difference).
+        let mut a = Vec::new();
+        encode_data_response(3, true, 17, &payload, &mut a);
+        let mut b = Vec::new();
+        encode_response(
+            &Response::Data {
+                seq: 3,
+                hit: true,
+                response_us: 17,
+                payload,
+            },
+            &mut b,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn data_frame_caps_are_consistent() {
+        // The payload-capable request cap admits the largest legal
+        // WRITE_DATA and stays under the absolute frame bound.
+        let cap = max_request_frame(DEFAULT_BLOCK_BYTES);
+        assert_eq!(cap, 19 + MAX_DATA_BLOCKS as usize * DEFAULT_BLOCK_BYTES);
+        assert!(cap <= MAX_FRAME);
+        // Degenerate block sizes clamp instead of overflowing.
+        assert_eq!(max_request_frame(MAX_FRAME), MAX_FRAME);
     }
 
     /// A reader that hands out at most 3 bytes per call, to exercise
@@ -869,6 +1171,6 @@ mod tests {
             block: 0,
             blocks: 0,
         };
-        assert_eq!(roundtrip_request(req), req);
+        assert_eq!(roundtrip_request(&req), req);
     }
 }

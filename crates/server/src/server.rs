@@ -90,6 +90,26 @@ struct IoReq {
     block: u64,
     blocks: u64,
     write: bool,
+    /// `Some` for a protocol-v2 data request: the `WRITE_DATA` payload
+    /// (empty for `READ_DATA`, whose *reply* carries the bytes).
+    /// `None` is a metadata-only request.
+    payload: Option<Vec<u8>>,
+}
+
+/// Validates a data request against the server's block size before it
+/// is batched: reads are bodiless, writes carry exactly
+/// `blocks × block_bytes`, and both respect the per-request block cap.
+/// A violation is a protocol error that kills the connection.
+fn valid_data_request(write: bool, blocks: u16, payload: &[u8], block_bytes: usize) -> bool {
+    let blocks = blocks.max(1);
+    if blocks > protocol::MAX_DATA_BLOCKS {
+        return false;
+    }
+    if write {
+        payload.len() == blocks as usize * block_bytes
+    } else {
+        payload.is_empty()
+    }
 }
 
 /// Where a shard sends a batch's encoded responses.
@@ -314,6 +334,7 @@ impl Server {
                 epoch,
                 names: (policy.clone(), write_policy.clone()),
                 idle_timeout: self.idle_timeout,
+                block_bytes: self.engine.block_bytes,
             };
             io_joins.push(std::thread::spawn(move || io_thread_main(ctx)));
         }
@@ -382,11 +403,20 @@ impl Server {
                     let gauges = Arc::clone(&busy_gauges);
                     let names = (policy.clone(), write_policy.clone());
                     let idle_timeout = self.idle_timeout;
+                    let block_bytes = self.engine.block_bytes;
                     conn_joins.push(std::thread::spawn(move || {
                         // A dead connection is the client's problem, not
                         // the daemon's.
-                        let _ =
-                            serve_conn(stream, &txs, &stop, epoch, &names, &gauges, idle_timeout);
+                        let _ = serve_conn(
+                            stream,
+                            &txs,
+                            &stop,
+                            epoch,
+                            &names,
+                            &gauges,
+                            idle_timeout,
+                            block_bytes,
+                        );
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -441,6 +471,9 @@ struct IoThreadCtx {
     epoch: Instant,
     names: (String, String),
     idle_timeout: Duration,
+    /// The engine's block size; sizes the per-connection frame cap and
+    /// validates data-request payload lengths.
+    block_bytes: usize,
 }
 
 /// One multiplexed connection's slab slot.
@@ -550,7 +583,8 @@ impl EventLoop {
     fn adopt_new_conns(&mut self) {
         use std::os::fd::AsRawFd;
         while let Ok(stream) = self.ctx.intake.try_recv() {
-            let Ok(conn) = Conn::new(stream) else {
+            let max_frame = protocol::max_request_frame(self.ctx.block_bytes);
+            let Ok(conn) = Conn::new(stream, max_frame) else {
                 continue; // Peer died between accept and adoption.
             };
             let idx = self.free.pop().unwrap_or_else(|| {
@@ -760,6 +794,34 @@ impl EventLoop {
                         block,
                         blocks: u64::from(blocks),
                         write,
+                        payload: None,
+                    });
+                    if self.batches[s].len() >= BATCH_LIMIT {
+                        self.submit_shard(s, entry);
+                    }
+                }
+                Ok(Some(Request::IoData {
+                    seq,
+                    write,
+                    disk,
+                    block,
+                    blocks,
+                    payload,
+                })) => {
+                    decoded += 1;
+                    if !valid_data_request(write, blocks, &payload, self.ctx.block_bytes) {
+                        ok = false;
+                        break;
+                    }
+                    let s = shard_of(DiskId::new(disk), BlockNo::new(block), nshards);
+                    self.batches[s].push(IoReq {
+                        seq,
+                        at_us,
+                        disk,
+                        block,
+                        blocks: u64::from(blocks),
+                        write,
+                        payload: Some(payload),
                     });
                     if self.batches[s].len() >= BATCH_LIMIT {
                         self.submit_shard(s, entry);
@@ -966,14 +1028,52 @@ fn shard_main(
                     );
                     let response_us =
                         u32::try_from(outcome.response.as_micros()).unwrap_or(u32::MAX);
-                    protocol::encode_response(
-                        &Response::Io {
-                            seq: r.seq,
-                            hit: outcome.hit,
-                            response_us,
-                        },
-                        &mut out,
-                    );
+                    match &r.payload {
+                        // Metadata requests and WRITE_DATA acks share the
+                        // compact IO frame; the written bytes stay server-side.
+                        None => protocol::encode_response(
+                            &Response::Io {
+                                seq: r.seq,
+                                hit: outcome.hit,
+                                response_us,
+                            },
+                            &mut out,
+                        ),
+                        Some(bytes) if r.write => {
+                            engine.write_payload(r.disk, r.block, r.blocks, bytes);
+                            protocol::encode_response(
+                                &Response::Io {
+                                    seq: r.seq,
+                                    hit: outcome.hit,
+                                    response_us,
+                                },
+                                &mut out,
+                            );
+                        }
+                        Some(_) => {
+                            // READ_DATA: encode the header optimistically,
+                            // then let the store append verified slab bytes
+                            // straight after it (copy-once). On a checksum
+                            // failure the store already refilled the frame;
+                            // roll the reply back to a CORRUPT frame.
+                            let total = r.blocks.max(1) as usize * engine.block_bytes();
+                            let frame_start = out.len();
+                            protocol::encode_data_header(
+                                r.seq,
+                                outcome.hit,
+                                response_us,
+                                total,
+                                &mut out,
+                            );
+                            if !engine.read_payload_into(r.disk, r.block, r.blocks, &mut out) {
+                                out.truncate(frame_start);
+                                protocol::encode_response(
+                                    &Response::Corrupt { seq: r.seq },
+                                    &mut out,
+                                );
+                            }
+                        }
+                    }
                 }
                 reply.send(out);
             }
@@ -993,6 +1093,7 @@ fn shard_main(
 }
 
 /// A legacy connection's reader loop; spawns the paired writer thread.
+#[allow(clippy::too_many_arguments)]
 fn serve_conn(
     stream: TcpStream,
     shard_txs: &[QueueSender<ShardMsg>],
@@ -1001,6 +1102,7 @@ fn serve_conn(
     names: &(String, String),
     busy_gauges: &[AtomicU64],
     idle_timeout: Duration,
+    block_bytes: usize,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
@@ -1017,6 +1119,7 @@ fn serve_conn(
         &writer_tx,
         busy_gauges,
         idle_timeout,
+        block_bytes,
     );
     let _ = writer_tx.send(WriterMsg::Close);
     drop(writer_tx);
@@ -1034,9 +1137,10 @@ fn read_loop(
     writer_tx: &Sender<WriterMsg>,
     busy_gauges: &[AtomicU64],
     idle_timeout: Duration,
+    block_bytes: usize,
 ) -> std::io::Result<()> {
     let nshards = shard_txs.len();
-    let mut fb = FrameBuf::new();
+    let mut fb = FrameBuf::new().with_max_frame(protocol::max_request_frame(block_bytes));
     let mut batches: Vec<Vec<IoReq>> = (0..nshards).map(|_| Vec::new()).collect();
     let mut last_data = Instant::now();
     loop {
@@ -1078,6 +1182,35 @@ fn read_loop(
                         block,
                         blocks: u64::from(blocks),
                         write,
+                        payload: None,
+                    });
+                    if batches[s].len() >= BATCH_LIMIT {
+                        flush(&mut batches[s], &shard_txs[s], writer_tx, &busy_gauges[s]);
+                    }
+                }
+                Ok(Some(Request::IoData {
+                    seq,
+                    write,
+                    disk,
+                    block,
+                    blocks,
+                    payload,
+                })) => {
+                    if !valid_data_request(write, blocks, &payload, block_bytes) {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "data request violates the block-size contract",
+                        ));
+                    }
+                    let s = shard_of(DiskId::new(disk), BlockNo::new(block), nshards);
+                    batches[s].push(IoReq {
+                        seq,
+                        at_us,
+                        disk,
+                        block,
+                        blocks: u64::from(blocks),
+                        write,
+                        payload: Some(payload),
                     });
                     if batches[s].len() >= BATCH_LIMIT {
                         flush(&mut batches[s], &shard_txs[s], writer_tx, &busy_gauges[s]);

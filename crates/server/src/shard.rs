@@ -15,6 +15,8 @@ use pc_trace::{IoOp, Record, Trace};
 use pc_units::{BlockId, BlockNo, DiskId, SimDuration, SimTime};
 use rustc_hash::FxHasher;
 
+use crate::data::{BlockStore, ReadOutcome};
+use crate::protocol::DEFAULT_BLOCK_BYTES;
 use crate::stats::{ClusterSnapshot, ShardSnapshot};
 
 /// Default per-shard admission-queue bound, in requests: four reader
@@ -134,6 +136,14 @@ pub struct EngineConfig {
     /// Serve with the pre-event-loop thread-per-connection front-end
     /// (differential testing and non-epoll hosts).
     pub legacy_threads: bool,
+    /// Payload bytes per block served by the data plane (protocol v2
+    /// `READ_DATA`/`WRITE_DATA`). Metadata-only traffic never touches
+    /// the slab, so this costs nothing until data frames arrive.
+    pub block_bytes: usize,
+    /// Debug fault injection: flip one slab byte before every Nth
+    /// verified payload read (0 = never) so CRC detection is
+    /// deterministically testable (`--corrupt-rate`).
+    pub corrupt_every: u64,
 }
 
 impl EngineConfig {
@@ -156,7 +166,29 @@ impl EngineConfig {
             slow_shard: None,
             io_threads: 0,
             legacy_threads: false,
+            block_bytes: DEFAULT_BLOCK_BYTES,
+            corrupt_every: 0,
         }
+    }
+
+    /// Sets the payload bytes per block for the data plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero.
+    #[must_use]
+    pub fn with_block_bytes(mut self, block_bytes: usize) -> Self {
+        assert!(block_bytes > 0, "blocks must carry at least one byte");
+        self.block_bytes = block_bytes;
+        self
+    }
+
+    /// Corrupts one slab byte before every Nth verified payload read
+    /// (0 disables the fault injection).
+    #[must_use]
+    pub fn with_corrupt_every(mut self, corrupt_every: u64) -> Self {
+        self.corrupt_every = corrupt_every;
+        self
     }
 
     /// Sets the replacement policy.
@@ -247,6 +279,9 @@ pub struct ShardEngine {
     disks: u32,
     stepper: OnlineStepper,
     now: SimTime,
+    /// The payload slab (protocol v2). Lazy: allocates nothing until a
+    /// data request touches it, so metadata-only serving is unchanged.
+    store: BlockStore,
 }
 
 impl ShardEngine {
@@ -258,6 +293,7 @@ impl ShardEngine {
             disks: cfg.disks,
             stepper: OnlineStepper::new(cfg.disks, cfg.build_policy(), &cfg.sim),
             now: SimTime::ZERO,
+            store: BlockStore::new(cfg.block_bytes, cfg.corrupt_every),
         }
     }
 
@@ -288,6 +324,73 @@ impl ShardEngine {
         self.stepper.step(&record)
     }
 
+    /// Payload bytes per block this shard's data plane serves.
+    #[must_use]
+    pub fn block_bytes(&self) -> usize {
+        self.store.block_bytes()
+    }
+
+    /// CRC verification failures the data plane has detected so far.
+    #[must_use]
+    pub fn crc_failures(&self) -> u64 {
+        self.store.crc_failures()
+    }
+
+    /// Stores a `WRITE_DATA` payload after [`ingest`](Self::ingest):
+    /// each still-resident block of the request takes its slice of
+    /// `bytes` into the slab (checksummed, owner-tagged). Blocks the
+    /// policy already evicted — possible when a multi-block request
+    /// overflows the cache — went to the virtual disk, which exists
+    /// only as the deterministic image, so their payload is dropped.
+    ///
+    /// Runs strictly after the metadata step and never touches the
+    /// stepper: policy decisions and energy books are unaffected.
+    pub fn write_payload(&mut self, disk: u32, block: u64, blocks: u64, bytes: &[u8]) {
+        let bb = self.store.block_bytes();
+        let n = usize::try_from(blocks.max(1)).unwrap_or(usize::MAX);
+        for (i, chunk) in bytes.chunks_exact(bb).enumerate().take(n) {
+            let b = block.wrapping_add(i as u64);
+            if let Some(slot) = self.resident_slot(disk, b) {
+                // The owner tag records the *wire* disk index: two wire
+                // disks that alias modulo the array share cache slots
+                // but never each other's bytes.
+                self.store.store(slot, disk, b, chunk);
+            }
+        }
+    }
+
+    /// Serves a `READ_DATA` payload after [`ingest`](Self::ingest),
+    /// appending `blocks.max(1) × block_bytes` bytes to `out`: resident
+    /// blocks come CRC-verified from the slab (miss-filled from the
+    /// disk image on first touch or owner mismatch), evicted blocks are
+    /// synthesized straight into the reply. Returns `false` — with
+    /// `out` possibly holding a partial payload the caller must
+    /// discard — when a slab frame failed its CRC check (counted in
+    /// [`crc_failures`](Self::crc_failures), frame refilled).
+    pub fn read_payload_into(
+        &mut self,
+        disk: u32,
+        block: u64,
+        blocks: u64,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        for i in 0..blocks.max(1) {
+            let b = block.wrapping_add(i);
+            let slot = self.resident_slot(disk, b);
+            if self.store.read_into(slot, disk, b, out) == ReadOutcome::Corrupt {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The slab slot a `(wire disk, block)` pair currently occupies,
+    /// using the same modulo reduction as [`ingest`](Self::ingest).
+    fn resident_slot(&self, disk: u32, block: u64) -> Option<usize> {
+        let id = BlockId::new(DiskId::new(disk % self.disks), BlockNo::new(block));
+        self.stepper.resident_slot(id).map(pc_cache::Slot::index)
+    }
+
     /// A live snapshot: counters are exact, energy covers each disk up
     /// to its last power event (the disks account lazily).
     #[must_use]
@@ -303,6 +406,7 @@ impl ShardEngine {
             busy_rejects: 0,
             queue_depth: 0,
             queue_high_water: 0,
+            crc_failures: self.store.crc_failures(),
         }
     }
 
@@ -311,6 +415,7 @@ impl ShardEngine {
     #[must_use]
     pub fn into_snapshot(self) -> ShardSnapshot {
         let id = self.id;
+        let crc_failures = self.store.crc_failures();
         let report = self.stepper.into_report();
         ShardSnapshot {
             shard: id,
@@ -323,6 +428,7 @@ impl ShardEngine {
             busy_rejects: 0,
             queue_depth: 0,
             queue_high_water: 0,
+            crc_failures,
         }
     }
 }

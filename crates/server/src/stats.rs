@@ -32,6 +32,9 @@ pub struct ShardSnapshot {
     pub queue_depth: u64,
     /// Highest admission-queue depth ever observed.
     pub queue_high_water: u64,
+    /// Payload CRC32C verification failures the data plane detected
+    /// (each one answered `CORRUPT` and the damaged frame refilled).
+    pub crc_failures: u64,
 }
 
 impl ShardSnapshot {
@@ -49,6 +52,7 @@ impl ShardSnapshot {
             busy_rejects: 0,
             queue_depth: 0,
             queue_high_water: 0,
+            crc_failures: 0,
         }
     }
 
@@ -59,7 +63,8 @@ impl ShardSnapshot {
                 "\"hit_ratio\":{:?},\"disk_reads\":{},\"disk_writes\":{},",
                 "\"log_writes\":{},\"energy_j\":{:?},\"mean_us\":{},",
                 "\"p50_us\":{},\"p99_us\":{},\"horizon_us\":{},",
-                "\"busy_rejects\":{},\"queue_depth\":{},\"queue_high_water\":{}}}"
+                "\"busy_rejects\":{},\"queue_depth\":{},\"queue_high_water\":{},",
+                "\"crc_failures\":{}}}"
             ),
             self.shard,
             self.requests,
@@ -77,6 +82,7 @@ impl ShardSnapshot {
             self.busy_rejects,
             self.queue_depth,
             self.queue_high_water,
+            self.crc_failures,
         )
     }
 }
@@ -220,6 +226,14 @@ impl ClusterSnapshot {
             .fold(0u64, |acc, s| acc.saturating_add(s.busy_rejects))
     }
 
+    /// Total payload CRC failures detected across shards.
+    #[must_use]
+    pub fn total_crc_failures(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.crc_failures))
+    }
+
     /// The worst admission-queue high-water mark across shards (a max,
     /// not a sum — depths on different shards never queue behind each
     /// other).
@@ -283,7 +297,7 @@ impl ClusterSnapshot {
                 "{{\"requests\":{},\"accesses\":{},\"hits\":{},\"hit_ratio\":{:?},",
                 "\"disk_reads\":{},\"disk_writes\":{},\"log_writes\":{},",
                 "\"energy_j\":{:?},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{},",
-                "\"busy_rejects\":{},\"queue_high_water\":{}}}"
+                "\"busy_rejects\":{},\"queue_high_water\":{},\"crc_failures\":{}}}"
             ),
             requests,
             cache.accesses,
@@ -298,6 +312,7 @@ impl ClusterSnapshot {
             quantile_us(&hist, 0.99),
             self.total_busy_rejects(),
             self.max_queue_high_water(),
+            self.total_crc_failures(),
         ));
         out.push('}');
         out
@@ -378,6 +393,9 @@ pub struct StatsSummary {
     pub busy_rejects: u64,
     /// Worst admission-queue high-water mark across shards.
     pub queue_high_water: u64,
+    /// Total payload CRC failures detected across shards (0 for
+    /// snapshots predating the data plane).
+    pub crc_failures: u64,
     /// Per-shard energy in joules, indexed by shard.
     pub shard_energy_j: Vec<f64>,
     /// Connections registered across IO threads (0 when the snapshot
@@ -424,6 +442,9 @@ pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
     let queue_high_water = num_after(total_part, "\"queue_high_water\":")
         .and_then(|n| n.parse().ok())
         .unwrap_or(0);
+    let crc_failures = num_after(total_part, "\"crc_failures\":")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
     // The optional "io" section sits between the shard array and the
     // total; split it off so its counters are not mistaken for shard
     // fields (it carries no "energy_j" keys, but being explicit is
@@ -454,6 +475,7 @@ pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
         energy_j,
         busy_rejects,
         queue_high_water,
+        crc_failures,
         shard_energy_j,
         io_connections,
         io_buffer_bytes,
@@ -558,6 +580,26 @@ mod tests {
         let table = c.render_table();
         assert!(table.contains("busy"), "closing table shows busy column");
         assert!(table.contains("queue_hw"));
+    }
+
+    #[test]
+    fn crc_failures_sum_and_roundtrip() {
+        let mut a = snapshot_with(0, 10, 5, 1.0);
+        a.crc_failures = 3;
+        let mut b = snapshot_with(1, 10, 5, 1.0);
+        b.crc_failures = 4;
+        let c = ClusterSnapshot::new("lru".into(), "write-back".into(), vec![a, b]);
+        assert_eq!(c.total_crc_failures(), 7);
+        let json = c.to_json();
+        assert!(json.contains("\"crc_failures\":3"));
+        assert!(json.contains("\"crc_failures\":7"));
+        let summary = parse_stats_json(&json).expect("parses");
+        assert_eq!(summary.crc_failures, 7);
+        // Clean clusters report the counter as zero, not absent.
+        assert_eq!(
+            parse_stats_json(&cluster().to_json()).unwrap().crc_failures,
+            0
+        );
     }
 
     #[test]

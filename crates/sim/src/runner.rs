@@ -301,6 +301,21 @@ impl OnlineStepper {
         &self.response_hist
     }
 
+    /// The dense cache slot `block` currently occupies, if resident.
+    /// Read-only: the serving layer's payload slab uses this to address
+    /// per-block storage without touching policy or energy state.
+    #[must_use]
+    pub fn resident_slot(&self, block: pc_units::BlockId) -> Option<pc_cache::Slot> {
+        self.cache.slot_of(block)
+    }
+
+    /// Exclusive upper bound on slot indices ever issued by the cache —
+    /// the safe length for slot-parallel side tables.
+    #[must_use]
+    pub fn slot_bound(&self) -> usize {
+        self.cache.slot_bound()
+    }
+
     /// Sum of client-visible response times so far.
     #[must_use]
     pub fn response_total(&self) -> SimDuration {

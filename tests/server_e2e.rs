@@ -189,6 +189,103 @@ fn tcp_overload_bounces_busy_and_closes_the_books() {
 }
 
 #[test]
+fn payload_mode_round_trips_verified_block_contents() {
+    // The protocol-v2 data plane end to end: WRITE_DATA carries real
+    // block contents into the slab store, READ_DATA serves CRC-verified
+    // frames back, and the load generator checks every DATA reply
+    // against the deterministic disk image byte for byte.
+    let engine = EngineConfig::new(2, 4)
+        .with_policy(PolicySpec::PaLru)
+        .with_block_bytes(512);
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind loopback");
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = server.stop_flag();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+
+    let report = run_tcp(&LoadgenConfig {
+        conns: 2,
+        secs: 0.4,
+        payload: true,
+        block_bytes: 512,
+        ..LoadgenConfig::new(addr)
+    })
+    .expect("payload load generation");
+
+    assert!(report.responses > 0, "no responses came back");
+    assert!(
+        report.payload_bytes > 0,
+        "payload mode must move actual block contents"
+    );
+    assert_eq!(
+        report.verify_failures, 0,
+        "every DATA reply must match the disk image exactly"
+    );
+    assert_eq!(report.corrupt, 0, "no fault injection, no CORRUPT replies");
+    assert_eq!(
+        report.stats.crc_failures, 0,
+        "a healthy slab never fails CRC verification"
+    );
+    assert!(report.hit_ratio() > 0.0, "zipf traffic must hit sometimes");
+    let rendered = report.render();
+    assert!(
+        rendered.contains("payload:"),
+        "payload runs must print the payload accounting line:\n{rendered}"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let run = daemon.join().expect("daemon thread");
+    assert_eq!(run.snapshot.total_requests(), report.responses);
+    assert!(run.snapshot.total_energy() > Joules::ZERO);
+}
+
+#[test]
+fn injected_slab_corruption_surfaces_as_corrupt_replies_and_stats() {
+    // CRC fault injection: `corrupt_every = 1` damages one slab byte
+    // before every verified read, so resident reads must answer
+    // CORRUPT (never silently serve damaged bytes), the STATS snapshot
+    // must count every failure, and the store must recover the frame —
+    // the DATA replies that do come back still match the image.
+    let engine = EngineConfig::new(2, 4)
+        .with_block_bytes(512)
+        .with_corrupt_every(1);
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind loopback");
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = server.stop_flag();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+
+    let report = run_tcp(&LoadgenConfig {
+        conns: 2,
+        secs: 0.4,
+        payload: true,
+        block_bytes: 512,
+        ..LoadgenConfig::new(addr)
+    })
+    .expect("payload load generation");
+
+    assert!(
+        report.corrupt > 0,
+        "every verified resident read is damaged, so CORRUPT must surface"
+    );
+    assert!(
+        report.stats.crc_failures >= report.corrupt,
+        "server-side crc_failures ({}) must cover client-observed CORRUPTs ({})",
+        report.stats.crc_failures,
+        report.corrupt
+    );
+    assert_eq!(
+        report.verify_failures, 0,
+        "damaged frames answer CORRUPT; served DATA must still be pristine"
+    );
+    assert!(
+        report.payload_bytes > 0,
+        "non-resident reads still serve the disk image"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    daemon.join().expect("daemon thread");
+}
+
+#[test]
 fn a_server_that_never_replies_cannot_hang_the_client() {
     // A listener that accepts and then goes silent: the load
     // generator's socket timeouts must surface an error instead of
