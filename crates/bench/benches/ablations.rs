@@ -10,6 +10,7 @@ fn params() -> Params {
         scale: 0.05,
         seed: 42,
         jobs: 0,
+        trace_file: None,
     }
 }
 

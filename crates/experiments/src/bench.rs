@@ -291,6 +291,54 @@ pub fn payload_server_row(secs: f64) -> std::io::Result<BenchRow> {
     })
 }
 
+/// The file-replay companion to [`server_row`]: a synthetic workload
+/// exported to a binary `.pct` trace and replayed over the wire with
+/// the loadgen's `--trace` path, so the advisory matrix tracks the
+/// full trace pipeline — file decode, CRC verification, round-robin
+/// dealing — alongside the generated-stream row. The run is bounded by
+/// the trace length, not wall clock. Also advisory: socket throughput
+/// moves with kernel scheduling, not the simulation hot path.
+///
+/// # Errors
+///
+/// Propagates export/bind/connect/load-generation failures; callers
+/// degrade to the simulation-only matrix.
+pub fn trace_replay_row(requests: usize) -> std::io::Result<BenchRow> {
+    use pc_server::{run_tcp, EngineConfig, LoadgenConfig, Server};
+    use pc_trace::Workload;
+    let path = std::env::temp_dir().join(format!("pc-bench-replay-{}.pct", std::process::id()));
+    let workload = Workload::parse("synthetic")
+        .expect("synthetic exists")
+        .with_requests(requests);
+    crate::traceio::export(&workload, 42, &path)?;
+
+    let server = Server::bind("127.0.0.1:0", EngineConfig::new(4, 4))?;
+    let addr = server.local_addr()?.to_string();
+    let stop = server.stop_flag();
+    let daemon = std::thread::spawn(move || server.run());
+    let report = run_tcp(&LoadgenConfig {
+        conns: 4,
+        // The finite trace ends the run; the deadline is a backstop.
+        secs: 60.0,
+        trace: Some(path.clone()),
+        ..LoadgenConfig::new(addr)
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = daemon.join();
+    let _ = std::fs::remove_file(&path);
+    let report = report?;
+    Ok(BenchRow {
+        policy: "server-trace-replay".to_owned(),
+        workload: "synthetic.pct".to_owned(),
+        requests: report.responses,
+        wall_ms: report.elapsed.as_secs_f64() * 1e3,
+        req_per_sec: report.req_per_sec(),
+        reps: 1,
+        spread_pct: 0.0,
+        advisory: true,
+    })
+}
+
 /// Relative tolerance for `repro bench --check`: a policy's aggregate
 /// throughput may fall at most this far below the committed baseline
 /// before the check fails.

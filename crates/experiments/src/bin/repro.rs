@@ -1,9 +1,11 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale X] [--seed N] [--jobs N]
+//! repro <experiment> [--scale X] [--seed N] [--jobs N] [--trace FILE.pct]
 //! repro all [--scale X] [--seed N] [--jobs N]
 //! repro bench [--scale X] [--seed N] [--reps N] [--check]
+//! repro trace export --workload NAME --out FILE.pct [--requests N] [--seed N]
+//! repro trace info FILE.pct
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b
@@ -14,6 +16,13 @@
 //! Sweeps fan out over worker threads: `--jobs N` (or the `REPRO_JOBS`
 //! environment variable when the flag is absent) pins the count, 0 or
 //! unset means one per core. Results are identical for any job count.
+//!
+//! `repro trace export` serializes a workload generator to the binary
+//! `.pct` format (see `pc-tracefile`); `repro trace info` validates a
+//! file and prints its header plus summary statistics. `--trace FILE`
+//! on any experiment replays that file in place of every generated
+//! workload — the bridge from `pc-server --capture` back into the
+//! batch harness.
 //!
 //! `repro bench` times the single-threaded simulation hot path on a
 //! fixed policy × workload matrix — each cell measured `--reps N`
@@ -63,6 +72,9 @@ const FRESH_PATH: &str = "BENCH_fresh.json";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        return run_trace(&args[1..]);
+    }
     let mut which = None;
     let mut params = Params::paper();
     let mut jobs_flag = None;
@@ -84,6 +96,10 @@ fn main() -> ExitCode {
             "--jobs" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => jobs_flag = Some(n),
                 None => return usage("--jobs needs a worker count (0 = one per core)"),
+            },
+            "--trace" => match iter.next() {
+                Some(path) => params.trace_file = Some(path.into()),
+                None => return usage("--trace needs a .pct file path"),
             },
             "--reps" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n > 0 => {
@@ -180,6 +196,10 @@ fn run_bench(params: &Params, reps: usize, check: bool) -> ExitCode {
         Ok(row) => rows.push(row),
         Err(e) => eprintln!("warning: skipping advisory payload bench row: {e}"),
     }
+    match bench::trace_replay_row(200_000) {
+        Ok(row) => rows.push(row),
+        Err(e) => eprintln!("warning: skipping advisory trace-replay bench row: {e}"),
+    }
     println!("{}", bench::render(&rows));
     let json = bench::to_json(params, &rows);
     if check {
@@ -230,17 +250,103 @@ fn run_bench(params: &Params, reps: usize, check: bool) -> ExitCode {
     }
 }
 
+/// `repro trace export|info`: serialize a workload generator to a
+/// binary `.pct` file, or validate one and print its summary.
+fn run_trace(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("export") => {
+            let mut workload = None;
+            let mut out = None;
+            let mut requests = None;
+            let mut seed = 42u64;
+            let mut iter = args[1..].iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--workload" => match iter.next().map(|v| pc_trace::Workload::parse(v)) {
+                        Some(Some(w)) => workload = Some(w),
+                        _ => return trace_usage("--workload needs synthetic, oltp, or cello96"),
+                    },
+                    "--out" => match iter.next() {
+                        Some(path) => out = Some(std::path::PathBuf::from(path)),
+                        None => return trace_usage("--out needs a file path"),
+                    },
+                    "--requests" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                        Some(n) if n > 0 => requests = Some(n),
+                        _ => return trace_usage("--requests needs a positive count"),
+                    },
+                    "--seed" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                        Some(s) => seed = s,
+                        None => return trace_usage("--seed needs an integer"),
+                    },
+                    other => return trace_usage(&format!("unexpected argument: {other}")),
+                }
+            }
+            let Some(mut workload) = workload else {
+                return trace_usage("export needs --workload");
+            };
+            let Some(out) = out else {
+                return trace_usage("export needs --out");
+            };
+            if let Some(n) = requests {
+                workload = workload.with_requests(n);
+            }
+            match pc_experiments::traceio::export(&workload, seed, &out) {
+                Ok(written) => {
+                    println!(
+                        "wrote {written} {} records to {}",
+                        workload.name(),
+                        out.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: exporting to {}: {e}", out.display());
+                    ExitCode::from(1)
+                }
+            }
+        }
+        Some("info") => {
+            let [path] = &args[1..] else {
+                return trace_usage("info takes exactly one FILE.pct argument");
+            };
+            match pc_experiments::traceio::info(std::path::Path::new(path)) {
+                Ok(summary) => {
+                    print!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: reading {path}: {e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        Some(other) => trace_usage(&format!("unknown trace sub-command: {other}")),
+        None => trace_usage("trace needs a sub-command (export or info)"),
+    }
+}
+
+fn trace_usage(error: &str) -> ExitCode {
+    eprintln!("error: {error}\n");
+    eprintln!(
+        "usage: repro trace export --workload <synthetic|oltp|cello96> --out FILE.pct [--requests N] [--seed N]"
+    );
+    eprintln!("       repro trace info FILE.pct");
+    ExitCode::from(2)
+}
+
 fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: repro <experiment|all|bench> [--scale X] [--seed N] [--jobs N] [--reps N] [--check]"
+        "usage: repro <experiment|all|bench> [--scale X] [--seed N] [--jobs N] [--reps N] [--check] [--trace FILE.pct]"
     );
     eprintln!(
         "       repro bench --reps N  measures each cell N times, reporting medians (default 3)"
     );
     eprintln!("       repro bench --check   compares against the committed BENCH_repro.json");
+    eprintln!("       repro --trace FILE.pct <experiment>   replays a binary trace file");
+    eprintln!("       repro trace export|info   converts workloads to/inspects .pct files");
     eprintln!("       REPRO_JOBS=N repro ...   (used when --jobs is absent; 0 = one per core)");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     if error.is_empty() {

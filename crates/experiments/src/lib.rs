@@ -48,6 +48,7 @@ pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod traceio;
 
 mod params;
 mod table;

@@ -38,6 +38,12 @@ pub struct Params {
     /// Worker threads for parameter sweeps (see [`crate::sweep`]);
     /// 0 = one per available core. Results are identical for any value.
     pub jobs: usize,
+    /// File-backed workload override: when set, [`trace`](Self::trace)
+    /// reads this binary `.pct` file (see [`crate::traceio`] and
+    /// `pc-server --capture`) instead of generating the requested
+    /// family, so any experiment can replay a captured or exported
+    /// stream. `scale` and `seed` do not apply to a file-backed trace.
+    pub trace_file: Option<std::path::PathBuf>,
 }
 
 impl Params {
@@ -48,6 +54,7 @@ impl Params {
             scale: 1.0,
             seed: 42,
             jobs: 0,
+            trace_file: None,
         }
     }
 
@@ -59,6 +66,7 @@ impl Params {
             scale: 0.05,
             seed: 42,
             jobs: 0,
+            trace_file: None,
         }
     }
 
@@ -66,6 +74,14 @@ impl Params {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Replays a binary `.pct` trace file in place of every generated
+    /// workload (see [`Self::trace_file`]).
+    #[must_use]
+    pub fn with_trace_file(mut self, path: std::path::PathBuf) -> Self {
+        self.trace_file = Some(path);
         self
     }
 
@@ -104,9 +120,21 @@ impl Params {
             .generate(self.seed)
     }
 
-    /// The trace for a [`TraceKind`].
+    /// The trace for a [`TraceKind`] — or the contents of
+    /// [`trace_file`](Self::trace_file) regardless of `kind` when the
+    /// file override is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the override file cannot be read or fails format/CRC
+    /// validation: a corrupt input must stop the experiment, not shape
+    /// its results.
     #[must_use]
     pub fn trace(&self, kind: TraceKind) -> Trace {
+        if let Some(path) = &self.trace_file {
+            return pc_tracefile::read_trace(path)
+                .unwrap_or_else(|e| panic!("trace file {}: {e}", path.display()));
+        }
         match kind {
             TraceKind::Oltp => self.oltp_trace(),
             TraceKind::Cello => self.cello_trace(),
@@ -148,6 +176,7 @@ mod tests {
             scale: 0.01,
             seed: 1,
             jobs: 0,
+            trace_file: None,
         };
         assert_eq!(p.requests(72_000), 720);
         assert_eq!(p.requests(1_000), 500, "floor applies");

@@ -12,6 +12,7 @@ use pc_server::{
 use pc_trace::Workload;
 
 const USAGE: &str = "usage: pc-loadgen [--addr HOST:PORT] [--workload synthetic|oltp|cello96] \
+[--trace FILE.pct] \
 [--conns N] [--connections N] [--secs S] [--seed N] [--rate REQ_PER_SEC] [--shutdown] \
 [--retry-budget N] [--backoff-us N] [--backoff-cap-us N] [--io-timeout-secs S] \
 [--payload] [--block-bytes N] \
@@ -20,6 +21,9 @@ const USAGE: &str = "usage: pc-loadgen [--addr HOST:PORT] [--workload synthetic|
   --conns drives the hot workload streams; --connections N holds the\n\
   remainder (N - conns) open as mostly-idle sockets to exercise the\n\
   server's event-loop connection scaling.\n\
+  --trace FILE replays a binary .pct trace (see `repro trace export`\n\
+  and `pc-server --capture`) instead of generating --workload; records\n\
+  are dealt round-robin across the hot connections.\n\
   --payload drives the protocol-v2 data plane: writes carry block\n\
   contents, reads are READ_DATA, and every DATA reply is verified\n\
   (CRC32C + exact bytes) against the deterministic disk image.\n\
@@ -116,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 load.io_timeout = Duration::from_secs_f64(secs);
             }
+            "--trace" => load.trace = Some(value("--trace")?.into()),
             "--payload" => load.payload = true,
             "--block-bytes" => {
                 load.block_bytes = value("--block-bytes")?
@@ -179,12 +184,20 @@ fn main() -> ExitCode {
     };
 
     if args.in_process {
+        if args.load.trace.is_some() {
+            eprintln!("pc-loadgen: --trace replays over TCP; drop --in-process");
+            return ExitCode::FAILURE;
+        }
         return run_in_process_mode(&args);
     }
 
+    let source = match &args.load.trace {
+        Some(path) => format!("trace:{}", path.display()),
+        None => args.load.workload.name().to_owned(),
+    };
     println!(
         "pc-loadgen: {} conns={} connections={} secs={} seed={} -> {}",
-        args.load.workload.name(),
+        source,
         args.load.conns,
         args.load.connections.max(args.load.conns),
         args.load.secs,

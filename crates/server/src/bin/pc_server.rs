@@ -35,7 +35,7 @@ fn install_signal_handlers() {
 const USAGE: &str = "usage: pc-server [--addr HOST:PORT] [--shards N] [--disks N] \
 [--policy NAME] [--write-policy NAME] [--cache-blocks N] [--prefetch N] \
 [--shard-queue N] [--slow-shard IDX:MICROS] [--io-threads N] [--legacy-threads] \
-[--block-bytes N] [--corrupt-rate N]\n\
+[--block-bytes N] [--corrupt-rate N] [--capture FILE.pct]\n\
   policies: lru fifo arc mq lirs 2q pa-lru pa-arc pa-mq pa-lirs pa-2q\n\
   write policies: write-back write-through wbeu[:limit] wtdu\n\
   --shard-queue bounds each shard's admission queue (requests); a full\n\
@@ -46,13 +46,18 @@ const USAGE: &str = "usage: pc-server [--addr HOST:PORT] [--shards N] [--disks N
   --block-bytes sets the data-plane block size (READ_DATA/WRITE_DATA\n\
   payload bytes per block, default 4096). --corrupt-rate N flips one\n\
   slab byte before every Nth verified read per shard (0 = off): CRC\n\
-  fault injection — reads answer CORRUPT and STATS counts crc_failures.";
+  fault injection — reads answer CORRUPT and STATS counts crc_failures.\n\
+  --capture records every accepted request into a binary .pct trace\n\
+  file for later replay (pc-loadgen --trace); capture never blocks a\n\
+  shard — when the writer falls behind, records are dropped and the\n\
+  drop count surfaces in STATS and the closing report.";
 
 struct Args {
     addr: String,
     engine: EngineConfig,
     policy_name: String,
     write_name: String,
+    capture: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
     let mut legacy_threads = false;
     let mut block_bytes = pc_server::protocol::DEFAULT_BLOCK_BYTES;
     let mut corrupt_rate = 0u64;
+    let mut capture = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -131,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--corrupt-rate: {e}"))?
             }
+            "--capture" => capture = Some(value("--capture")?.into()),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -166,6 +173,7 @@ fn parse_args() -> Result<Args, String> {
         engine,
         policy_name,
         write_name,
+        capture,
     })
 }
 
@@ -178,13 +186,16 @@ fn main() -> ExitCode {
         }
     };
     install_signal_handlers();
-    let server = match Server::bind(&args.addr, args.engine.clone()) {
+    let mut server = match Server::bind(&args.addr, args.engine.clone()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("pc-server: bind {}: {e}", args.addr);
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.capture {
+        server = server.with_capture(path.clone());
+    }
     let addr = server
         .local_addr()
         .map(|a| a.to_string())
@@ -209,6 +220,9 @@ fn main() -> ExitCode {
             .map(|s| format!(" slow_shard={}:{}us", s.shard, s.micros))
             .unwrap_or_default(),
     );
+    if let Some(path) = &args.capture {
+        println!("pc-server capturing to {}", path.display());
+    }
 
     let stop = server.stop_flag();
     std::thread::spawn(move || loop {
@@ -226,6 +240,14 @@ fn main() -> ExitCode {
                 summary.connections,
                 summary.snapshot.total_requests()
             );
+            if let Some(report) = &summary.capture {
+                println!(
+                    "pc-server captured {} records to {} ({} dropped)",
+                    report.written,
+                    report.path.display(),
+                    report.dropped,
+                );
+            }
             print!("{}", summary.snapshot.render_table());
             ExitCode::SUCCESS
         }

@@ -43,6 +43,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capture;
 pub mod conn;
 pub mod data;
 pub mod loadgen;
@@ -54,6 +55,7 @@ pub mod server;
 pub mod shard;
 pub mod stats;
 
+pub use capture::{Capture, CaptureReport, CaptureRing, DEFAULT_CAPTURE_QUEUE};
 pub use conn::Conn;
 pub use data::{fill_block, BlockStore};
 pub use loadgen::{run_in_process, run_tcp, InProcReport, LoadReport, LoadgenConfig};
@@ -63,4 +65,4 @@ pub use shard::{
     online_policy, parse_slow_shard, parse_write_policy, shard_of, EngineConfig, InProcCluster,
     ShardEngine, SlowShard, SubmitOutcome, DEFAULT_QUEUE_BOUND, ONLINE_POLICIES,
 };
-pub use stats::{parse_stats_json, ClusterSnapshot, ShardSnapshot, StatsSummary};
+pub use stats::{parse_stats_json, CaptureSnapshot, ClusterSnapshot, ShardSnapshot, StatsSummary};

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pc_cache::IntervalHistogram;
-use pc_trace::{IoOp, Workload};
+use pc_trace::{IoOp, Record, RecordStream, Workload};
 use pc_units::SimDuration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,6 +88,12 @@ pub struct LoadgenConfig {
     /// Payload bytes per block in `payload` mode; must match the
     /// server's block size.
     pub block_bytes: usize,
+    /// Replay a binary `.pct` trace file instead of generating
+    /// `workload`: records are read up front and dealt round-robin
+    /// across the hot connections (each connection's subsequence keeps
+    /// file order), so a captured production stream drives the server
+    /// without recompiling.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl LoadgenConfig {
@@ -110,6 +116,7 @@ impl LoadgenConfig {
             io_timeout: Duration::from_secs(10),
             payload: false,
             block_bytes: DEFAULT_BLOCK_BYTES,
+            trace: None,
         }
     }
 
@@ -298,6 +305,22 @@ impl LoadReport {
 pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
     assert!(cfg.conns > 0, "need at least one connection");
 
+    // File replay: read the whole trace once and deal its records
+    // round-robin across the hot connections, preserving file order
+    // within each connection's subsequence.
+    let mut trace_parts: Vec<Option<Vec<Record>>> = match &cfg.trace {
+        Some(path) => {
+            let reader = pc_tracefile::open(path)?;
+            let records = reader.collect::<std::io::Result<Vec<Record>>>()?;
+            let mut parts = vec![Vec::with_capacity(records.len() / cfg.conns + 1); cfg.conns];
+            for (i, r) in records.into_iter().enumerate() {
+                parts[i % cfg.conns].push(r);
+            }
+            parts.into_iter().map(Some).collect()
+        }
+        None => Vec::new(),
+    };
+
     // High-count mode: everything past the hot `conns` is a
     // mostly-idle connection — opened up front, served one request,
     // then held silent so the final STATS snapshot observes the full
@@ -329,7 +352,10 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let mut handles = Vec::with_capacity(cfg.conns);
     for conn in 0..cfg.conns {
         let addr = cfg.addr.clone();
-        let stream = cfg.stream_for(conn);
+        let stream = match trace_parts.get_mut(conn).and_then(Option::take) {
+            Some(part) => RecordStream::from_records(part),
+            None => cfg.stream_for(conn),
+        };
         let pace_ns = cfg
             .rate
             .map(|r| ((1e9 * cfg.conns as f64) / r.max(1.0)) as u64);

@@ -55,12 +55,13 @@ use std::time::{Duration, Instant};
 
 use pc_units::SimTime;
 
+use crate::capture::{Capture, CaptureReport, CaptureRing, DEFAULT_CAPTURE_QUEUE};
 use crate::conn::{Conn, FillOutcome};
 use crate::poller::{Event, Interest, Poller, Waker};
 use crate::protocol::{self, FrameBuf, Request, Response};
 use crate::queue::{self, QueueReceiver, QueueSender, TryPushError};
 use crate::shard::{shard_of, EngineConfig, ShardEngine};
-use crate::stats::{ClusterSnapshot, IoThreadSnapshot, ShardSnapshot};
+use crate::stats::{CaptureSnapshot, ClusterSnapshot, IoThreadSnapshot, ShardSnapshot};
 use pc_units::{BlockNo, DiskId};
 
 /// Flush a connection's pending batch to its shard once it holds this
@@ -194,6 +195,7 @@ pub struct Server {
     engine: EngineConfig,
     stop: Arc<AtomicBool>,
     idle_timeout: Duration,
+    capture: Option<std::path::PathBuf>,
 }
 
 /// What a completed run hands back for the closing report.
@@ -204,6 +206,8 @@ pub struct RunSummary {
     pub snapshot: ClusterSnapshot,
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
+    /// The closing capture report when `--capture` recorded the run.
+    pub capture: Option<CaptureReport>,
 }
 
 impl Server {
@@ -219,7 +223,18 @@ impl Server {
             engine,
             stop: Arc::new(AtomicBool::new(false)),
             idle_timeout: IDLE_TIMEOUT,
+            capture: None,
         })
+    }
+
+    /// Records every request the shards accept into a binary `.pct`
+    /// trace file at `path` (see [`crate::capture`]). Capture never
+    /// blocks a shard: when the writer falls behind, records are
+    /// dropped and counted instead.
+    #[must_use]
+    pub fn with_capture(mut self, path: std::path::PathBuf) -> Self {
+        self.capture = Some(path);
+        self
     }
 
     /// Overrides the per-connection idle timeout (default 60 s): a peer
@@ -271,10 +286,26 @@ impl Server {
         }
     }
 
-    /// Builds the shard threads; shared by both front-ends.
+    /// Starts the live trace capture when configured; `None` otherwise.
+    fn start_capture(&self) -> std::io::Result<Option<Capture>> {
+        match &self.capture {
+            Some(path) => Ok(Some(Capture::start(
+                path,
+                self.engine.disks,
+                DEFAULT_CAPTURE_QUEUE,
+            )?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Builds the shard threads; shared by both front-ends. Each shard
+    /// holds its own handle to the capture ring (when capturing) so the
+    /// writer thread's channel disconnects exactly when the last shard
+    /// joins.
     fn spawn_shards(
         &self,
         busy_gauges: &Arc<Vec<AtomicU64>>,
+        capture: Option<&Arc<CaptureRing>>,
     ) -> (
         Vec<QueueSender<ShardMsg>>,
         Vec<std::thread::JoinHandle<ShardSnapshot>>,
@@ -287,8 +318,9 @@ impl Server {
             shard_txs.push(tx);
             let gauges = Arc::clone(busy_gauges);
             let delay_us = self.engine.slow_delay_micros(id);
+            let ring = capture.map(Arc::clone);
             shard_joins.push(std::thread::spawn(move || {
-                shard_main(engine, &rx, &gauges[id], delay_us)
+                shard_main(engine, &rx, &gauges[id], delay_us, ring.as_deref())
             }));
         }
         (shard_txs, shard_joins)
@@ -302,7 +334,9 @@ impl Server {
 
         let busy_gauges: Arc<Vec<AtomicU64>> =
             Arc::new((0..self.engine.shards).map(|_| AtomicU64::new(0)).collect());
-        let (shard_txs, shard_joins) = self.spawn_shards(&busy_gauges);
+        let capture = self.start_capture()?;
+        let capture_ring = capture.as_ref().map(Capture::ring);
+        let (shard_txs, shard_joins) = self.spawn_shards(&busy_gauges, capture_ring.as_ref());
         let shard_txs = Arc::new(shard_txs);
 
         let nthreads = effective_io_threads(self.engine.io_threads);
@@ -335,6 +369,7 @@ impl Server {
                 names: (policy.clone(), write_policy.clone()),
                 idle_timeout: self.idle_timeout,
                 block_bytes: self.engine.block_bytes,
+                capture: capture_ring.as_ref().map(Arc::clone),
             };
             io_joins.push(std::thread::spawn(move || io_thread_main(ctx)));
         }
@@ -373,9 +408,13 @@ impl Server {
             .into_iter()
             .map(|j| j.join().expect("shard thread panicked"))
             .collect();
+        let (final_capture, report) = finish_capture(capture, capture_ring)?;
         Ok(RunSummary {
-            snapshot: ClusterSnapshot::new(policy, write_policy, shards).with_io(io),
+            snapshot: ClusterSnapshot::new(policy, write_policy, shards)
+                .with_io(io)
+                .with_capture(final_capture),
             connections,
+            capture: report,
         })
     }
 
@@ -388,7 +427,9 @@ impl Server {
 
         let busy_gauges: Arc<Vec<AtomicU64>> =
             Arc::new((0..self.engine.shards).map(|_| AtomicU64::new(0)).collect());
-        let (shard_txs, shard_joins) = self.spawn_shards(&busy_gauges);
+        let capture = self.start_capture()?;
+        let capture_ring = capture.as_ref().map(Capture::ring);
+        let (shard_txs, shard_joins) = self.spawn_shards(&busy_gauges, capture_ring.as_ref());
         let shard_txs = Arc::new(shard_txs);
 
         self.listener.set_nonblocking(true)?;
@@ -404,6 +445,7 @@ impl Server {
                     let names = (policy.clone(), write_policy.clone());
                     let idle_timeout = self.idle_timeout;
                     let block_bytes = self.engine.block_bytes;
+                    let ring = capture_ring.as_ref().map(Arc::clone);
                     conn_joins.push(std::thread::spawn(move || {
                         // A dead connection is the client's problem, not
                         // the daemon's.
@@ -416,6 +458,7 @@ impl Server {
                             &gauges,
                             idle_timeout,
                             block_bytes,
+                            ring.as_deref(),
                         );
                     }));
                 }
@@ -437,11 +480,30 @@ impl Server {
             .into_iter()
             .map(|j| j.join().expect("shard thread panicked"))
             .collect();
+        let (final_capture, report) = finish_capture(capture, capture_ring)?;
         Ok(RunSummary {
-            snapshot: ClusterSnapshot::new(policy, write_policy, shards),
+            snapshot: ClusterSnapshot::new(policy, write_policy, shards)
+                .with_capture(final_capture),
             connections,
+            capture: report,
         })
     }
+}
+
+/// Tears down a running capture after every shard has joined: read the
+/// final gauges, release the front-end's ring handle so the writer's
+/// channel disconnects, and wait for the file to finalize.
+fn finish_capture(
+    capture: Option<Capture>,
+    ring: Option<Arc<CaptureRing>>,
+) -> std::io::Result<(Option<CaptureSnapshot>, Option<CaptureReport>)> {
+    let Some(capture) = capture else {
+        return Ok((None, None));
+    };
+    let snap = ring.as_ref().map(|r| r.snapshot());
+    drop(ring);
+    let report = capture.finish()?;
+    Ok((snap, Some(report)))
 }
 
 /// Resolves the IO-thread count: explicit, or a quarter of the
@@ -474,6 +536,8 @@ struct IoThreadCtx {
     /// The engine's block size; sizes the per-connection frame cap and
     /// validates data-request payload lengths.
     block_bytes: usize,
+    /// The live capture gauges, for `STATS` (`None` when not capturing).
+    capture: Option<Arc<CaptureRing>>,
 }
 
 /// One multiplexed connection's slab slot.
@@ -832,8 +896,12 @@ impl EventLoop {
                     self.submit_all(entry);
                     self.gauges().frames.fetch_add(decoded, Ordering::Relaxed);
                     decoded = 0;
-                    let json =
-                        collect_stats(&self.ctx.shard_txs, &self.ctx.names, &self.ctx.io_gauges);
+                    let json = collect_stats(
+                        &self.ctx.shard_txs,
+                        &self.ctx.names,
+                        &self.ctx.io_gauges,
+                        self.ctx.capture.as_deref(),
+                    );
                     // Shards answer Stats *after* the batches queued ahead
                     // of it (FIFO), so every IO reply that must precede
                     // this snapshot is already on the hub: deliver them
@@ -1009,6 +1077,7 @@ fn shard_main(
     rx: &QueueReceiver<ShardMsg>,
     busy: &AtomicU64,
     delay_us: u64,
+    capture: Option<&CaptureRing>,
 ) -> ShardSnapshot {
     let delay = (delay_us > 0).then(|| Duration::from_micros(delay_us));
     while let Some(msg) = rx.pop() {
@@ -1018,6 +1087,12 @@ fn shard_main(
                 for r in &batch {
                     if let Some(d) = delay {
                         std::thread::sleep(d);
+                    }
+                    if let Some(cap) = capture {
+                        // Non-blocking by construction: a full ring
+                        // drops and counts instead of stalling the
+                        // shard's request loop.
+                        cap.record(r.at_us, r.disk, r.block, r.blocks, r.write);
                     }
                     let outcome = engine.ingest(
                         SimTime::from_micros(r.at_us),
@@ -1103,6 +1178,7 @@ fn serve_conn(
     busy_gauges: &[AtomicU64],
     idle_timeout: Duration,
     block_bytes: usize,
+    capture: Option<&CaptureRing>,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
@@ -1120,6 +1196,7 @@ fn serve_conn(
         busy_gauges,
         idle_timeout,
         block_bytes,
+        capture,
     );
     let _ = writer_tx.send(WriterMsg::Close);
     drop(writer_tx);
@@ -1138,6 +1215,7 @@ fn read_loop(
     busy_gauges: &[AtomicU64],
     idle_timeout: Duration,
     block_bytes: usize,
+    capture: Option<&CaptureRing>,
 ) -> std::io::Result<()> {
     let nshards = shard_txs.len();
     let mut fb = FrameBuf::new().with_max_frame(protocol::max_request_frame(block_bytes));
@@ -1218,7 +1296,7 @@ fn read_loop(
                 }
                 Ok(Some(Request::Stats { seq })) => {
                     flush_all(&mut batches, shard_txs, writer_tx, busy_gauges);
-                    let json = collect_stats(shard_txs, names, &[]);
+                    let json = collect_stats(shard_txs, names, &[], capture);
                     let mut out = Vec::with_capacity(json.len() + 16);
                     protocol::encode_response(&Response::Stats { seq, json }, &mut out);
                     let _ = writer_tx.send(WriterMsg::Bytes(out));
@@ -1312,6 +1390,7 @@ fn collect_stats(
     shard_txs: &[QueueSender<ShardMsg>],
     names: &(String, String),
     io_gauges: &[IoGauges],
+    capture: Option<&CaptureRing>,
 ) -> String {
     let (tx, rx) = channel();
     for s in shard_txs {
@@ -1333,6 +1412,7 @@ fn collect_stats(
     };
     ClusterSnapshot::new(names.0.clone(), names.1.clone(), snaps)
         .with_io(io_snapshots(io_gauges))
+        .with_capture(capture.map(CaptureRing::snapshot))
         .to_json()
 }
 

@@ -138,6 +138,27 @@ impl IoThreadSnapshot {
     }
 }
 
+/// The capture ring's gauges (`--capture` mode only): how many accepted
+/// requests made it into the trace file's ring, and how many were
+/// dropped because the ring was full — the never-block contract's
+/// visible cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaptureSnapshot {
+    /// Records accepted into the capture ring.
+    pub recorded: u64,
+    /// Records dropped at a full ring (absent from the trace file).
+    pub dropped: u64,
+}
+
+impl CaptureSnapshot {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"recorded\":{},\"dropped\":{}}}",
+            self.recorded, self.dropped
+        )
+    }
+}
+
 /// The whole cluster's statistics: one [`ShardSnapshot`] per shard plus
 /// the policy identity, merged totals on demand.
 #[derive(Debug, Clone)]
@@ -151,6 +172,9 @@ pub struct ClusterSnapshot {
     /// Per-IO-thread gauges; empty on the legacy and in-process paths,
     /// where the JSON stays byte-identical to pre-event-loop servers.
     pub io: Vec<IoThreadSnapshot>,
+    /// Capture-ring gauges; `None` unless the server runs `--capture`,
+    /// keeping capture-less JSON byte-identical to older servers.
+    pub capture: Option<CaptureSnapshot>,
 }
 
 impl ClusterSnapshot {
@@ -171,6 +195,7 @@ impl ClusterSnapshot {
             write_policy,
             shards,
             io: Vec::new(),
+            capture: None,
         }
     }
 
@@ -179,6 +204,14 @@ impl ClusterSnapshot {
     #[must_use]
     pub fn with_io(mut self, io: Vec<IoThreadSnapshot>) -> Self {
         self.io = io;
+        self
+    }
+
+    /// Attaches the capture-ring gauges (`--capture` mode). `None`
+    /// leaves the JSON identical to a snapshot without capture.
+    #[must_use]
+    pub fn with_capture(mut self, capture: Option<CaptureSnapshot>) -> Self {
+        self.capture = capture;
         self
     }
 
@@ -287,6 +320,12 @@ impl ClusterSnapshot {
             }
             out.push(']');
         }
+        // Emitted only under --capture, for the same byte-identity
+        // reason as the io section.
+        if let Some(capture) = self.capture {
+            out.push_str(",\"capture\":");
+            out.push_str(&capture.to_json());
+        }
         let cache = self.total_cache();
         let hist = self.merged_hist();
         let requests = self.total_requests();
@@ -354,6 +393,12 @@ impl ClusterSnapshot {
             self.total_busy_rejects(),
             self.max_queue_high_water(),
         ));
+        if let Some(capture) = self.capture {
+            out.push_str(&format!(
+                "capture: recorded={} dropped={}\n",
+                capture.recorded, capture.dropped
+            ));
+        }
         if !self.io.is_empty() {
             out.push_str(
                 "io      conns    wakeups     frames  frames/wake  writeback_b   buffer_b\n",
@@ -403,6 +448,11 @@ pub struct StatsSummary {
     pub io_connections: u64,
     /// Buffer footprint across IO threads (0 without an `io` section).
     pub io_buffer_bytes: u64,
+    /// Records accepted into the capture ring (0 when the snapshot
+    /// carries no `capture` section — servers not running `--capture`).
+    pub capture_recorded: u64,
+    /// Records dropped at a full capture ring (0 without capture).
+    pub capture_dropped: u64,
 }
 
 /// Extracts a [`StatsSummary`] from a STATS JSON payload, validating
@@ -462,6 +512,22 @@ pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
         io_buffer_bytes += num_after(rest, "\"buffer_bytes\":")?.parse::<u64>().ok()?;
         rest = &rest[14..];
     }
+    // The optional "capture" section (between io and total); absent on
+    // servers not running --capture, and on older snapshots: zero.
+    let (capture_recorded, capture_dropped) = match s.find("\"capture\":{") {
+        Some(at) => {
+            let cap = &s[at..];
+            (
+                num_after(cap, "\"recorded\":")
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or(0),
+                num_after(cap, "\"dropped\":")
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or(0),
+            )
+        }
+        None => (0, 0),
+    };
     let mut shard_energy_j = Vec::new();
     let mut rest = shard_part;
     while let Some(at) = rest.find("\"energy_j\":") {
@@ -479,6 +545,8 @@ pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
         shard_energy_j,
         io_connections,
         io_buffer_bytes,
+        capture_recorded,
+        capture_dropped,
     })
 }
 
@@ -651,6 +719,40 @@ mod tests {
         let table = c.render_table();
         assert!(table.contains("frames/wake"));
         assert!(table.contains("1000"));
+    }
+
+    #[test]
+    fn capture_section_is_absent_by_default_and_roundtrips_when_attached() {
+        let plain = cluster();
+        let with_none = cluster().with_capture(None);
+        assert_eq!(
+            plain.to_json(),
+            with_none.to_json(),
+            "a None capture must not perturb the JSON bytes"
+        );
+        assert!(!plain.to_json().contains("\"capture\":"));
+        let summary = parse_stats_json(&plain.to_json()).unwrap();
+        assert_eq!((summary.capture_recorded, summary.capture_dropped), (0, 0));
+
+        let c = cluster().with_capture(Some(CaptureSnapshot {
+            recorded: 1_234,
+            dropped: 56,
+        }));
+        let json = c.to_json();
+        assert!(json.contains("\"capture\":{\"recorded\":1234,\"dropped\":56}"));
+        let cap_at = json.find("\"capture\":").unwrap();
+        assert!(
+            json.find("\"shards\":").unwrap() < cap_at
+                && cap_at < json.rfind("\"total\":").unwrap(),
+            "capture section must sit between shards and total"
+        );
+        let summary = parse_stats_json(&json).expect("capture-bearing snapshot parses");
+        assert_eq!(summary.capture_recorded, 1_234);
+        assert_eq!(summary.capture_dropped, 56);
+        assert_eq!(summary.requests, 40, "totals still parse");
+        assert!(c
+            .render_table()
+            .contains("capture: recorded=1234 dropped=56"));
     }
 
     #[test]

@@ -117,6 +117,18 @@ pub struct RecordStream {
     inner: StreamInner,
 }
 
+impl RecordStream {
+    /// Streams pre-materialized records — the adapter file-backed sources
+    /// (e.g. replayed binary trace files) use to feed consumers of the
+    /// generator streams.
+    #[must_use]
+    pub fn from_records(records: Vec<Record>) -> RecordStream {
+        RecordStream {
+            inner: StreamInner::Eager(records.into_iter()),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum StreamInner {
     Lazy(SyntheticStream),
@@ -165,6 +177,14 @@ mod tests {
             let t = Trace::from_records(w.disk_count(), streamed);
             assert_eq!(t.disk_count(), w.disk_count());
         }
+    }
+
+    #[test]
+    fn from_records_streams_verbatim() {
+        let w = Workload::parse("synthetic").unwrap().with_requests(50);
+        let records: Vec<Record> = w.stream(9).collect();
+        let replayed: Vec<Record> = RecordStream::from_records(records.clone()).collect();
+        assert_eq!(replayed, records);
     }
 
     #[test]

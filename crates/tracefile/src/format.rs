@@ -1,0 +1,251 @@
+//! On-disk layout of `.pct` trace files: header and record codecs.
+//!
+//! Everything is fixed-width little-endian. The file opens with a 32-byte
+//! header, followed by a sequence of chunks, each a run of 32-byte records
+//! bracketed by an 8-byte chunk head (record count) and an 8-byte footer
+//! carrying the CRC32C of the chunk's record bytes. A chunk head with a
+//! record count of zero is the end-of-stream marker. See `DESIGN.md` for
+//! the full byte-layout table.
+
+use std::io;
+
+use pc_trace::{IoOp, Record};
+use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+
+/// File magic: the first eight bytes of every `.pct` file.
+pub const MAGIC: [u8; 8] = *b"PCTRACE\0";
+
+/// Current format version, written into and required from the header.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Size of the file header, in bytes.
+pub const HEADER_BYTES: usize = 32;
+
+/// Size of one encoded record, in bytes.
+pub const RECORD_BYTES: usize = 32;
+
+/// Size of a chunk head (record count + reserved word), in bytes.
+pub const CHUNK_HEAD_BYTES: usize = 8;
+
+/// Size of a chunk footer (CRC32C + reserved word), in bytes.
+pub const CHUNK_FOOT_BYTES: usize = 8;
+
+/// Default number of records per full chunk.
+pub const DEFAULT_CHUNK_RECORDS: u32 = 4_096;
+
+/// Header sentinel meaning "record count unknown" (streamed capture that
+/// could not be finalized in place).
+pub const RECORD_COUNT_UNKNOWN: u64 = u64::MAX;
+
+/// Builds an [`io::Error`] of kind `InvalidData` — the uniform failure
+/// mode for malformed trace files.
+pub(crate) fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// The decoded file header: format identity plus disk geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format version (currently always [`FORMAT_VERSION`]).
+    pub version: u16,
+    /// Number of disks in the array the trace addresses; every record's
+    /// disk index must be below this.
+    pub disk_count: u32,
+    /// Total record count, or `None` when the writer could not seek back
+    /// to finalize the header (pure streaming).
+    pub record_count: Option<u64>,
+    /// Capacity of a full chunk, in records. Every chunk except the last
+    /// data chunk holds exactly this many records.
+    pub chunk_records: u32,
+}
+
+impl Header {
+    /// Creates a header for a new file.
+    #[must_use]
+    pub fn new(disk_count: u32, chunk_records: u32) -> Header {
+        Header {
+            version: FORMAT_VERSION,
+            disk_count,
+            record_count: None,
+            chunk_records,
+        }
+    }
+
+    /// Encodes the header into its 32-byte on-disk form.
+    #[must_use]
+    pub fn encode(&self) -> [u8; HEADER_BYTES] {
+        let mut out = [0u8; HEADER_BYTES];
+        out[0..8].copy_from_slice(&MAGIC);
+        out[8..10].copy_from_slice(&self.version.to_le_bytes());
+        // Bytes 10..12 are flags, reserved (zero) in v1.
+        out[12..16].copy_from_slice(&self.disk_count.to_le_bytes());
+        let count = self.record_count.unwrap_or(RECORD_COUNT_UNKNOWN);
+        out[16..24].copy_from_slice(&count.to_le_bytes());
+        out[24..28].copy_from_slice(&self.chunk_records.to_le_bytes());
+        // Bytes 28..32 reserved (zero).
+        out
+    }
+
+    /// Decodes and validates a 32-byte header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic, an unsupported version,
+    /// non-zero reserved fields, or degenerate geometry.
+    pub fn decode(bytes: &[u8; HEADER_BYTES]) -> io::Result<Header> {
+        if bytes[0..8] != MAGIC {
+            return Err(bad("not a .pct trace file (bad magic)".into()));
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version != FORMAT_VERSION {
+            return Err(bad(format!(
+                "unsupported trace format version {version} (this reader handles {FORMAT_VERSION})"
+            )));
+        }
+        let flags = u16::from_le_bytes([bytes[10], bytes[11]]);
+        if flags != 0 {
+            return Err(bad(format!("unknown header flags {flags:#06x}")));
+        }
+        let disk_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        if disk_count == 0 {
+            return Err(bad("trace header declares zero disks".into()));
+        }
+        let raw_count = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let record_count = (raw_count != RECORD_COUNT_UNKNOWN).then_some(raw_count);
+        let chunk_records = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+        if chunk_records == 0 {
+            return Err(bad("trace header declares zero-record chunks".into()));
+        }
+        if bytes[28..32] != [0u8; 4] {
+            return Err(bad("non-zero reserved header bytes".into()));
+        }
+        Ok(Header {
+            version,
+            disk_count,
+            record_count,
+            chunk_records,
+        })
+    }
+}
+
+/// Encodes one record into its 32-byte on-disk form.
+#[must_use]
+pub fn encode_record(r: &Record) -> [u8; RECORD_BYTES] {
+    let mut out = [0u8; RECORD_BYTES];
+    out[0..8].copy_from_slice(&r.time.as_micros().to_le_bytes());
+    out[8..16].copy_from_slice(&r.block.block().number().to_le_bytes());
+    out[16..24].copy_from_slice(&r.blocks.to_le_bytes());
+    out[24..28].copy_from_slice(&r.block.disk().index().to_le_bytes());
+    out[28] = u8::from(r.op.is_write());
+    // Bytes 29..32 are padding, always zero.
+    out
+}
+
+/// Decodes and validates one 32-byte record against `disk_count`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the op byte or padding is malformed, the
+/// transfer length is zero, or the disk index is out of range.
+pub fn decode_record(bytes: &[u8; RECORD_BYTES], disk_count: u32) -> io::Result<Record> {
+    let time = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    let block = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let blocks = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let disk = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+    let op = match bytes[28] {
+        0 => IoOp::Read,
+        1 => IoOp::Write,
+        other => return Err(bad(format!("bad op byte {other:#04x}"))),
+    };
+    if bytes[29..32] != [0u8; 3] {
+        return Err(bad("non-zero record padding".into()));
+    }
+    if blocks == 0 {
+        return Err(bad("record transfers zero blocks".into()));
+    }
+    if disk >= disk_count {
+        return Err(bad(format!(
+            "record addresses disk {disk} but the trace has {disk_count} disks"
+        )));
+    }
+    Ok(Record {
+        time: SimTime::from_micros(time),
+        block: BlockId::new(DiskId::new(disk), BlockNo::new(block)),
+        blocks,
+        op,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let mut h = Header::new(21, 512);
+        h.record_count = Some(1_000);
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+        h.record_count = None;
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_malformations() {
+        let good = Header::new(4, 16).encode();
+        let mut bad_magic = good;
+        bad_magic[0] = b'X';
+        assert!(Header::decode(&bad_magic).is_err());
+        let mut bad_version = good;
+        bad_version[8] = 99;
+        assert!(Header::decode(&bad_version).is_err());
+        let mut bad_flags = good;
+        bad_flags[10] = 1;
+        assert!(Header::decode(&bad_flags).is_err());
+        let mut zero_disks = good;
+        zero_disks[12..16].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Header::decode(&zero_disks).is_err());
+        let mut zero_chunk = good;
+        zero_chunk[24..28].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Header::decode(&zero_chunk).is_err());
+        let mut dirty_reserved = good;
+        dirty_reserved[30] = 7;
+        assert!(Header::decode(&dirty_reserved).is_err());
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let r = Record {
+            time: SimTime::from_micros(123_456_789),
+            block: BlockId::new(DiskId::new(3), BlockNo::new(987_654_321)),
+            blocks: 64,
+            op: IoOp::Write,
+        };
+        assert_eq!(decode_record(&encode_record(&r), 4).unwrap(), r);
+    }
+
+    #[test]
+    fn record_rejects_malformations() {
+        let r = Record::new(
+            SimTime::from_micros(1),
+            BlockId::new(DiskId::new(0), BlockNo::new(9)),
+            IoOp::Read,
+        );
+        let good = encode_record(&r);
+        let mut bad_op = good;
+        bad_op[28] = 2;
+        assert!(decode_record(&bad_op, 1).is_err());
+        let mut bad_pad = good;
+        bad_pad[31] = 1;
+        assert!(decode_record(&bad_pad, 1).is_err());
+        let mut zero_len = good;
+        zero_len[16..24].copy_from_slice(&0u64.to_le_bytes());
+        assert!(decode_record(&zero_len, 1).is_err());
+        // Disk out of range for a 1-disk header.
+        let far = Record::new(
+            SimTime::from_micros(1),
+            BlockId::new(DiskId::new(5), BlockNo::new(9)),
+            IoOp::Read,
+        );
+        assert!(decode_record(&encode_record(&far), 1).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Binary `.pct` trace files.
+//!
+//! The batch drivers and the load generator both speak [`pc_trace`]
+//! records; this crate gives those records a compact, versioned on-disk
+//! form so traces can move between processes and machines: the synthetic
+//! generators export to files, `pc-server --capture` records live load,
+//! and `pc-loadgen --trace` / the batch harness replay either without
+//! recompiling.
+//!
+//! The format is fixed-width little-endian throughout: a 32-byte header
+//! (magic, version, disk geometry, record count) followed by chunks of
+//! 32-byte records, each chunk closed by a CRC32C footer (computed by
+//! [`pc_crc`]), and a zero-record chunk as the end-of-stream marker. It
+//! reads two ways:
+//!
+//! * **Streamed** — [`TraceReader`] wraps any [`std::io::Read`], verifying
+//!   each chunk's CRC before yielding its records.
+//! * **Zero-parse** — [`TraceSlice`] views a whole in-memory (e.g.
+//!   memory-mapped) file; after one validation pass, random access is
+//!   pure offset arithmetic over the fixed-width records.
+//!
+//! Corrupt input — truncation, bit flips, bad geometry — always surfaces
+//! as a clean [`std::io::Error`], never a panic.
+//!
+//! # Examples
+//!
+//! ```
+//! use pc_trace::Workload;
+//! use pc_tracefile::{TraceReader, TraceWriter};
+//!
+//! // Export 100 synthetic records to an in-memory "file"...
+//! let workload = Workload::parse("synthetic").unwrap().with_requests(100);
+//! let mut writer = TraceWriter::new(Vec::new(), workload.disk_count()).unwrap();
+//! for record in workload.stream(7) {
+//!     writer.push(record).unwrap();
+//! }
+//! let (bytes, count) = writer.finish().unwrap();
+//! assert_eq!(count, 100);
+//!
+//! // ...and replaying it yields the exact same records.
+//! let replayed: Vec<_> = TraceReader::new(bytes.as_slice())
+//!     .unwrap()
+//!     .collect::<std::io::Result<_>>()
+//!     .unwrap();
+//! assert_eq!(replayed, workload.stream(7).collect::<Vec<_>>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod format;
+mod reader;
+mod slice;
+mod writer;
+
+pub use format::{
+    decode_record, encode_record, Header, CHUNK_FOOT_BYTES, CHUNK_HEAD_BYTES,
+    DEFAULT_CHUNK_RECORDS, FORMAT_VERSION, HEADER_BYTES, MAGIC, RECORD_BYTES, RECORD_COUNT_UNKNOWN,
+};
+pub use reader::{open, read_trace, TraceReader};
+pub use slice::TraceSlice;
+pub use writer::{write_records, write_trace, TraceFileWriter, TraceWriter};

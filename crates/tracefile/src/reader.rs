@@ -1,0 +1,204 @@
+//! Streaming `.pct` readers.
+
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::path::Path;
+
+use pc_crc::crc32c;
+use pc_trace::{Record, Trace};
+
+use crate::format::{bad, decode_record, Header, HEADER_BYTES, RECORD_BYTES};
+use crate::{CHUNK_FOOT_BYTES, CHUNK_HEAD_BYTES};
+
+/// Streams records out of any [`Read`] source in `.pct` format.
+///
+/// The reader yields records in file order (a live capture may be
+/// time-unsorted across connections — use [`read_trace`] to get a sorted
+/// [`Trace`]). Each chunk's CRC32C footer is verified before any of its
+/// records are yielded, so a bit flip anywhere in a chunk surfaces as a
+/// clean `InvalidData` error, and truncation as `UnexpectedEof` — never a
+/// panic.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    header: Header,
+    /// Verified record bytes of the current chunk.
+    chunk: Vec<u8>,
+    /// Byte offset of the next record within `chunk`.
+    next: usize,
+    yielded: u64,
+    /// Set once the end marker has been consumed or an error was yielded.
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the file header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a malformed header or any source error.
+    pub fn new(mut source: R) -> io::Result<TraceReader<R>> {
+        let mut head = [0u8; HEADER_BYTES];
+        source.read_exact(&mut head).map_err(short_header)?;
+        let header = Header::decode(&head)?;
+        Ok(TraceReader {
+            source,
+            header,
+            chunk: Vec::new(),
+            next: 0,
+            yielded: 0,
+            done: false,
+        })
+    }
+
+    /// The decoded file header.
+    #[must_use]
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Number of disks the trace addresses.
+    #[must_use]
+    pub fn disk_count(&self) -> u32 {
+        self.header.disk_count
+    }
+
+    /// Total record count, if the writer finalized the header.
+    #[must_use]
+    pub fn record_count(&self) -> Option<u64> {
+        self.header.record_count
+    }
+
+    /// Loads and verifies the next chunk. Returns `false` at the end
+    /// marker (after checking the declared record count and that nothing
+    /// trails it).
+    fn load_chunk(&mut self) -> io::Result<bool> {
+        let mut head = [0u8; CHUNK_HEAD_BYTES];
+        self.source.read_exact(&mut head).map_err(truncated)?;
+        let count = u32::from_le_bytes(head[0..4].try_into().unwrap());
+        if head[4..8] != [0u8; 4] {
+            return Err(bad("non-zero reserved chunk-head bytes".into()));
+        }
+        if count > self.header.chunk_records {
+            return Err(bad(format!(
+                "chunk holds {count} records but the header caps chunks at {}",
+                self.header.chunk_records
+            )));
+        }
+        self.chunk.resize(count as usize * RECORD_BYTES, 0);
+        self.source.read_exact(&mut self.chunk).map_err(truncated)?;
+        let mut foot = [0u8; CHUNK_FOOT_BYTES];
+        self.source.read_exact(&mut foot).map_err(truncated)?;
+        let stored = u32::from_le_bytes(foot[0..4].try_into().unwrap());
+        if foot[4..8] != [0u8; 4] {
+            return Err(bad("non-zero reserved chunk-footer bytes".into()));
+        }
+        let computed = crc32c(&self.chunk);
+        if stored != computed {
+            return Err(bad(format!(
+                "chunk CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
+        self.next = 0;
+        if count == 0 {
+            // End marker: the declared total (if any) must match, and the
+            // stream must end here.
+            if let Some(declared) = self.header.record_count {
+                if declared != self.yielded {
+                    return Err(bad(format!(
+                        "header declares {declared} records but the stream holds {}",
+                        self.yielded
+                    )));
+                }
+            }
+            let mut probe = [0u8; 1];
+            if self.source.read(&mut probe)? != 0 {
+                return Err(bad("trailing bytes after the end marker".into()));
+            }
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Pulls the next record, refilling the chunk buffer as needed.
+    fn next_record(&mut self) -> io::Result<Option<Record>> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.next == self.chunk.len() && !self.load_chunk()? {
+            self.done = true;
+            return Ok(None);
+        }
+        let bytes: &[u8; RECORD_BYTES] = self.chunk[self.next..self.next + RECORD_BYTES]
+            .try_into()
+            .unwrap();
+        let record = decode_record(bytes, self.header.disk_count)?;
+        self.next += RECORD_BYTES;
+        self.yielded += 1;
+        Ok(Some(record))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<Record>;
+
+    fn next(&mut self) -> Option<io::Result<Record>> {
+        match self.next_record() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => None,
+            Err(e) => {
+                // An error is terminal: don't spin on a corrupt source.
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Maps a short read of the file header to a clearer error.
+fn short_header(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated trace file: incomplete header",
+        )
+    } else {
+        e
+    }
+}
+
+/// Maps a short read inside a chunk to a clearer error.
+fn truncated(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated trace file: stream ends mid-chunk (missing end marker)",
+        )
+    } else {
+        e
+    }
+}
+
+/// Opens `path` as a buffered streaming reader.
+///
+/// # Errors
+///
+/// Returns any file-system error or a malformed-header error.
+pub fn open<P: AsRef<Path>>(path: P) -> io::Result<TraceReader<BufReader<File>>> {
+    TraceReader::new(BufReader::new(File::open(path)?))
+}
+
+/// Reads a whole file into a [`Trace`], stably sorting by arrival time
+/// (live captures interleave connections, so file order need not be time
+/// order; for already-sorted files the sort is the identity).
+///
+/// # Errors
+///
+/// Returns any I/O, CRC, or format error.
+pub fn read_trace<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
+    let reader = open(path)?;
+    let disk_count = reader.disk_count();
+    let mut records = reader.collect::<io::Result<Vec<Record>>>()?;
+    records.sort_by_key(|r| r.time);
+    Ok(Trace::from_records(disk_count, records))
+}

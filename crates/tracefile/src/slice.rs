@@ -1,0 +1,255 @@
+//! Zero-parse random-access view over in-memory `.pct` bytes.
+
+use std::io;
+
+use pc_crc::crc32c;
+use pc_trace::Record;
+
+use crate::format::{bad, decode_record, Header, HEADER_BYTES, RECORD_BYTES};
+use crate::{CHUNK_FOOT_BYTES, CHUNK_HEAD_BYTES};
+
+/// A validated, random-access view over `.pct` bytes — e.g. a memory-mapped
+/// file or [`std::fs::read`] buffer.
+///
+/// Construction makes one pass verifying structure, per-chunk CRCs, and
+/// every record's fields; afterwards [`TraceSlice::get`] is O(1) pure
+/// offset arithmetic (records are fixed-width and chunks regular), with no
+/// per-access parsing or allocation. The view borrows the bytes — nothing
+/// is copied.
+///
+/// # Examples
+///
+/// ```
+/// use pc_tracefile::{TraceSlice, TraceWriter};
+/// use pc_trace::{IoOp, Record};
+/// use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+///
+/// let mut w = TraceWriter::new(Vec::new(), 1).unwrap();
+/// for i in 0..10 {
+///     w.push(Record::new(
+///         SimTime::from_micros(i),
+///         BlockId::new(DiskId::new(0), BlockNo::new(i)),
+///         IoOp::Read,
+///     ))
+///     .unwrap();
+/// }
+/// let (bytes, _) = w.finish().unwrap();
+/// let view = TraceSlice::new(&bytes).unwrap();
+/// assert_eq!(view.len(), 10);
+/// assert_eq!(view.get(7).block.block().number(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceSlice<'a> {
+    bytes: &'a [u8],
+    header: Header,
+    len: u64,
+}
+
+impl<'a> TraceSlice<'a> {
+    /// Validates `bytes` as a complete `.pct` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns `UnexpectedEof` on truncation and `InvalidData` on any
+    /// CRC, structure, or record-field violation. A valid view requires
+    /// the regular layout [`crate::TraceWriter`] produces: every chunk
+    /// before the last data chunk completely full.
+    pub fn new(bytes: &'a [u8]) -> io::Result<TraceSlice<'a>> {
+        let eof =
+            |what: &str| io::Error::new(io::ErrorKind::UnexpectedEof, format!("truncated {what}"));
+        let head: &[u8; HEADER_BYTES] = bytes
+            .get(..HEADER_BYTES)
+            .ok_or_else(|| eof("trace file: incomplete header"))?
+            .try_into()
+            .unwrap();
+        let header = Header::decode(head)?;
+        // One validation walk over the chunks.
+        let mut off = HEADER_BYTES;
+        let mut len: u64 = 0;
+        let mut saw_partial = false;
+        loop {
+            let chunk_head = bytes
+                .get(off..off + CHUNK_HEAD_BYTES)
+                .ok_or_else(|| eof("trace file: stream ends mid-chunk (missing end marker)"))?;
+            let count = u32::from_le_bytes(chunk_head[0..4].try_into().unwrap());
+            if chunk_head[4..8] != [0u8; 4] {
+                return Err(bad("non-zero reserved chunk-head bytes".into()));
+            }
+            if count > header.chunk_records {
+                return Err(bad(format!(
+                    "chunk holds {count} records but the header caps chunks at {}",
+                    header.chunk_records
+                )));
+            }
+            if saw_partial && count != 0 {
+                return Err(bad(
+                    "irregular chunking: data follows a partial chunk".into()
+                ));
+            }
+            off += CHUNK_HEAD_BYTES;
+            let data_len = count as usize * RECORD_BYTES;
+            let data = bytes
+                .get(off..off + data_len)
+                .ok_or_else(|| eof("trace file: stream ends mid-chunk (missing end marker)"))?;
+            off += data_len;
+            let foot = bytes
+                .get(off..off + CHUNK_FOOT_BYTES)
+                .ok_or_else(|| eof("trace file: stream ends mid-chunk (missing end marker)"))?;
+            off += CHUNK_FOOT_BYTES;
+            let stored = u32::from_le_bytes(foot[0..4].try_into().unwrap());
+            if foot[4..8] != [0u8; 4] {
+                return Err(bad("non-zero reserved chunk-footer bytes".into()));
+            }
+            let computed = crc32c(data);
+            if stored != computed {
+                return Err(bad(format!(
+                    "chunk CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )));
+            }
+            if count == 0 {
+                break;
+            }
+            for rec in data.chunks_exact(RECORD_BYTES) {
+                decode_record(rec.try_into().unwrap(), header.disk_count)?;
+            }
+            len += u64::from(count);
+            if count < header.chunk_records {
+                saw_partial = true;
+            }
+        }
+        if off != bytes.len() {
+            return Err(bad("trailing bytes after the end marker".into()));
+        }
+        if let Some(declared) = header.record_count {
+            if declared != len {
+                return Err(bad(format!(
+                    "header declares {declared} records but the file holds {len}"
+                )));
+            }
+        }
+        Ok(TraceSlice { bytes, header, len })
+    }
+
+    /// The decoded file header.
+    #[must_use]
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Number of disks the trace addresses.
+    #[must_use]
+    pub fn disk_count(&self) -> u32 {
+        self.header.disk_count
+    }
+
+    /// Number of records in the file.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` for a record-less file.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns record `index` in file order by pure offset arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()` — the file's bytes themselves were
+    /// fully validated at construction.
+    #[must_use]
+    pub fn get(&self, index: u64) -> Record {
+        assert!(index < self.len, "record {index} out of range {}", self.len);
+        let per = u64::from(self.header.chunk_records);
+        let (chunk, within) = (index / per, index % per);
+        let full_chunk = (CHUNK_HEAD_BYTES + CHUNK_FOOT_BYTES) as u64 + per * RECORD_BYTES as u64;
+        let off = HEADER_BYTES as u64
+            + chunk * full_chunk
+            + CHUNK_HEAD_BYTES as u64
+            + within * RECORD_BYTES as u64;
+        let off = usize::try_from(off).expect("validated file fits in memory");
+        let bytes: &[u8; RECORD_BYTES] = self.bytes[off..off + RECORD_BYTES].try_into().unwrap();
+        decode_record(bytes, self.header.disk_count).expect("record validated at construction")
+    }
+
+    /// Iterates the records in file order.
+    pub fn iter(&self) -> impl Iterator<Item = Record> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceWriter;
+    use pc_trace::IoOp;
+    use pc_units::{BlockId, BlockNo, DiskId, SimTime};
+
+    fn sample(n: u64, chunk_records: u32) -> Vec<u8> {
+        let mut w = TraceWriter::with_chunk_records(Vec::new(), 3, chunk_records).unwrap();
+        for i in 0..n {
+            w.push(Record {
+                time: SimTime::from_micros(i * 10),
+                block: BlockId::new(DiskId::new((i % 3) as u32), BlockNo::new(i * 7)),
+                blocks: 1 + i % 4,
+                op: if i % 2 == 0 { IoOp::Read } else { IoOp::Write },
+            })
+            .unwrap();
+        }
+        w.finish().unwrap().0
+    }
+
+    #[test]
+    fn random_access_matches_file_order() {
+        // 10 records over 4-record chunks: two full chunks + a partial.
+        let bytes = sample(10, 4);
+        let view = TraceSlice::new(&bytes).unwrap();
+        assert_eq!(view.len(), 10);
+        for (i, rec) in view.iter().enumerate() {
+            assert_eq!(rec.time, SimTime::from_micros(i as u64 * 10));
+            assert_eq!(view.get(i as u64), rec);
+        }
+    }
+
+    #[test]
+    fn exact_chunk_multiple_and_empty() {
+        let exact = sample(8, 4);
+        assert_eq!(TraceSlice::new(&exact).unwrap().len(), 8);
+        let empty = sample(0, 4);
+        let view = TraceSlice::new(&empty).unwrap();
+        assert!(view.is_empty());
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_fail_cleanly() {
+        let bytes = sample(10, 4);
+        // Truncate at every prefix length: never a panic, always an error
+        // (any strict prefix is missing at least the end marker).
+        for cut in 0..bytes.len() {
+            assert!(TraceSlice::new(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Flip one bit in a record byte: CRC catches it.
+        let mut flipped = bytes.clone();
+        flipped[HEADER_BYTES + CHUNK_HEAD_BYTES + 3] ^= 0x40;
+        let err = TraceSlice::new(&flipped).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample(2, 4);
+        bytes.push(0);
+        assert!(TraceSlice::new(&bytes).is_err());
+    }
+
+    #[test]
+    fn out_of_range_get_panics_but_is_guarded() {
+        let bytes = sample(1, 4);
+        let view = TraceSlice::new(&bytes).unwrap();
+        assert!(std::panic::catch_unwind(|| view.get(1)).is_err());
+    }
+}

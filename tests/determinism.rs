@@ -62,6 +62,44 @@ fn sweep_results_are_identical_for_any_job_count() {
     );
 }
 
+/// The determinism bridge for the binary trace format: exporting a
+/// workload to a `.pct` file and replaying it through the simulator
+/// must serialize byte-identically to the in-memory path, for every
+/// family. This is what makes `pc-server --capture` output (and any
+/// exported file) a faithful stand-in for the generator it recorded.
+#[test]
+fn file_backed_replay_matches_the_in_memory_path_byte_for_byte() {
+    use pc_experiments::{traceio, Params, TraceKind};
+    use pc_trace::{Trace, Workload};
+
+    for name in ["synthetic", "oltp", "cello96"] {
+        let workload = Workload::parse(name).unwrap().with_requests(3_000);
+        let in_memory: Trace =
+            Trace::from_records(workload.disk_count(), workload.stream(42).collect());
+        let path =
+            std::env::temp_dir().join(format!("pc-bridge-{name}-{}.pct", std::process::id()));
+        traceio::export(&workload, 42, &path).unwrap();
+        let from_file = pc_tracefile::read_trace(&path).unwrap();
+
+        for policy in [PolicySpec::Lru, PolicySpec::PaLru] {
+            let a = run_replacement(&in_memory, &policy, &SimConfig::default());
+            let b = run_replacement(&from_file, &policy, &SimConfig::default());
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "{name}/{} file-backed replay must match in-memory",
+                a.policy
+            );
+        }
+
+        // The Params override routes every TraceKind to the file.
+        let via_params = Params::quick().with_trace_file(path.clone());
+        assert_eq!(via_params.trace(TraceKind::Oltp), from_file);
+        assert_eq!(via_params.trace(TraceKind::Cello), from_file);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
 #[test]
 fn all_generators_are_seed_deterministic() {
     assert_eq!(

@@ -10,6 +10,7 @@ fn params() -> Params {
         scale: 0.35,
         seed: 42,
         jobs: 0,
+        trace_file: None,
     }
 }
 
@@ -79,6 +80,7 @@ fn figure9_write_policy_shape() {
         scale: 0.05,
         seed: 42,
         jobs: 0,
+        trace_file: None,
     };
     let o = fig9::by_write_ratio(&p);
     for dist in ["exp", "pareto"] {

@@ -286,6 +286,81 @@ fn injected_slab_corruption_surfaces_as_corrupt_replies_and_stats() {
 }
 
 #[test]
+fn capture_records_a_live_run_and_the_file_replays_over_the_wire() {
+    // The full capture → replay loop: a server with --capture records
+    // every admitted request into a .pct trace; the file must hold
+    // exactly the admitted requests (recorded + dropped accounting),
+    // live STATS must surface the capture gauges, and replaying the
+    // file through a fresh server via `--trace` must serve every
+    // record it contains.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("pc-e2e-capture-{}.pct", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let engine = EngineConfig::new(2, 4).with_policy(PolicySpec::PaLru);
+    let server = Server::bind("127.0.0.1:0", engine)
+        .expect("bind loopback")
+        .with_capture(path.clone());
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = server.stop_flag();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+
+    let report = run_tcp(&LoadgenConfig {
+        conns: 2,
+        secs: 0.4,
+        ..LoadgenConfig::new(addr)
+    })
+    .expect("load generation");
+    assert!(report.responses > 0);
+    assert!(
+        report.stats.capture_recorded > 0,
+        "live STATS must surface the capture gauges"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let run = daemon.join().expect("daemon thread");
+    let cap = run.capture.expect("capturing run must report the capture");
+    assert_eq!(cap.path, path);
+    assert_eq!(
+        cap.written + cap.dropped,
+        run.snapshot.total_requests(),
+        "every admitted request is either in the file or drop-counted"
+    );
+
+    let trace = pc_tracefile::read_trace(&path).expect("captured file parses");
+    assert_eq!(trace.len() as u64, cap.written);
+    assert!(
+        trace.records().windows(2).all(|w| w[0].time <= w[1].time),
+        "read_trace returns a time-sorted trace"
+    );
+
+    // Replay the captured file against a fresh server.
+    let replay_server =
+        Server::bind("127.0.0.1:0", EngineConfig::new(2, 4)).expect("bind replay server");
+    let replay_addr = replay_server.local_addr().unwrap().to_string();
+    let replay_stop = replay_server.stop_flag();
+    let replay_daemon = std::thread::spawn(move || replay_server.run().expect("replay run"));
+
+    let replay = run_tcp(&LoadgenConfig {
+        conns: 2,
+        secs: 30.0, // Finite trace: the run ends when the records do.
+        trace: Some(path.clone()),
+        ..LoadgenConfig::new(replay_addr)
+    })
+    .expect("trace replay");
+    assert_eq!(
+        replay.sent - replay.retries,
+        cap.written,
+        "replay must first-send exactly the captured records"
+    );
+    assert_eq!(replay.sent, replay.responses + replay.busy_rejects);
+
+    replay_stop.store(true, Ordering::Relaxed);
+    replay_daemon.join().expect("replay daemon");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn a_server_that_never_replies_cannot_hang_the_client() {
     // A listener that accepts and then goes silent: the load
     // generator's socket timeouts must surface an error instead of
