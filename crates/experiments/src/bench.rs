@@ -339,6 +339,60 @@ pub fn trace_replay_row(requests: usize) -> std::io::Result<BenchRow> {
     })
 }
 
+/// Two advisory rows pitting the zero-copy ingest path against the
+/// materializing one on the same exported `.pct` file: `trace-ingest-mmap`
+/// is `MappedTrace::open` plus one full verified stream of the records
+/// (what `run_replacement_stream` consumes); `trace-ingest-read` is
+/// `read_trace` materializing the whole file into a `Trace`. Both are
+/// advisory — ingest throughput tracks page-cache and allocator
+/// behaviour, not the simulation hot path — but the pair makes the
+/// mmap path's advantage (or any regression of it) visible in every
+/// bench report.
+///
+/// # Errors
+///
+/// Propagates export/open/decode failures; callers degrade to the
+/// simulation-only matrix.
+pub fn trace_ingest_rows(requests: usize) -> std::io::Result<Vec<BenchRow>> {
+    use pc_trace::Workload;
+    use pc_tracefile::MappedTrace;
+    let path = std::env::temp_dir().join(format!("pc-bench-ingest-{}.pct", std::process::id()));
+    let workload = Workload::parse("cello96")
+        .expect("cello96 exists")
+        .with_requests(requests);
+    crate::traceio::export(&workload, 42, &path)?;
+
+    let row = |policy: &str, requests: u64, wall: std::time::Duration| BenchRow {
+        policy: policy.to_owned(),
+        workload: "cello96.pct".to_owned(),
+        requests,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        req_per_sec: requests as f64 / wall.as_secs_f64(),
+        reps: 1,
+        spread_pct: 0.0,
+        advisory: true,
+    };
+
+    // Zero-copy path: map, then stream every record once (each chunk's
+    // CRC verifies on the way through — the full safety story, priced in).
+    let start = std::time::Instant::now();
+    let map = MappedTrace::open(&path)?;
+    let mut streamed: u64 = 0;
+    for record in map.records() {
+        record?;
+        streamed += 1;
+    }
+    let mmap_row = row("trace-ingest-mmap", streamed, start.elapsed());
+
+    // Materializing path: decode the whole file into an owned `Trace`.
+    let start = std::time::Instant::now();
+    let trace = pc_tracefile::read_trace(&path)?;
+    let read_row = row("trace-ingest-read", trace.len() as u64, start.elapsed());
+
+    let _ = std::fs::remove_file(&path);
+    Ok(vec![mmap_row, read_row])
+}
+
 /// Relative tolerance for `repro bench --check`: a policy's aggregate
 /// throughput may fall at most this far below the committed baseline
 /// before the check fails.

@@ -6,6 +6,10 @@
 //! repro bench [--scale X] [--seed N] [--reps N] [--check]
 //! repro trace export --workload NAME --out FILE.pct [--requests N] [--seed N]
 //! repro trace info FILE.pct
+//! repro trace filter IN.pct --out OUT.pct [--disk N] [--op read|write] [--from-us T] [--until-us T]
+//! repro trace slice IN.pct --out OUT.pct [--skip N] [--take N] [--from-us T] [--until-us T]
+//! repro trace merge IN.pct [IN2.pct ...] --out OUT.pct
+//! repro trace rescale IN.pct --out OUT.pct --factor X
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b
@@ -24,6 +28,12 @@
 //! workload — the bridge from `pc-server --capture` back into the
 //! batch harness.
 //!
+//! `repro trace filter|slice|merge|rescale` are streaming surgery
+//! operators (see `pc_experiments::surgery`): each reads its inputs
+//! through a lazily-verified memory map and writes a fresh `.pct` file
+//! in constant memory, so trimming or combining multi-GB corpora never
+//! materializes a record vector.
+//!
 //! `repro bench` times the single-threaded simulation hot path on a
 //! fixed policy × workload matrix — each cell measured `--reps N`
 //! times (default 3), reported as median + spread — and writes
@@ -36,7 +46,7 @@ use std::env;
 use std::process::ExitCode;
 
 use pc_experiments::{ablations, bench, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
-use pc_experiments::{table1, table2, table3, Params, TraceKind};
+use pc_experiments::{surgery, table1, table2, table3, Params, TraceKind};
 
 const EXPERIMENTS: [&str; 25] = [
     "table1",
@@ -200,6 +210,10 @@ fn run_bench(params: &Params, reps: usize, check: bool) -> ExitCode {
         Ok(row) => rows.push(row),
         Err(e) => eprintln!("warning: skipping advisory trace-replay bench row: {e}"),
     }
+    match bench::trace_ingest_rows(500_000) {
+        Ok(ingest) => rows.extend(ingest),
+        Err(e) => eprintln!("warning: skipping advisory trace-ingest bench rows: {e}"),
+    }
     println!("{}", bench::render(&rows));
     let json = bench::to_json(params, &rows);
     if check {
@@ -250,8 +264,9 @@ fn run_bench(params: &Params, reps: usize, check: bool) -> ExitCode {
     }
 }
 
-/// `repro trace export|info`: serialize a workload generator to a
-/// binary `.pct` file, or validate one and print its summary.
+/// `repro trace export|info|filter|slice|merge|rescale`: serialize a
+/// workload generator to a binary `.pct` file, validate one and print
+/// its summary, or rewrite files with the streaming surgery operators.
 fn run_trace(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("export") => {
@@ -320,8 +335,170 @@ fn run_trace(args: &[String]) -> ExitCode {
                 }
             }
         }
+        Some("filter") => run_filter(&args[1..]),
+        Some("slice") => run_slice(&args[1..]),
+        Some("merge") => run_merge(&args[1..]),
+        Some("rescale") => run_rescale(&args[1..]),
         Some(other) => trace_usage(&format!("unknown trace sub-command: {other}")),
-        None => trace_usage("trace needs a sub-command (export or info)"),
+        None => {
+            trace_usage("trace needs a sub-command (export, info, filter, slice, merge, rescale)")
+        }
+    }
+}
+
+/// `repro trace filter IN --out OUT [predicates]`.
+fn run_filter(args: &[String]) -> ExitCode {
+    let mut input = None;
+    let mut out = None;
+    let mut spec = surgery::FilterSpec::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(path) => out = Some(std::path::PathBuf::from(path)),
+                None => return trace_usage("--out needs a file path"),
+            },
+            "--disk" => match iter.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(d) => spec.disk = Some(d),
+                None => return trace_usage("--disk needs a disk index"),
+            },
+            "--op" => match iter.next().map(String::as_str) {
+                Some("read") => spec.op = Some(pc_trace::IoOp::Read),
+                Some("write") => spec.op = Some(pc_trace::IoOp::Write),
+                _ => return trace_usage("--op needs read or write"),
+            },
+            "--from-us" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(t) => spec.from = Some(pc_units::SimTime::from_micros(t)),
+                None => return trace_usage("--from-us needs a time in microseconds"),
+            },
+            "--until-us" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(t) => spec.until = Some(pc_units::SimTime::from_micros(t)),
+                None => return trace_usage("--until-us needs a time in microseconds"),
+            },
+            path if input.is_none() && !path.starts_with("--") => {
+                input = Some(std::path::PathBuf::from(path));
+            }
+            other => return trace_usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let (Some(input), Some(out)) = (input, out) else {
+        return trace_usage("filter needs an input file and --out");
+    };
+    report_surgery("filter", surgery::filter(&input, &out, &spec), &out)
+}
+
+/// `repro trace slice IN --out OUT [bounds]`.
+fn run_slice(args: &[String]) -> ExitCode {
+    let mut input = None;
+    let mut out = None;
+    let mut spec = surgery::SliceSpec::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(path) => out = Some(std::path::PathBuf::from(path)),
+                None => return trace_usage("--out needs a file path"),
+            },
+            "--skip" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => spec.skip = n,
+                None => return trace_usage("--skip needs a record count"),
+            },
+            "--take" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => spec.take = Some(n),
+                None => return trace_usage("--take needs a record count"),
+            },
+            "--from-us" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(t) => spec.from = Some(pc_units::SimTime::from_micros(t)),
+                None => return trace_usage("--from-us needs a time in microseconds"),
+            },
+            "--until-us" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(t) => spec.until = Some(pc_units::SimTime::from_micros(t)),
+                None => return trace_usage("--until-us needs a time in microseconds"),
+            },
+            path if input.is_none() && !path.starts_with("--") => {
+                input = Some(std::path::PathBuf::from(path));
+            }
+            other => return trace_usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let (Some(input), Some(out)) = (input, out) else {
+        return trace_usage("slice needs an input file and --out");
+    };
+    report_surgery("slice", surgery::slice(&input, &out, &spec), &out)
+}
+
+/// `repro trace merge IN [IN2 ...] --out OUT`.
+fn run_merge(args: &[String]) -> ExitCode {
+    let mut inputs = Vec::new();
+    let mut out = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(path) => out = Some(std::path::PathBuf::from(path)),
+                None => return trace_usage("--out needs a file path"),
+            },
+            path if !path.starts_with("--") => inputs.push(std::path::PathBuf::from(path)),
+            other => return trace_usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(out) = out else {
+        return trace_usage("merge needs --out");
+    };
+    if inputs.is_empty() {
+        return trace_usage("merge needs at least one input file");
+    }
+    report_surgery("merge", surgery::merge(&inputs, &out), &out)
+}
+
+/// `repro trace rescale IN --out OUT --factor X`.
+fn run_rescale(args: &[String]) -> ExitCode {
+    let mut input = None;
+    let mut out = None;
+    let mut factor = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(path) => out = Some(std::path::PathBuf::from(path)),
+                None => return trace_usage("--out needs a file path"),
+            },
+            "--factor" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f.is_finite() && f > 0.0 => factor = Some(f),
+                _ => return trace_usage("--factor needs a positive number"),
+            },
+            path if input.is_none() && !path.starts_with("--") => {
+                input = Some(std::path::PathBuf::from(path));
+            }
+            other => return trace_usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let (Some(input), Some(out), Some(factor)) = (input, out, factor) else {
+        return trace_usage("rescale needs an input file, --out, and --factor");
+    };
+    report_surgery("rescale", surgery::rescale(&input, &out, factor), &out)
+}
+
+/// Prints a surgery outcome uniformly and maps errors to exit code 1.
+fn report_surgery(
+    what: &str,
+    result: std::io::Result<surgery::SurgeryStats>,
+    out: &std::path::Path,
+) -> ExitCode {
+    match result {
+        Ok(stats) => {
+            println!(
+                "{what}: read {} records, wrote {} to {}",
+                stats.read,
+                stats.written,
+                out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {what}: {e}");
+            ExitCode::from(1)
+        }
     }
 }
 
@@ -331,6 +508,14 @@ fn trace_usage(error: &str) -> ExitCode {
         "usage: repro trace export --workload <synthetic|oltp|cello96> --out FILE.pct [--requests N] [--seed N]"
     );
     eprintln!("       repro trace info FILE.pct");
+    eprintln!(
+        "       repro trace filter IN.pct --out OUT.pct [--disk N] [--op read|write] [--from-us T] [--until-us T]"
+    );
+    eprintln!(
+        "       repro trace slice IN.pct --out OUT.pct [--skip N] [--take N] [--from-us T] [--until-us T]"
+    );
+    eprintln!("       repro trace merge IN.pct [IN2.pct ...] --out OUT.pct");
+    eprintln!("       repro trace rescale IN.pct --out OUT.pct --factor X");
     ExitCode::from(2)
 }
 
@@ -347,6 +532,7 @@ fn usage(error: &str) -> ExitCode {
     eprintln!("       repro bench --check   compares against the committed BENCH_repro.json");
     eprintln!("       repro --trace FILE.pct <experiment>   replays a binary trace file");
     eprintln!("       repro trace export|info   converts workloads to/inspects .pct files");
+    eprintln!("       repro trace filter|slice|merge|rescale   streaming .pct surgery");
     eprintln!("       REPRO_JOBS=N repro ...   (used when --jobs is absent; 0 = one per core)");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     if error.is_empty() {

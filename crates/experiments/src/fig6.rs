@@ -6,11 +6,10 @@
 //! normalized to LRU.
 
 use pc_disksim::DpmPolicy;
-use pc_sim::{run_replacement, PolicySpec, SimConfig, SimReport};
-use pc_trace::Trace;
+use pc_sim::{PolicySpec, SimConfig, SimReport};
 use pc_units::Joules;
 
-use crate::{sweep, ExperimentOutput, Params, Table, TraceKind};
+use crate::{sweep, ExperimentOutput, Params, Table, TraceKind, TraceSource};
 
 /// The five bars of each Figure-6 group, in paper order. PA-LRU's epoch
 /// scales with the trace length (see [`Params::pa_epoch`]).
@@ -47,20 +46,23 @@ fn config_for(kind: TraceKind, dpm: DpmPolicy, infinite: bool) -> SimConfig {
 }
 
 fn run_bar(
-    trace: &Trace,
+    trace: &TraceSource,
     kind: TraceKind,
     dpm: DpmPolicy,
     spec: &PolicySpec,
     infinite: bool,
 ) -> SimReport {
-    run_replacement(trace, spec, &config_for(kind, dpm, infinite))
+    trace.run_replacement(spec, &config_for(kind, dpm, infinite))
 }
 
 /// Figure 6a (OLTP) or 6b (Cello96): energy normalized to LRU, under both
 /// DPM schemes.
 #[must_use]
 pub fn energy(params: &Params, kind: TraceKind) -> ExperimentOutput {
-    let trace = params.trace(kind);
+    // A TraceSource rather than a Trace: a file-backed run streams the
+    // on-line bars straight off the map, and the off-line bars share one
+    // cached materialization.
+    let trace = params.trace_source(kind);
     let mut out = ExperimentOutput::default();
     let mut t = Table::new(["policy", "oracle dpm", "practical dpm"]);
 
@@ -128,11 +130,11 @@ pub fn energy(params: &Params, kind: TraceKind) -> ExperimentOutput {
 pub fn response(params: &Params) -> ExperimentOutput {
     let mut out = ExperimentOutput::default();
     let mut t = Table::new(["policy", "oltp", "cello96", "oltp p99", "cello96 p99"]);
-    // Both traces are generated once up front; the eight (trace × policy)
+    // Both traces are sourced once up front; the eight (trace × policy)
     // runs then fan out flat over the executor.
-    let traces: Vec<(TraceKind, pc_trace::Trace)> = [TraceKind::Oltp, TraceKind::Cello]
+    let traces: Vec<(TraceKind, TraceSource)> = [TraceKind::Oltp, TraceKind::Cello]
         .into_iter()
-        .map(|kind| (kind, params.trace(kind)))
+        .map(|kind| (kind, params.trace_source(kind)))
         .collect();
     // One bar list serves both traces; the infinite-cache bar is dropped
     // (response time is meaningless without evictions to slow it down).

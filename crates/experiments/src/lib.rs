@@ -44,6 +44,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod surgery;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
@@ -53,5 +54,5 @@ pub mod traceio;
 mod params;
 mod table;
 
-pub use params::{Params, TraceKind};
+pub use params::{Params, TraceKind, TraceSource};
 pub use table::{ExperimentOutput, Table};

@@ -1,9 +1,13 @@
 //! Shared experiment parameters.
 
+use std::io;
+use std::sync::OnceLock;
+
 use pc_cache::policy::PaLruConfig;
 use pc_diskmodel::PowerModel;
-use pc_sim::PolicySpec;
+use pc_sim::{PolicySpec, SimConfig, SimReport};
 use pc_trace::{CelloConfig, OltpConfig, Trace};
+use pc_tracefile::MappedTrace;
 use pc_units::SimDuration;
 
 /// Which of the paper's two real-system workloads to emulate.
@@ -141,6 +145,38 @@ impl Params {
         }
     }
 
+    /// The trace for a [`TraceKind`] as a [`TraceSource`]: generated
+    /// workloads materialize as before, but a time-sorted
+    /// [`trace_file`](Self::trace_file) override memory-maps instead —
+    /// on-line policies then stream straight off the map with O(1)
+    /// steady-state memory and no upfront sort. An unsorted override
+    /// (e.g. a raw multi-connection capture) falls back to the
+    /// materialize-and-sort path of [`trace`](Self::trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the override file cannot be read or fails structural
+    /// validation, like [`trace`](Self::trace).
+    #[must_use]
+    pub fn trace_source(&self, kind: TraceKind) -> TraceSource {
+        if let Some(path) = &self.trace_file {
+            let map = MappedTrace::open(path)
+                .unwrap_or_else(|e| panic!("trace file {}: {e}", path.display()));
+            if map.is_time_sorted() {
+                return TraceSource::from_map(map);
+            }
+            drop(map);
+            return TraceSource::from_trace(
+                pc_tracefile::read_trace(path)
+                    .unwrap_or_else(|e| panic!("trace file {}: {e}", path.display())),
+            );
+        }
+        TraceSource::from_trace(match kind {
+            TraceKind::Oltp => self.oltp_trace(),
+            TraceKind::Cello => self.cello_trace(),
+        })
+    }
+
     /// PA-LRU's epoch, scaled with the trace length so down-scaled runs
     /// keep the paper's ~8-epochs-per-trace proportion (15 minutes at
     /// full scale, never below one minute).
@@ -163,6 +199,141 @@ impl Params {
 impl Default for Params {
     fn default() -> Self {
         Params::paper()
+    }
+}
+
+/// A trace ready to simulate: either a fully materialized [`Trace`] or
+/// a lazily-verified memory map of a time-sorted `.pct` file.
+///
+/// The point of the distinction is
+/// [`run_replacement`](TraceSource::run_replacement): a mapped source streams on-line
+/// policies straight off the file — no `Vec` of records, no upfront
+/// sort, O(1) steady-state memory — and only materializes (once, cached)
+/// for the off-line policies (Belady, OPG) that genuinely need the
+/// future. The type is `Sync`, so a [`crate::sweep`] can fan one source
+/// out across worker threads; the map's verification bitmap is shared,
+/// so each chunk is checksummed at most once across the whole sweep.
+#[derive(Debug)]
+pub struct TraceSource {
+    repr: Repr,
+}
+
+#[derive(Debug)]
+enum Repr {
+    Mem(Trace),
+    Mapped {
+        map: MappedTrace,
+        /// Materialized on first off-line-policy run, then shared.
+        mem: OnceLock<Trace>,
+    },
+}
+
+impl TraceSource {
+    /// Wraps an in-memory trace.
+    #[must_use]
+    pub fn from_trace(trace: Trace) -> TraceSource {
+        TraceSource {
+            repr: Repr::Mem(trace),
+        }
+    }
+
+    /// Wraps a memory-mapped file. The map must be time-sorted in file
+    /// order — the streaming simulator is a discrete-event timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is not time-sorted; callers route unsorted
+    /// files through [`pc_tracefile::read_trace`] instead.
+    #[must_use]
+    pub fn from_map(map: MappedTrace) -> TraceSource {
+        assert!(
+            map.is_time_sorted(),
+            "mapped trace sources must be time-sorted; use read_trace for unsorted captures"
+        );
+        TraceSource {
+            repr: Repr::Mapped {
+                map,
+                mem: OnceLock::new(),
+            },
+        }
+    }
+
+    /// Number of disks the trace addresses.
+    #[must_use]
+    pub fn disk_count(&self) -> u32 {
+        match &self.repr {
+            Repr::Mem(t) => t.disk_count(),
+            Repr::Mapped { map, .. } => map.disk_count(),
+        }
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        match &self.repr {
+            Repr::Mem(t) => t.len() as u64,
+            Repr::Mapped { map, .. } => map.len(),
+        }
+    }
+
+    /// Returns `true` for an empty trace.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`run_replacement`](Self::run_replacement) streams the
+    /// given policy off a map instead of materializing.
+    #[must_use]
+    pub fn streams(&self, spec: &PolicySpec) -> bool {
+        matches!(&self.repr, Repr::Mapped { .. }) && !spec.needs_future()
+    }
+
+    /// The materialized trace — immediate for an in-memory source,
+    /// collected from the map (once, then cached) for a mapped one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's lazy CRC verification finds corruption while
+    /// collecting: a corrupt input must stop the experiment, not shape
+    /// its results.
+    #[must_use]
+    pub fn as_trace(&self) -> &Trace {
+        match &self.repr {
+            Repr::Mem(t) => t,
+            Repr::Mapped { map, mem } => mem.get_or_init(|| {
+                let records = map
+                    .records()
+                    .collect::<io::Result<Vec<_>>>()
+                    .unwrap_or_else(|e| panic!("mapped trace: {e}"));
+                // `from_map` guaranteed sortedness, so no sort here.
+                Trace::from_records(map.disk_count(), records)
+            }),
+        }
+    }
+
+    /// Runs a replacement-policy experiment against this source: on-line
+    /// policies on a mapped source stream straight off the file via
+    /// [`pc_sim::run_replacement_stream`]; everything else goes through
+    /// [`pc_sim::run_replacement`] on the materialized trace. Both paths
+    /// produce byte-identical [`SimReport`]s for the same input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's lazy CRC verification finds corruption
+    /// mid-stream — same contract as [`Params::trace`].
+    #[must_use]
+    pub fn run_replacement(&self, spec: &PolicySpec, config: &SimConfig) -> SimReport {
+        match &self.repr {
+            Repr::Mapped { map, .. } if !spec.needs_future() => pc_sim::run_replacement_stream(
+                map.disk_count(),
+                map.records()
+                    .map(|r| r.unwrap_or_else(|e| panic!("mapped trace: {e}"))),
+                spec,
+                config,
+            ),
+            _ => pc_sim::run_replacement(self.as_trace(), spec, config),
+        }
     }
 }
 

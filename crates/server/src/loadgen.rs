@@ -89,10 +89,12 @@ pub struct LoadgenConfig {
     /// server's block size.
     pub block_bytes: usize,
     /// Replay a binary `.pct` trace file instead of generating
-    /// `workload`: records are read up front and dealt round-robin
-    /// across the hot connections (each connection's subsequence keeps
-    /// file order), so a captured production stream drives the server
-    /// without recompiling.
+    /// `workload`: the file is memory-mapped and verified once, then
+    /// records are dealt round-robin across the hot connections (each
+    /// connection's subsequence keeps file order) straight off the
+    /// shared map — no per-connection record vectors — so a captured
+    /// production stream drives the server without recompiling and
+    /// without materializing the trace.
     pub trace: Option<std::path::PathBuf>,
 }
 
@@ -134,6 +136,53 @@ impl LoadgenConfig {
             }
         };
         bounded.stream(self.seed + conn as u64)
+    }
+}
+
+/// A round-robin cursor over a shared memory-mapped trace: the cursor
+/// for connection `c` yields records `c, c+stride, c+2·stride, …` in
+/// file order, decoding each straight off the map. The map is verified
+/// in full before any cursor is built, so `get` cannot fail here.
+#[derive(Debug)]
+struct StrideCursor {
+    map: Arc<pc_tracefile::MappedTrace>,
+    next: u64,
+    stride: u64,
+}
+
+impl Iterator for StrideCursor {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        if self.next >= self.map.len() {
+            return None;
+        }
+        let record = self
+            .map
+            .get(self.next)
+            .expect("trace verified before replay");
+        self.next += self.stride;
+        Some(record)
+    }
+}
+
+/// What a connection worker replays: a generated workload stream or a
+/// stride cursor over a shared mapped trace. One concrete type keeps
+/// both spawn paths on a single `conn_worker` instantiation.
+#[derive(Debug)]
+enum ReplaySource {
+    Generated(Box<RecordStream>),
+    Mapped(StrideCursor),
+}
+
+impl Iterator for ReplaySource {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        match self {
+            ReplaySource::Generated(s) => s.next(),
+            ReplaySource::Mapped(c) => c.next(),
+        }
     }
 }
 
@@ -305,20 +354,19 @@ impl LoadReport {
 pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
     assert!(cfg.conns > 0, "need at least one connection");
 
-    // File replay: read the whole trace once and deal its records
-    // round-robin across the hot connections, preserving file order
-    // within each connection's subsequence.
-    let mut trace_parts: Vec<Option<Vec<Record>>> = match &cfg.trace {
+    // File replay: memory-map the trace and verify every chunk up front
+    // (a corrupt file must fail before any load hits the server); the
+    // hot connections then share the map through round-robin cursors —
+    // connection `c` replays records c, c+conns, c+2·conns, … in file
+    // order, with no per-connection vectors and no per-record
+    // allocation in the send loop.
+    let trace_map: Option<Arc<pc_tracefile::MappedTrace>> = match &cfg.trace {
         Some(path) => {
-            let reader = pc_tracefile::open(path)?;
-            let records = reader.collect::<std::io::Result<Vec<Record>>>()?;
-            let mut parts = vec![Vec::with_capacity(records.len() / cfg.conns + 1); cfg.conns];
-            for (i, r) in records.into_iter().enumerate() {
-                parts[i % cfg.conns].push(r);
-            }
-            parts.into_iter().map(Some).collect()
+            let map = pc_tracefile::MappedTrace::open(path)?;
+            map.verify_all()?;
+            Some(Arc::new(map))
         }
-        None => Vec::new(),
+        None => None,
     };
 
     // High-count mode: everything past the hot `conns` is a
@@ -352,9 +400,13 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let mut handles = Vec::with_capacity(cfg.conns);
     for conn in 0..cfg.conns {
         let addr = cfg.addr.clone();
-        let stream = match trace_parts.get_mut(conn).and_then(Option::take) {
-            Some(part) => RecordStream::from_records(part),
-            None => cfg.stream_for(conn),
+        let stream = match &trace_map {
+            Some(map) => ReplaySource::Mapped(StrideCursor {
+                map: Arc::clone(map),
+                next: conn as u64,
+                stride: cfg.conns as u64,
+            }),
+            None => ReplaySource::Generated(Box::new(cfg.stream_for(conn))),
         };
         let pace_ns = cfg
             .rate
@@ -729,7 +781,7 @@ fn resend_round(
 /// resent after a backoff, until the per-request budget runs out.
 fn conn_worker(
     addr: &str,
-    records: pc_trace::RecordStream,
+    records: ReplaySource,
     deadline: Instant,
     pace_ns: Option<u64>,
     knobs: RetryKnobs,
@@ -1110,6 +1162,33 @@ mod tests {
         assert_eq!((w2 >> 16) as u16, u16::MAX);
         assert_eq!(((w2 >> 1) & 0x7FFF) as u32, 0x7FFF);
         assert_eq!(w2 & 1, 0);
+    }
+
+    #[test]
+    fn stride_cursors_deal_records_round_robin_in_file_order() {
+        // The mapped replacement must preserve the old deal semantics:
+        // connection c gets records c, c+conns, c+2·conns, … in order.
+        let workload = Workload::parse("synthetic").unwrap().with_requests(103);
+        let records: Vec<Record> = workload.clone().stream(11).collect();
+        let dir = std::env::temp_dir().join(format!("pc-loadgen-deal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("deal.pct");
+        pc_tracefile::write_records(&path, workload.disk_count(), records.iter().copied()).unwrap();
+
+        let map = Arc::new(pc_tracefile::MappedTrace::open(&path).unwrap());
+        map.verify_all().unwrap();
+        let conns = 3;
+        for conn in 0..conns {
+            let dealt: Vec<Record> = StrideCursor {
+                map: Arc::clone(&map),
+                next: conn as u64,
+                stride: conns as u64,
+            }
+            .collect();
+            let expected: Vec<Record> = records.iter().skip(conn).step_by(conns).copied().collect();
+            assert_eq!(dealt, expected, "connection {conn}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

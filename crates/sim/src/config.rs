@@ -51,6 +51,16 @@ pub enum PolicySpec {
 }
 
 impl PolicySpec {
+    /// Whether [`PolicySpec::build`] consumes the trace's future
+    /// (off-line policies: Belady and OPG). Streaming entry points like
+    /// [`run_replacement_stream`](crate::run_replacement_stream) only
+    /// work for policies that don't — callers check this to pick between
+    /// streaming and materializing.
+    #[must_use]
+    pub fn needs_future(&self) -> bool {
+        matches!(self, PolicySpec::Belady | PolicySpec::Opg { .. })
+    }
+
     /// A short display name.
     #[must_use]
     pub fn name(&self) -> String {

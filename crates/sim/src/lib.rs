@@ -36,4 +36,6 @@ mod runner;
 
 pub use config::{PolicySpec, SimConfig};
 pub use report::{RunTiming, SimReport};
-pub use runner::{run_replacement, run_write_policy, OnlineStepper, StepOutcome};
+pub use runner::{
+    run_replacement, run_replacement_stream, run_write_policy, OnlineStepper, StepOutcome,
+};

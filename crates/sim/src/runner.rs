@@ -56,6 +56,56 @@ fn run(trace: &Trace, policy: &PolicySpec, config: &SimConfig) -> SimReport {
     report
 }
 
+/// Runs a replacement-policy experiment off a record stream — same loop,
+/// same accounting, same [`SimReport`] as [`run_replacement`], but the
+/// trace never needs to exist as an in-memory [`Trace`]: a time-ordered
+/// memory-mapped file (or any other iterator) feeds the stepper directly,
+/// so steady-state memory is O(1) in the trace length.
+///
+/// Records must arrive in non-decreasing time order — the stepper is a
+/// discrete-event timeline. File-backed callers check sortedness at open
+/// time and fall back to the materializing path when it fails.
+///
+/// # Panics
+///
+/// Panics if `policy` is off-line ([`PolicySpec::needs_future`]): Belady
+/// and OPG consume the whole future up front and cannot stream. Also
+/// panics under the same Oracle-DPM/write-policy conflict as
+/// [`run_replacement`].
+#[must_use]
+pub fn run_replacement_stream<I>(
+    disk_count: u32,
+    records: I,
+    policy: &PolicySpec,
+    config: &SimConfig,
+) -> SimReport
+where
+    I: IntoIterator<Item = Record>,
+{
+    assert!(
+        !policy.needs_future(),
+        "off-line policy {} needs the whole trace; use run_replacement",
+        policy.name()
+    );
+    let wall_start = std::time::Instant::now();
+    let power = config.power_model();
+    // On-line policies ignore the trace argument, so an empty one builds
+    // the identical policy instance.
+    let built = policy.build(
+        &Trace::new(disk_count),
+        &power,
+        config.dpm,
+        config.cache_blocks,
+    );
+    let mut stepper = OnlineStepper::new(disk_count, built, config);
+    for record in records {
+        stepper.step(&record);
+    }
+    let mut report = stepper.into_report();
+    report.timing = crate::RunTiming::from_wall(wall_start.elapsed(), report.requests);
+    report
+}
+
 /// The outcome of one online request step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepOutcome {

@@ -190,7 +190,10 @@ pub fn open<P: AsRef<Path>>(path: P) -> io::Result<TraceReader<BufReader<File>>>
 
 /// Reads a whole file into a [`Trace`], stably sorting by arrival time
 /// (live captures interleave connections, so file order need not be time
-/// order; for already-sorted files the sort is the identity).
+/// order). Sortedness is detected while collecting, so the common case —
+/// exports and finalized captures, which are already time-ordered —
+/// skips the sort entirely; the result is identical either way, since a
+/// stable sort of sorted input is the identity.
 ///
 /// # Errors
 ///
@@ -198,7 +201,25 @@ pub fn open<P: AsRef<Path>>(path: P) -> io::Result<TraceReader<BufReader<File>>>
 pub fn read_trace<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
     let reader = open(path)?;
     let disk_count = reader.disk_count();
-    let mut records = reader.collect::<io::Result<Vec<Record>>>()?;
-    records.sort_by_key(|r| r.time);
+    let mut records = Vec::with_capacity(
+        reader
+            .record_count()
+            .and_then(|n| usize::try_from(n).ok())
+            .unwrap_or(0),
+    );
+    let mut sorted = true;
+    for record in reader {
+        let record = record?;
+        if records
+            .last()
+            .is_some_and(|prev: &Record| record.time < prev.time)
+        {
+            sorted = false;
+        }
+        records.push(record);
+    }
+    if !sorted {
+        records.sort_by_key(|r| r.time);
+    }
     Ok(Trace::from_records(disk_count, records))
 }

@@ -100,6 +100,110 @@ fn file_backed_replay_matches_the_in_memory_path_byte_for_byte() {
     }
 }
 
+/// The zero-copy ingest contract: simulating straight off a memory map
+/// (`run_replacement_stream`, no materialized `Trace`, no sort) must
+/// serialize byte-identically to materializing the file through
+/// `read_trace`, for every family and for both an on-line and the
+/// power-aware policy.
+#[test]
+fn streaming_off_the_map_matches_the_materialized_path_byte_for_byte() {
+    use pc_experiments::traceio;
+    use pc_sim::run_replacement_stream;
+    use pc_trace::Workload;
+    use pc_tracefile::MappedTrace;
+
+    for name in ["synthetic", "oltp", "cello96"] {
+        let workload = Workload::parse(name).unwrap().with_requests(3_000);
+        let path =
+            std::env::temp_dir().join(format!("pc-stream-{name}-{}.pct", std::process::id()));
+        traceio::export(&workload, 42, &path).unwrap();
+        let materialized = pc_tracefile::read_trace(&path).unwrap();
+        let map = MappedTrace::open(&path).unwrap();
+        assert!(map.is_time_sorted(), "exports are time-ordered");
+
+        for policy in [PolicySpec::Lru, PolicySpec::PaLru] {
+            let a = run_replacement(&materialized, &policy, &SimConfig::default());
+            let b = run_replacement_stream(
+                map.disk_count(),
+                map.records().map(Result::unwrap),
+                &policy,
+                &SimConfig::default(),
+            );
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "{name}/{} streaming must match materialized",
+                a.policy
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// `TraceSource` picks the streaming path for on-line policies and
+/// falls back to one shared materialization for off-line ones — and
+/// both routes must serialize identically to the plain in-memory run.
+#[test]
+fn trace_source_streams_online_and_falls_back_for_offline_policies() {
+    use pc_experiments::{traceio, TraceSource};
+    use pc_trace::Workload;
+    use pc_tracefile::MappedTrace;
+
+    let workload = Workload::parse("oltp").unwrap().with_requests(3_000);
+    let path = std::env::temp_dir().join(format!("pc-source-{}.pct", std::process::id()));
+    traceio::export(&workload, 42, &path).unwrap();
+    let materialized = pc_tracefile::read_trace(&path).unwrap();
+    let source = TraceSource::from_map(MappedTrace::open(&path).unwrap());
+
+    // Belady needs the whole future: the source must not stream it.
+    assert!(source.streams(&PolicySpec::Lru));
+    assert!(!source.streams(&PolicySpec::Belady));
+
+    for policy in [PolicySpec::Lru, PolicySpec::Belady] {
+        let a = run_replacement(&materialized, &policy, &SimConfig::default());
+        let b = source.run_replacement(&policy, &SimConfig::default());
+        assert_eq!(a.to_json(), b.to_json(), "{} via TraceSource", a.policy);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// `read_trace`'s sorted fast path: a file written in time order (the
+/// common case — every export and finalized capture) must produce
+/// exactly the same `Trace` as one whose records arrive shuffled and
+/// need the sorting fallback.
+#[test]
+fn read_trace_sorted_fast_path_is_an_identity() {
+    use pc_trace::Workload;
+
+    let workload = Workload::parse("cello96").unwrap().with_requests(2_000);
+    let mut records: Vec<pc_trace::Record> = workload.clone().stream(17).collect();
+    // Make every timestamp unique so the comparison is insensitive to
+    // how the fallback's stable sort breaks ties.
+    for (i, r) in records.iter_mut().enumerate() {
+        r.time = pc_units::SimTime::from_micros(i as u64 * 5);
+    }
+    let mut shuffled = records.clone();
+    shuffled.reverse();
+
+    let dir = std::env::temp_dir();
+    let sorted_path = dir.join(format!("pc-sorted-{}.pct", std::process::id()));
+    let shuffled_path = dir.join(format!("pc-shuffled-{}.pct", std::process::id()));
+    pc_tracefile::write_records(&sorted_path, workload.disk_count(), records.iter().copied())
+        .unwrap();
+    pc_tracefile::write_records(
+        &shuffled_path,
+        workload.disk_count(),
+        shuffled.iter().copied(),
+    )
+    .unwrap();
+
+    let fast = pc_tracefile::read_trace(&sorted_path).unwrap();
+    let fallback = pc_tracefile::read_trace(&shuffled_path).unwrap();
+    assert_eq!(fast, fallback, "sort-skipping must not change the trace");
+    std::fs::remove_file(&sorted_path).unwrap();
+    std::fs::remove_file(&shuffled_path).unwrap();
+}
+
 #[test]
 fn all_generators_are_seed_deterministic() {
     assert_eq!(
