@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# One loopback smoke cycle, shared by every smoke job in ci.yml:
+#
+#   boot pc-server -> drive pc-loadgen -> assert patterns against both
+#   logs -> SIGTERM the server -> assert a graceful drain.
+#
+# Logs land in $NAME-server.log / $NAME-loadgen.log (cwd), and both are
+# dumped whenever the cycle fails, so a red CI step always shows the
+# evidence. The drain assertions ("pc-server drained" plus the closing
+# "total" table row) run on every cycle; everything else is opt-in via
+# flags:
+#
+#   --name NAME                log prefix (required)
+#   --port N                   loopback port for both sides (required)
+#   --server-args "..."        extra pc-server flags (word-split)
+#   --loadgen-args "..."       pc-loadgen flags after --addr (word-split)
+#   --allow-loadgen-failure    tolerate a non-zero loadgen exit (jobs
+#                              where exhausted retries / CORRUPT replies
+#                              are the point assert on the log instead)
+#   --expect-loadgen REGEX     grep -E the loadgen log (repeatable)
+#   --expect-server REGEX      grep -E the server log, post-drain
+#                              (repeatable)
+#   --min-rate N               floor on the loadgen's closing rate= value
+#   --ulimit-files N           raise the fd limit before booting
+set -euo pipefail
+
+NAME=""
+PORT=""
+SERVER_ARGS=""
+LOADGEN_ARGS=""
+ALLOW_LOADGEN_FAILURE=0
+EXPECT_LOADGEN=()
+EXPECT_SERVER=()
+MIN_RATE=""
+ULIMIT_FILES=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --name) NAME=$2; shift 2 ;;
+    --port) PORT=$2; shift 2 ;;
+    --server-args) SERVER_ARGS=$2; shift 2 ;;
+    --loadgen-args) LOADGEN_ARGS=$2; shift 2 ;;
+    --allow-loadgen-failure) ALLOW_LOADGEN_FAILURE=1; shift ;;
+    --expect-loadgen) EXPECT_LOADGEN+=("$2"); shift 2 ;;
+    --expect-server) EXPECT_SERVER+=("$2"); shift 2 ;;
+    --min-rate) MIN_RATE=$2; shift 2 ;;
+    --ulimit-files) ULIMIT_FILES=$2; shift 2 ;;
+    *) echo "smoke.sh: unknown flag $1" >&2; exit 2 ;;
+  esac
+done
+
+[[ -n "$NAME" && -n "$PORT" ]] || { echo "smoke.sh: --name and --port are required" >&2; exit 2; }
+
+SERVER_LOG="$NAME-server.log"
+LOADGEN_LOG="$NAME-loadgen.log"
+SERVER_PID=""
+
+dump_logs() {
+  echo "=== $SERVER_LOG ==="
+  cat "$SERVER_LOG" || true
+  echo "=== $LOADGEN_LOG ==="
+  cat "$LOADGEN_LOG" || true
+}
+
+fail() {
+  echo "smoke[$NAME] FAIL: $*" >&2
+  dump_logs
+  [[ -n "$SERVER_PID" ]] && kill -KILL "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+
+if [[ -n "$ULIMIT_FILES" ]]; then
+  ulimit -n "$ULIMIT_FILES"
+fi
+
+# shellcheck disable=SC2086  # word-splitting the arg strings is the API
+./target/release/pc-server --addr "127.0.0.1:$PORT" $SERVER_ARGS > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+sleep 1
+kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=""; fail "server died before accepting load"; }
+
+# shellcheck disable=SC2086
+if ./target/release/pc-loadgen --addr "127.0.0.1:$PORT" $LOADGEN_ARGS > "$LOADGEN_LOG" 2>&1; then
+  :
+elif [[ "$ALLOW_LOADGEN_FAILURE" -ne 1 ]]; then
+  fail "pc-loadgen exited non-zero"
+fi
+
+for pattern in ${EXPECT_LOADGEN[@]+"${EXPECT_LOADGEN[@]}"}; do
+  grep -Eq "$pattern" "$LOADGEN_LOG" || fail "loadgen log missing: $pattern"
+done
+
+if [[ -n "$MIN_RATE" ]]; then
+  RATE=$(grep -oE "rate=[0-9]+" "$LOADGEN_LOG" | head -1 | cut -d= -f2)
+  [[ -n "$RATE" ]] || fail "loadgen log has no rate= line"
+  [[ "$RATE" -ge "$MIN_RATE" ]] || fail "rate $RATE below floor $MIN_RATE"
+fi
+
+kill -TERM "$SERVER_PID"
+# A graceful drain exits 0; a hang is caught by the job timeout.
+wait "$SERVER_PID" || fail "server exited non-zero after SIGTERM"
+SERVER_PID=""
+
+grep -q "pc-server drained" "$SERVER_LOG" || fail "no graceful drain line"
+grep -q "^total" "$SERVER_LOG" || fail "no closing total row"
+for pattern in ${EXPECT_SERVER[@]+"${EXPECT_SERVER[@]}"}; do
+  grep -Eq "$pattern" "$SERVER_LOG" || fail "server log missing: $pattern"
+done
+
+dump_logs
+echo "smoke[$NAME] ok"

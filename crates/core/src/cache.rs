@@ -194,6 +194,13 @@ impl BlockCache {
         self.policy.name()
     }
 
+    /// The policy's adaptive-selection gauges, when it has any (the
+    /// meta-policy; fixed policies return `None`).
+    #[must_use]
+    pub fn meta_stats(&self) -> Option<crate::MetaStats> {
+        self.policy.meta_stats()
+    }
+
     /// The write policy in effect.
     #[must_use]
     pub fn write_policy(&self) -> WritePolicy {

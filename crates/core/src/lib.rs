@@ -72,5 +72,5 @@ pub use cache::{BlockCache, CacheStats};
 pub use effects::{AccessOutcome, AccessResult, Effect, WritePolicy};
 pub use histogram::IntervalHistogram;
 pub use offline::OfflineIndex;
-pub use policy::ReplacementPolicy;
+pub use policy::{MetaStats, ReplacementPolicy};
 pub use table::{BlockTable, Slot};

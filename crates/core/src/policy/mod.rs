@@ -28,6 +28,7 @@ mod fifo;
 mod lirs;
 mod list;
 mod lru;
+mod meta;
 mod mq;
 mod opg;
 mod pa;
@@ -41,6 +42,7 @@ pub use fifo::Fifo;
 pub use lirs::Lirs;
 pub use list::{IndexList, PairedList};
 pub use lru::Lru;
+pub use meta::{MetaConfig, MetaPolicy};
 pub use mq::Mq;
 pub use opg::{Opg, OpgDpm};
 pub use pa::Pa;
@@ -90,6 +92,26 @@ pub trait ReplacementPolicy: Send {
     fn on_prefetch_insert(&mut self, slot: Slot, block: BlockId, time: SimTime) {
         self.on_insert(slot, block, time);
     }
+
+    /// Selection gauges, for policies that adaptively choose among
+    /// sub-policies ([`MetaPolicy`]). Fixed policies return `None` —
+    /// the default — so hosts can surface meta gauges through a
+    /// `Box<dyn ReplacementPolicy>` without downcasting.
+    fn meta_stats(&self) -> Option<MetaStats> {
+        None
+    }
+}
+
+/// A snapshot of an adaptive policy's selection state — see
+/// [`ReplacementPolicy::meta_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaStats {
+    /// Canonical name of the live sub-policy (e.g. `"pa-lru"`).
+    pub active: String,
+    /// Champion switches since construction.
+    pub switches: u64,
+    /// Completed selection epochs.
+    pub epochs: u64,
 }
 
 #[cfg(test)]

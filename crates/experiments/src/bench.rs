@@ -339,6 +339,62 @@ pub fn trace_replay_row(requests: usize) -> std::io::Result<BenchRow> {
     })
 }
 
+/// The committed-corpus companion to [`trace_replay_row`]: replays the
+/// canonical captured fixture (`tests/data/corpus.pct`, recorded from a
+/// live `pc-server --capture` run) over the wire, `reps` times, and
+/// reports the median with its spread. Unlike the synthetic replay row
+/// this one is **not** advisory: the fixture is fixed bytes forever, so
+/// the row is comparable run over run and earns a place in the gated
+/// aggregate — the spread-aware per-row check gives it the wide band a
+/// socket-path row needs.
+///
+/// # Errors
+///
+/// Propagates open/bind/connect/load-generation failures — including a
+/// missing fixture. Callers must surface the error: a silently absent
+/// corpus row would read as a passing gate.
+pub fn corpus_replay_row(path: &std::path::Path, reps: usize) -> std::io::Result<BenchRow> {
+    use pc_server::{run_tcp, EngineConfig, LoadgenConfig, Server};
+    if !path.is_file() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("corpus fixture missing: {}", path.display()),
+        ));
+    }
+    let reps = reps.max(1);
+    let mut walls: Vec<f64> = Vec::with_capacity(reps);
+    let mut requests = 0u64;
+    for _ in 0..reps {
+        let server = Server::bind("127.0.0.1:0", EngineConfig::new(4, 4))?;
+        let addr = server.local_addr()?.to_string();
+        let stop = server.stop_flag();
+        let daemon = std::thread::spawn(move || server.run());
+        let report = run_tcp(&LoadgenConfig {
+            conns: 4,
+            // The finite corpus ends the run; the deadline is a backstop.
+            secs: 60.0,
+            trace: Some(path.to_path_buf()),
+            ..LoadgenConfig::new(addr)
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = daemon.join();
+        let report = report?;
+        requests = report.responses;
+        walls.push(report.elapsed.as_secs_f64() * 1e3);
+    }
+    let med = median(&mut walls);
+    Ok(BenchRow {
+        policy: "server-trace-replay-corpus".to_owned(),
+        workload: "corpus.pct".to_owned(),
+        requests,
+        wall_ms: med,
+        req_per_sec: requests as f64 / (med / 1_000.0),
+        reps,
+        spread_pct: spread_pct(&walls, med),
+        advisory: false,
+    })
+}
+
 /// Two advisory rows pitting the zero-copy ingest path against the
 /// materializing one on the same exported `.pct` file: `trace-ingest-mmap`
 /// is `MappedTrace::open` plus one full verified stream of the records
@@ -430,6 +486,130 @@ pub fn parse_committed(json: &str) -> Option<(f64, Vec<(String, f64)>)> {
         None
     } else {
         Some((scale, entries))
+    }
+}
+
+/// One row of a committed `BENCH_repro.json`, as much of it as the
+/// per-row gate needs: identity, the median throughput, and the noise
+/// band recorded with it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommittedRow {
+    /// Policy name (the row key, together with `workload`).
+    pub policy: String,
+    /// Workload name.
+    pub workload: String,
+    /// Committed median throughput, requests per second.
+    pub req_per_sec: f64,
+    /// Noise band recorded at commit time: `(max - min) / median`, %.
+    pub spread_pct: f64,
+    /// Advisory rows are reported but never gate.
+    pub advisory: bool,
+}
+
+/// Extracts one `"key": value` scalar from a single JSON row line.
+fn row_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let at = line.find(&format!("\"{key}\":"))? + key.len() + 3;
+    let rest = line[at..].trim_start();
+    // Quoted values end at the closing quote (policy names may contain
+    // commas); bare scalars end at the next separator.
+    if let Some(quoted) = rest.strip_prefix('"') {
+        return Some(&quoted[..quoted.find('"')?]);
+    }
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Parses the `rows` array of a committed `BENCH_repro.json`. Returns
+/// `None` when the document has no parseable rows — older baselines
+/// predate per-row data, and the caller falls back to the aggregate
+/// check.
+#[must_use]
+pub fn parse_committed_rows(json: &str) -> Option<Vec<CommittedRow>> {
+    let at = json.find("\"rows\":")?;
+    let body = &json[at..json.find("],")? + 1];
+    let mut rows = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        rows.push(CommittedRow {
+            policy: row_field(line, "policy")?.to_owned(),
+            workload: row_field(line, "workload")?.to_owned(),
+            req_per_sec: row_field(line, "req_per_sec")?.parse().ok()?,
+            spread_pct: row_field(line, "spread_pct")?.parse().ok()?,
+            advisory: row_field(line, "advisory") == Some("true"),
+        });
+    }
+    if rows.is_empty() {
+        None
+    } else {
+        Some(rows)
+    }
+}
+
+/// The per-row regression gate: every non-advisory committed row must
+/// be present in the fresh run and within its own noise-derived
+/// tolerance — a row fails only when its throughput falls more than
+/// `max(CHECK_TOLERANCE, 3 × committed spread)` below the committed
+/// median. Rows whose committed spread is wide therefore get the wide
+/// band they demonstrably need, while tight rows gate tight; advisory
+/// rows are listed for trend-reading but never fail the check.
+///
+/// # Errors
+///
+/// Returns `Err(report)` when any gated row regressed past its band or
+/// went missing; the report names each offender and its band.
+pub fn check_rows(fresh: &[BenchRow], committed: &[CommittedRow]) -> Result<String, String> {
+    let mut report = String::from("bench check (per-row req/s, band = max(15%, 3x spread)):\n");
+    let mut failures = Vec::new();
+    for base in committed {
+        let key = format!("{}/{}", base.policy, base.workload);
+        let fresh_row = fresh
+            .iter()
+            .find(|r| r.policy == base.policy && r.workload == base.workload);
+        if base.advisory {
+            if let Some(now) = fresh_row {
+                report.push_str(&format!(
+                    "  {key:<40} {:>12.0} -> {:>12.0}  ({:+.1}%) [advisory]\n",
+                    base.req_per_sec,
+                    now.req_per_sec,
+                    (now.req_per_sec / base.req_per_sec - 1.0) * 100.0
+                ));
+            }
+            continue;
+        }
+        let band = CHECK_TOLERANCE.max(3.0 * base.spread_pct / 100.0);
+        let Some(now) = fresh_row else {
+            failures.push(format!("{key}: missing from fresh run"));
+            continue;
+        };
+        let ratio = now.req_per_sec / base.req_per_sec;
+        report.push_str(&format!(
+            "  {key:<40} {:>12.0} -> {:>12.0}  ({:+.1}%, band {:.0}%)\n",
+            base.req_per_sec,
+            now.req_per_sec,
+            (ratio - 1.0) * 100.0,
+            band * 100.0
+        ));
+        if ratio < 1.0 - band {
+            failures.push(format!(
+                "{key}: {:.0} req/s is {:.1}% below baseline {:.0} (band {:.0}%)",
+                now.req_per_sec,
+                (1.0 - ratio) * 100.0,
+                base.req_per_sec,
+                band * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        report.push_str("  ok: every gated row held its band\n");
+        Ok(report)
+    } else {
+        for f in &failures {
+            report.push_str(&format!("  FAIL {f}\n"));
+        }
+        Err(report)
     }
 }
 
@@ -615,6 +795,65 @@ mod tests {
         // Faster is always fine.
         let faster = vec![("lru".to_owned(), 2_000.0), ("opg".to_owned(), 200.0)];
         assert!(check(&faster, &base, CHECK_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn committed_rows_roundtrip_and_gate_spread_aware() {
+        let params = Params {
+            scale: 0.02,
+            ..Params::quick()
+        };
+        let rows = run(&params, 1);
+        let json = to_json(&params, &rows);
+        let committed = parse_committed_rows(&json).expect("own JSON must parse");
+        assert_eq!(committed.len(), rows.len());
+        for (c, r) in committed.iter().zip(&rows) {
+            assert_eq!(c.policy, r.policy);
+            assert_eq!(c.workload, r.workload);
+            assert!(!c.advisory);
+        }
+        // A run compared against itself always passes.
+        let report = check_rows(&rows, &committed).expect("identical must pass");
+        assert!(report.contains("ok: every gated row held its band"));
+    }
+
+    #[test]
+    fn per_row_gate_uses_the_wider_of_floor_and_spread() {
+        let base = |policy: &str, rps: f64, spread: f64, advisory: bool| CommittedRow {
+            policy: policy.to_owned(),
+            workload: "w".to_owned(),
+            req_per_sec: rps,
+            spread_pct: spread,
+            advisory,
+        };
+        let fresh = |policy: &str, rps: f64| BenchRow {
+            policy: policy.to_owned(),
+            workload: "w".to_owned(),
+            requests: 1,
+            wall_ms: 1.0,
+            req_per_sec: rps,
+            reps: 1,
+            spread_pct: 0.0,
+            advisory: false,
+        };
+        // Tight row (2% spread): the 15% floor applies. 10% down passes,
+        // 20% down fails.
+        let tight = vec![base("lru", 1_000.0, 2.0, false)];
+        assert!(check_rows(&[fresh("lru", 900.0)], &tight).is_ok());
+        assert!(check_rows(&[fresh("lru", 800.0)], &tight).is_err());
+        // Noisy row (10% spread): the band widens to 30%. 20% down now
+        // passes, 40% down still fails.
+        let noisy = vec![base("corpus", 1_000.0, 10.0, false)];
+        assert!(check_rows(&[fresh("corpus", 800.0)], &noisy).is_ok());
+        let report = check_rows(&[fresh("corpus", 600.0)], &noisy).expect_err("past the band");
+        assert!(report.contains("FAIL corpus/w"));
+        assert!(report.contains("band 30%"));
+        // A gated baseline row missing from the fresh run fails…
+        assert!(check_rows(&[], &tight).is_err());
+        // …but an advisory row neither gates nor needs to exist.
+        let advisory = vec![base("server-event-loop", 1_000.0, 0.0, true)];
+        assert!(check_rows(&[fresh("server-event-loop", 1.0)], &advisory).is_ok());
+        assert!(check_rows(&[], &advisory).is_ok());
     }
 
     #[test]

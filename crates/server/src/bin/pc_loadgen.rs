@@ -11,13 +11,17 @@ use pc_server::{
 };
 use pc_trace::Workload;
 
-const USAGE: &str = "usage: pc-loadgen [--addr HOST:PORT] [--workload synthetic|oltp|cello96] \
+const USAGE: &str = "usage: pc-loadgen [--addr HOST:PORT] \
+[--workload synthetic|oltp|cello96|nonstationary:SCENARIO] \
 [--trace FILE.pct] \
 [--conns N] [--connections N] [--secs S] [--seed N] [--rate REQ_PER_SEC] [--shutdown] \
 [--retry-budget N] [--backoff-us N] [--backoff-cap-us N] [--io-timeout-secs S] \
 [--payload] [--block-bytes N] \
 [--in-process] [--shards N] [--policy NAME] [--write-policy NAME] [--reqs N] \
 [--shard-queue N] [--slow-shard IDX:MICROS]\n\
+  nonstationary scenarios (diurnal, flash-crowd, churn, phase-change)\n\
+  shift their request mix mid-run — pair with `pc-server --policy meta`\n\
+  to watch the adaptive policy switch in STATS.\n\
   --conns drives the hot workload streams; --connections N holds the\n\
   remainder (N - conns) open as mostly-idle sockets to exercise the\n\
   server's event-loop connection scaling.\n\

@@ -36,7 +36,9 @@ const USAGE: &str = "usage: pc-server [--addr HOST:PORT] [--shards N] [--disks N
 [--policy NAME] [--write-policy NAME] [--cache-blocks N] [--prefetch N] \
 [--shard-queue N] [--slow-shard IDX:MICROS] [--io-threads N] [--legacy-threads] \
 [--block-bytes N] [--corrupt-rate N] [--capture FILE.pct]\n\
-  policies: lru fifo arc mq lirs 2q pa-lru pa-arc pa-mq pa-lirs pa-2q\n\
+  policies: lru fifo arc mq lirs 2q pa-lru pa-arc pa-mq pa-lirs pa-2q meta\n\
+  (--policy meta adapts: it re-ranks the fixed policies each epoch and\n\
+  switches the live one; STATS gains per-shard active_policy/switches)\n\
   write policies: write-back write-through wbeu[:limit] wtdu\n\
   --shard-queue bounds each shard's admission queue (requests); a full\n\
   queue answers BUSY. --slow-shard injects a per-request service delay\n\
@@ -143,7 +145,9 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let policy = online_policy(&policy_name).ok_or_else(|| {
-        format!("unknown policy {policy_name:?}; online policies: {ONLINE_POLICIES:?}")
+        format!(
+            "unknown policy {policy_name:?}; online policies: {ONLINE_POLICIES:?} plus \"meta\""
+        )
     })?;
     let write_policy = parse_write_policy(&write_name)
         .ok_or_else(|| format!("unknown write policy {write_name:?}"))?;

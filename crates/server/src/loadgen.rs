@@ -199,6 +199,9 @@ struct ConnStats {
     payload_bytes: u64,
     verify_failures: u64,
     corrupt: u64,
+    /// True when the `--secs` deadline stopped this connection; false
+    /// when its record source (generator bound or trace file) ran dry.
+    hit_deadline: bool,
 }
 
 /// The retry/backoff knobs a connection worker needs, detached from
@@ -254,6 +257,13 @@ pub struct LoadReport {
     /// frame (expected non-zero only under `--corrupt-rate` fault
     /// injection).
     pub corrupt: u64,
+    /// Hot connections the `--secs` deadline stopped mid-stream. The
+    /// rest ran their record source dry (trace exhaustion, or the
+    /// generator's request bound) — the run is bounded by whichever
+    /// comes first.
+    pub deadline_stops: u64,
+    /// Hot connections driven (`--conns`).
+    pub hot_conns: u64,
 }
 
 impl LoadReport {
@@ -310,6 +320,22 @@ impl LoadReport {
             "backpressure: busy_rejects={} retries={} exhausted={}\n",
             self.busy_rejects, self.retries, self.exhausted,
         ));
+        // The run is bounded by min(source exhaustion, --secs); say
+        // which bound actually ended it so a replay that quietly ran
+        // out of trace is not mistaken for a full-duration run.
+        out.push_str(&format!(
+            "run end: {}\n",
+            if self.deadline_stops == 0 {
+                "source exhausted on every connection".to_owned()
+            } else if self.deadline_stops >= self.hot_conns {
+                "--secs deadline on every connection".to_owned()
+            } else {
+                format!(
+                    "--secs deadline on {}/{} connections (source exhausted on the rest)",
+                    self.deadline_stops, self.hot_conns,
+                )
+            }
+        ));
         if self.payload_bytes > 0 || self.verify_failures > 0 || self.corrupt > 0 {
             out.push_str(&format!(
                 "payload: bytes={} rate={:.1} MB/s verify_failures={} corrupt={} server_crc_failures={}\n",
@@ -330,6 +356,15 @@ impl LoadReport {
             self.stats.queue_high_water,
             self.stats.shard_energy_j.iter().all(|&e| e > 0.0),
         ));
+        // Present only when the server runs the adaptive meta-policy
+        // AND it actually switched champions — the line greppable smoke
+        // tests assert on.
+        if self.stats.meta_switches > 0 {
+            out.push_str(&format!(
+                "server meta: switches={}\n",
+                self.stats.meta_switches
+            ));
+        }
         if self.idle_conns > 0 || self.stats.io_connections > 0 {
             let per_conn = self
                 .stats
@@ -433,6 +468,7 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let mut payload_bytes = 0u64;
     let mut verify_failures = 0u64;
     let mut corrupt = 0u64;
+    let mut deadline_stops = 0u64;
     let mut latency_hist = latency_histogram();
     for h in handles {
         let (stats, hist) = h
@@ -448,6 +484,7 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         payload_bytes += stats.payload_bytes;
         verify_failures += stats.verify_failures;
         corrupt += stats.corrupt;
+        deadline_stops += u64::from(stats.hit_deadline);
         latency_hist.merge(&hist);
     }
     let elapsed = started.elapsed();
@@ -504,6 +541,8 @@ pub fn run_tcp(cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
         payload_bytes,
         verify_failures,
         corrupt,
+        deadline_stops,
+        hot_conns: cfg.conns as u64,
     })
 }
 
@@ -920,12 +959,13 @@ fn conn_worker(
 
     let mut write_half = stream;
     let mut rng = StdRng::seed_from_u64(knobs.seed);
-    let send_result = (|| -> std::io::Result<(u64, u64)> {
+    let send_result = (|| -> std::io::Result<(u64, u64, bool)> {
         let mut buf = Vec::with_capacity(SEND_CHUNK + 64);
         let mut scratch = Vec::new();
         let mut seq = 0u32;
         let mut sent = 0u64;
         let mut retries = 0u64;
+        let mut hit_deadline = false;
         let mut pending: Vec<RetryReq> = Vec::new();
         // Payload replies are block-sized, not 14 bytes: cap the
         // in-flight window so a connection's reply backlog stays a few
@@ -941,6 +981,7 @@ fn conn_worker(
             // requests on the same cadence.
             if sent.is_multiple_of(512) {
                 if Instant::now() >= deadline {
+                    hit_deadline = true;
                     break;
                 }
                 pending.extend(retry_rx.try_iter());
@@ -964,8 +1005,19 @@ fn conn_worker(
                     write_half.write_all(&buf)?;
                     buf.clear();
                 }
+                // A paced stream can sit in this wait far longer than
+                // the 512-send clock cadence above — without its own
+                // deadline check, --trace --secs overshoots by up to
+                // 512 paced gaps.
                 while Instant::now() < target {
+                    if Instant::now() >= deadline {
+                        hit_deadline = true;
+                        break;
+                    }
                     std::thread::yield_now();
+                }
+                if hit_deadline {
+                    break;
                 }
             }
             while outstanding.load(Ordering::Relaxed) >= window {
@@ -975,8 +1027,14 @@ fn conn_worker(
                 }
                 std::thread::yield_now();
                 if Instant::now() >= deadline {
+                    hit_deadline = true;
                     break;
                 }
+            }
+            // A full window at the deadline ends the run; sending one
+            // more record anyway would push past both bounds.
+            if hit_deadline {
+                break;
             }
             let slot = seq as usize % RING;
             ring[slot].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -1063,7 +1121,7 @@ fn conn_worker(
                 ));
             }
         }
-        Ok((sent, retries))
+        Ok((sent, retries, hit_deadline))
     })();
 
     if send_result.is_err() {
@@ -1073,10 +1131,11 @@ fn conn_worker(
     let recv_result = receiver
         .join()
         .map_err(|_| std::io::Error::other("receiver panicked"))?;
-    let (sent, retries) = send_result?;
+    let (sent, retries, hit_deadline) = send_result?;
     let (mut stats, hist) = recv_result?;
     stats.sent = sent + retries;
     stats.retries = retries;
+    stats.hit_deadline = hit_deadline;
     Ok((stats, hist))
 }
 

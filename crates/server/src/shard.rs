@@ -52,6 +52,10 @@ pub fn online_policy(name: &str) -> Option<PolicySpec> {
         "pa-mq" => Some(PolicySpec::PaMq(PaLruConfig::default())),
         "pa-lirs" => Some(PolicySpec::PaLirs(PaLruConfig::default())),
         "pa-2q" => Some(PolicySpec::PaTwoQ(PaLruConfig::default())),
+        // The adaptive meta-policy wraps the 11 fixed policies above; it
+        // stays out of ONLINE_POLICIES so fixed-policy sweeps don't
+        // recurse into it.
+        "meta" => Some(PolicySpec::Meta),
         _ => None,
     }
 }
@@ -407,6 +411,7 @@ impl ShardEngine {
             queue_depth: 0,
             queue_high_water: 0,
             crc_failures: self.store.crc_failures(),
+            meta: self.stepper.meta_stats(),
         }
     }
 
@@ -416,6 +421,9 @@ impl ShardEngine {
     pub fn into_snapshot(self) -> ShardSnapshot {
         let id = self.id;
         let crc_failures = self.store.crc_failures();
+        // Captured before into_report consumes the stepper (and with it
+        // the live policy the gauges read from).
+        let meta = self.stepper.meta_stats();
         let report = self.stepper.into_report();
         ShardSnapshot {
             shard: id,
@@ -429,6 +437,7 @@ impl ShardEngine {
             queue_depth: 0,
             queue_high_water: 0,
             crc_failures,
+            meta,
         }
     }
 }
@@ -622,6 +631,28 @@ mod tests {
         }
         assert_eq!(ONLINE_POLICIES.len(), 11);
         assert!(online_policy("belady").is_none());
+    }
+
+    #[test]
+    fn meta_policy_builds_a_shard_and_reports_gauges() {
+        let spec = online_policy("meta").unwrap();
+        assert_eq!(spec.name(), "meta");
+        assert!(
+            !ONLINE_POLICIES.contains(&"meta"),
+            "fixed-policy sweeps must not recurse into the meta-policy"
+        );
+        let cfg = EngineConfig::new(2, 4).with_policy(spec);
+        let mut shard = ShardEngine::new(0, &cfg);
+        let out = shard.ingest(SimTime::from_millis(1), 0, 7, 1, false);
+        assert!(!out.hit, "meta: first access must miss");
+        let meta = shard.snapshot().meta.expect("meta shard carries gauges");
+        assert_eq!(meta.active, "lru", "meta starts on its first candidate");
+        assert_eq!(meta.switches, 0);
+        // A fixed-policy shard must not grow the gauges.
+        let fixed = ShardEngine::new(0, &EngineConfig::new(2, 4));
+        assert!(fixed.snapshot().meta.is_none());
+        // into_snapshot keeps the gauges across the book-closing move.
+        assert!(shard.into_snapshot().meta.is_some());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! energy, and response-time quantiles, rendered as deterministic JSON
 //! for the `STATS` opcode.
 
-use pc_cache::{CacheStats, IntervalHistogram};
+use pc_cache::{CacheStats, IntervalHistogram, MetaStats};
 use pc_sim::SimReport;
 use pc_units::{Joules, SimDuration, SimTime};
 
@@ -35,6 +35,10 @@ pub struct ShardSnapshot {
     /// Payload CRC32C verification failures the data plane detected
     /// (each one answered `CORRUPT` and the damaged frame refilled).
     pub crc_failures: u64,
+    /// Adaptive-selection gauges (`--policy meta` only): the shard's
+    /// live sub-policy and switch count. `None` under fixed policies,
+    /// keeping their JSON byte-identical to older servers.
+    pub meta: Option<MetaStats>,
 }
 
 impl ShardSnapshot {
@@ -53,18 +57,19 @@ impl ShardSnapshot {
             queue_depth: 0,
             queue_high_water: 0,
             crc_failures: 0,
+            meta: None,
         }
     }
 
     fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\"shard\":{},\"requests\":{},\"accesses\":{},\"hits\":{},",
                 "\"hit_ratio\":{:?},\"disk_reads\":{},\"disk_writes\":{},",
                 "\"log_writes\":{},\"energy_j\":{:?},\"mean_us\":{},",
                 "\"p50_us\":{},\"p99_us\":{},\"horizon_us\":{},",
                 "\"busy_rejects\":{},\"queue_depth\":{},\"queue_high_water\":{},",
-                "\"crc_failures\":{}}}"
+                "\"crc_failures\":{}"
             ),
             self.shard,
             self.requests,
@@ -83,7 +88,17 @@ impl ShardSnapshot {
             self.queue_depth,
             self.queue_high_water,
             self.crc_failures,
-        )
+        );
+        // Emitted only under --policy meta: fixed-policy snapshots stay
+        // byte-identical to pre-meta servers.
+        if let Some(m) = &self.meta {
+            out.push_str(&format!(
+                ",\"meta\":{{\"active_policy\":\"{}\",\"switches\":{},\"epochs\":{}}}",
+                m.active, m.switches, m.epochs
+            ));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -267,6 +282,16 @@ impl ClusterSnapshot {
             .fold(0u64, |acc, s| acc.saturating_add(s.crc_failures))
     }
 
+    /// Total meta-policy switch decisions across shards (0 under fixed
+    /// policies, where no shard carries meta gauges).
+    #[must_use]
+    pub fn total_meta_switches(&self) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|s| s.meta.as_ref())
+            .fold(0u64, |acc, m| acc.saturating_add(m.switches))
+    }
+
     /// The worst admission-queue high-water mark across shards (a max,
     /// not a sum — depths on different shards never queue behind each
     /// other).
@@ -336,7 +361,7 @@ impl ClusterSnapshot {
                 "{{\"requests\":{},\"accesses\":{},\"hits\":{},\"hit_ratio\":{:?},",
                 "\"disk_reads\":{},\"disk_writes\":{},\"log_writes\":{},",
                 "\"energy_j\":{:?},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{},",
-                "\"busy_rejects\":{},\"queue_high_water\":{},\"crc_failures\":{}}}"
+                "\"busy_rejects\":{},\"queue_high_water\":{},\"crc_failures\":{}"
             ),
             requests,
             cache.accesses,
@@ -353,7 +378,15 @@ impl ClusterSnapshot {
             self.max_queue_high_water(),
             self.total_crc_failures(),
         ));
-        out.push('}');
+        // Only under --policy meta, so fixed-policy totals stay
+        // byte-identical to pre-meta servers.
+        if self.shards.iter().any(|s| s.meta.is_some()) {
+            out.push_str(&format!(
+                ",\"meta_switches\":{}",
+                self.total_meta_switches()
+            ));
+        }
+        out.push_str("}}");
         out
     }
 
@@ -393,6 +426,14 @@ impl ClusterSnapshot {
             self.total_busy_rejects(),
             self.max_queue_high_water(),
         ));
+        for s in &self.shards {
+            if let Some(m) = &s.meta {
+                out.push_str(&format!(
+                    "meta  shard {} active={} switches={} epochs={}\n",
+                    s.shard, m.active, m.switches, m.epochs
+                ));
+            }
+        }
         if let Some(capture) = self.capture {
             out.push_str(&format!(
                 "capture: recorded={} dropped={}\n",
@@ -453,6 +494,9 @@ pub struct StatsSummary {
     pub capture_recorded: u64,
     /// Records dropped at a full capture ring (0 without capture).
     pub capture_dropped: u64,
+    /// Total meta-policy switch decisions across shards (0 when the
+    /// snapshot carries no meta gauges — fixed-policy servers).
+    pub meta_switches: u64,
 }
 
 /// Extracts a [`StatsSummary`] from a STATS JSON payload, validating
@@ -493,6 +537,10 @@ pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
         .and_then(|n| n.parse().ok())
         .unwrap_or(0);
     let crc_failures = num_after(total_part, "\"crc_failures\":")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    // Absent under fixed policies: zero, same as the other optional keys.
+    let meta_switches = num_after(total_part, "\"meta_switches\":")
         .and_then(|n| n.parse().ok())
         .unwrap_or(0);
     // The optional "io" section sits between the shard array and the
@@ -547,6 +595,7 @@ pub fn parse_stats_json(s: &str) -> Option<StatsSummary> {
         io_buffer_bytes,
         capture_recorded,
         capture_dropped,
+        meta_switches,
     })
 }
 
@@ -668,6 +717,43 @@ mod tests {
             parse_stats_json(&cluster().to_json()).unwrap().crc_failures,
             0
         );
+    }
+
+    #[test]
+    fn meta_gauges_are_absent_by_default_and_roundtrip_when_attached() {
+        let plain = cluster();
+        assert!(!plain.to_json().contains("\"meta"));
+        assert!(!plain.render_table().contains("meta "));
+        assert_eq!(parse_stats_json(&plain.to_json()).unwrap().meta_switches, 0);
+
+        let mut a = snapshot_with(0, 10, 5, 1.0);
+        a.meta = Some(MetaStats {
+            active: "pa-lru".into(),
+            switches: 2,
+            epochs: 7,
+        });
+        let mut b = snapshot_with(1, 10, 5, 1.0);
+        b.meta = Some(MetaStats {
+            active: "lru".into(),
+            switches: 1,
+            epochs: 6,
+        });
+        let c = ClusterSnapshot::new("meta".into(), "write-back".into(), vec![a, b]);
+        assert_eq!(c.total_meta_switches(), 3);
+        let json = c.to_json();
+        assert!(
+            json.contains("\"meta\":{\"active_policy\":\"pa-lru\",\"switches\":2,\"epochs\":7}")
+        );
+        assert!(json.contains("\"meta\":{\"active_policy\":\"lru\",\"switches\":1,\"epochs\":6}"));
+        assert!(json.ends_with("\"meta_switches\":3}}"));
+        let summary = parse_stats_json(&json).expect("meta-bearing snapshot parses");
+        assert_eq!(summary.meta_switches, 3);
+        assert_eq!(summary.requests, 20);
+        assert_eq!(summary.shard_energy_j.len(), 2);
+
+        let table = c.render_table();
+        assert!(table.contains("meta  shard 0 active=pa-lru switches=2 epochs=7"));
+        assert!(table.contains("meta  shard 1 active=lru switches=1 epochs=6"));
     }
 
     #[test]

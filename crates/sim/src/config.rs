@@ -1,7 +1,8 @@
 //! Simulation configuration and policy construction.
 
 use pc_cache::policy::{
-    ArcPolicy, Belady, Fifo, Lirs, Lru, Mq, Opg, OpgDpm, Pa, PaLru, PaLruConfig, TwoQ,
+    ArcPolicy, Belady, Fifo, Lirs, Lru, MetaConfig, MetaPolicy, Mq, Opg, OpgDpm, Pa, PaLru,
+    PaLruConfig, TwoQ,
 };
 use pc_cache::{ReplacementPolicy, WritePolicy};
 use pc_diskmodel::{DiskPowerSpec, PowerModel, ServiceModel};
@@ -48,6 +49,10 @@ pub enum PolicySpec {
     PaLirs(PaLruConfig),
     /// The generic PA wrapper around 2Q.
     PaTwoQ(PaLruConfig),
+    /// The adaptive meta-policy: epoch-based online selection among the
+    /// 11 online policies (hit ratio, cold-miss fraction and miss-gap
+    /// distribution drive an AWRP-style weight ranking).
+    Meta,
 }
 
 impl PolicySpec {
@@ -78,6 +83,7 @@ impl PolicySpec {
             PolicySpec::PaMq(_) => "pa-mq".into(),
             PolicySpec::PaLirs(_) => "pa-lirs".into(),
             PolicySpec::PaTwoQ(_) => "pa-2q".into(),
+            PolicySpec::Meta => "meta".into(),
         }
     }
 
@@ -123,6 +129,9 @@ impl PolicySpec {
             }
             PolicySpec::PaTwoQ(cfg) => {
                 Box::new(Pa::new(cfg.clone(), TwoQ::new(sized), TwoQ::new(sized)))
+            }
+            PolicySpec::Meta => {
+                Box::new(MetaPolicy::new(MetaConfig::for_power_model(power, sized)))
             }
         }
     }

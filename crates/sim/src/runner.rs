@@ -322,6 +322,13 @@ impl OnlineStepper {
         self.cache.stats()
     }
 
+    /// The policy's adaptive-selection gauges (`--policy meta` only;
+    /// fixed policies return `None`).
+    #[must_use]
+    pub fn meta_stats(&self) -> Option<pc_cache::MetaStats> {
+        self.cache.meta_stats()
+    }
+
     /// Requests stepped so far.
     #[must_use]
     pub fn requests(&self) -> u64 {

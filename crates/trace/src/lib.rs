@@ -30,6 +30,7 @@
 
 mod cello;
 mod layout;
+mod nonstationary;
 mod oltp;
 mod record;
 mod samplers;
@@ -39,6 +40,7 @@ mod synthetic;
 
 pub use cello::CelloConfig;
 pub use layout::DataLayout;
+pub use nonstationary::{NonStationaryConfig, NonStationaryStream, Scenario};
 pub use oltp::OltpConfig;
 pub use record::{IoOp, Record, Trace};
 pub use samplers::{GapDistribution, ZipfSampler};

@@ -14,8 +14,9 @@
 //!   eagerly generated trace; bound `requests` to what you will actually
 //!   send.
 
+use crate::nonstationary::NonStationaryStream;
 use crate::synthetic::SyntheticStream;
-use crate::{CelloConfig, OltpConfig, Record, SyntheticConfig};
+use crate::{CelloConfig, NonStationaryConfig, OltpConfig, Record, Scenario, SyntheticConfig};
 
 /// One of the standard workload families, configured and ready to stream.
 ///
@@ -38,13 +39,23 @@ pub enum Workload {
     Oltp(OltpConfig),
     /// The Cello96-like generator (eagerly generated, then streamed).
     Cello(CelloConfig),
+    /// A non-stationary scenario (lazy streaming) — see
+    /// [`NonStationaryConfig`].
+    NonStationary(NonStationaryConfig),
 }
 
 impl Workload {
-    /// Parses a workload name: `synthetic`, `oltp` or `cello96` (also
-    /// accepts `cello`), each with its default configuration.
+    /// Parses a workload name: `synthetic`, `oltp`, `cello96` (also
+    /// accepts `cello`), or a non-stationary scenario —
+    /// `nonstationary:diurnal`, `nonstationary:flash-crowd`,
+    /// `nonstationary:churn`, `nonstationary:phase-change` — each with
+    /// its default configuration.
     #[must_use]
     pub fn parse(name: &str) -> Option<Workload> {
+        if let Some(scenario) = name.strip_prefix("nonstationary:") {
+            return Scenario::parse(scenario)
+                .map(|s| Workload::NonStationary(NonStationaryConfig::new(s)));
+        }
         match name {
             "synthetic" => Some(Workload::Synthetic(SyntheticConfig::default())),
             "oltp" => Some(Workload::Oltp(OltpConfig::default())),
@@ -60,6 +71,12 @@ impl Workload {
             Workload::Synthetic(_) => "synthetic",
             Workload::Oltp(_) => "oltp",
             Workload::Cello(_) => "cello96",
+            Workload::NonStationary(c) => match c.scenario {
+                Scenario::Diurnal => "nonstationary:diurnal",
+                Scenario::FlashCrowd => "nonstationary:flash-crowd",
+                Scenario::Churn => "nonstationary:churn",
+                Scenario::PhaseChange => "nonstationary:phase-change",
+            },
         }
     }
 
@@ -70,6 +87,7 @@ impl Workload {
             Workload::Synthetic(c) => c.disks,
             Workload::Oltp(c) => c.disk_count(),
             Workload::Cello(c) => c.disks,
+            Workload::NonStationary(c) => c.disks,
         }
     }
 
@@ -80,6 +98,7 @@ impl Workload {
             Workload::Synthetic(c) => c.requests = requests,
             Workload::Oltp(c) => c.requests = requests,
             Workload::Cello(c) => c.requests = requests,
+            Workload::NonStationary(c) => c.requests = requests,
         }
         self
     }
@@ -91,6 +110,7 @@ impl Workload {
             Workload::Synthetic(c) => c.requests,
             Workload::Oltp(c) => c.requests,
             Workload::Cello(c) => c.requests,
+            Workload::NonStationary(c) => c.requests,
         }
     }
 
@@ -106,6 +126,7 @@ impl Workload {
             Workload::Synthetic(c) => StreamInner::Lazy(c.stream(seed)),
             Workload::Oltp(c) => StreamInner::Eager(c.generate(seed).into_records().into_iter()),
             Workload::Cello(c) => StreamInner::Eager(c.generate(seed).into_records().into_iter()),
+            Workload::NonStationary(c) => StreamInner::Phased(c.stream(seed)),
         };
         RecordStream { inner }
     }
@@ -132,6 +153,7 @@ impl RecordStream {
 #[derive(Debug, Clone)]
 enum StreamInner {
     Lazy(SyntheticStream),
+    Phased(NonStationaryStream),
     Eager(std::vec::IntoIter<Record>),
 }
 
@@ -141,6 +163,7 @@ impl Iterator for RecordStream {
     fn next(&mut self) -> Option<Record> {
         match &mut self.inner {
             StreamInner::Lazy(s) => s.next(),
+            StreamInner::Phased(s) => s.next(),
             StreamInner::Eager(s) => s.next(),
         }
     }
@@ -194,6 +217,39 @@ mod tests {
         assert_eq!(Workload::parse("cello96").unwrap().name(), "cello96");
         assert_eq!(Workload::parse("cello").unwrap().name(), "cello96");
         assert!(Workload::parse("nope").is_none());
+    }
+
+    #[test]
+    fn parse_covers_the_nonstationary_scenarios() {
+        for name in [
+            "nonstationary:diurnal",
+            "nonstationary:flash-crowd",
+            "nonstationary:churn",
+            "nonstationary:phase-change",
+        ] {
+            let w = Workload::parse(name).unwrap();
+            assert_eq!(w.name(), name);
+            assert_eq!(w.disk_count(), 20);
+        }
+        assert!(Workload::parse("nonstationary:nope").is_none());
+        assert!(Workload::parse("nonstationary:").is_none());
+    }
+
+    #[test]
+    fn nonstationary_streams_lazily_and_matches_eager_generate() {
+        let w = Workload::parse("nonstationary:churn")
+            .unwrap()
+            .with_requests(1_500);
+        let streamed: Vec<Record> = w.stream(11).collect();
+        assert_eq!(streamed.len(), 1_500);
+        if let Workload::NonStationary(c) = &w {
+            assert_eq!(c.generate(11).records(), streamed.as_slice());
+        } else {
+            unreachable!();
+        }
+        // Unbounded streams still yield on demand.
+        let unbounded = w.with_requests(usize::MAX);
+        assert_eq!(unbounded.stream(1).take(10).count(), 10);
     }
 
     #[test]
